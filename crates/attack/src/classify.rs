@@ -1,0 +1,75 @@
+//! The complexity trichotomy for `CERTAINTY(q)` with primary keys only
+//! (Koutris & Wijsen; recalled as Theorem 2 and §2 of the reproduced paper):
+//! for every `q` in `sjfBCQ`, `CERTAINTY(q)` is in FO, L-complete, or
+//! coNP-complete, decidable from the attack graph.
+
+use crate::attack_graph::AttackGraph;
+use cqa_model::Query;
+use std::fmt;
+
+/// The complexity class of `CERTAINTY(q)` for primary keys only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PkClass {
+    /// Acyclic attack graph: first-order rewritable.
+    Fo,
+    /// Cyclic attack graph, every cycle weak: L-complete.
+    LComplete,
+    /// Some cycle passes through a strong attack: coNP-complete.
+    CoNpComplete,
+}
+
+impl fmt::Display for PkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PkClass::Fo => write!(f, "FO"),
+            PkClass::LComplete => write!(f, "L-complete"),
+            PkClass::CoNpComplete => write!(f, "coNP-complete"),
+        }
+    }
+}
+
+/// Classifies `CERTAINTY(q)` (primary keys only).
+pub fn classify_pk(q: &Query) -> PkClass {
+    let ag = AttackGraph::of(q);
+    if ag.is_acyclic() {
+        PkClass::Fo
+    } else if ag.has_strong_cycle() {
+        PkClass::CoNpComplete
+    } else {
+        PkClass::LComplete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_query, parse_schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn trichotomy_on_canonical_queries() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let fo = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+        assert_eq!(classify_pk(&fo), PkClass::Fo);
+
+        let l = parse_query(&s, "R(x,y), S(y,x)").unwrap();
+        assert_eq!(classify_pk(&l), PkClass::LComplete);
+
+        let conp = parse_query(&s, "R(x,y), S(z,y)").unwrap();
+        assert_eq!(classify_pk(&conp), PkClass::CoNpComplete);
+    }
+
+    #[test]
+    fn single_atom_always_fo() {
+        let s = Arc::new(parse_schema("R[3,2]").unwrap());
+        let q = parse_query(&s, "R(x,y,z)").unwrap();
+        assert_eq!(classify_pk(&q), PkClass::Fo);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PkClass::Fo.to_string(), "FO");
+        assert_eq!(PkClass::LComplete.to_string(), "L-complete");
+        assert_eq!(PkClass::CoNpComplete.to_string(), "coNP-complete");
+    }
+}

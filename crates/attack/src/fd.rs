@@ -1,0 +1,163 @@
+//! Functional dependencies over query variables.
+//!
+//! For a query `q` in `sjfBCQ`, the paper (§3.1) defines
+//! `K(q) = { key(F) → vars(F) | F ∈ q }` — for each atom, its key variables
+//! determine all its variables. Constants contribute nothing: an atom whose
+//! key positions hold only constants yields the dependency `∅ → vars(F)`.
+
+use cqa_model::{Query, RelName, Var};
+use std::collections::BTreeSet;
+
+/// A set of functional dependencies `X → Y` over variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<(BTreeSet<Var>, BTreeSet<Var>)>,
+}
+
+impl FdSet {
+    /// Creates an empty set.
+    pub fn new() -> FdSet {
+        FdSet::default()
+    }
+
+    /// Adds a dependency `lhs → rhs`.
+    pub fn add(&mut self, lhs: BTreeSet<Var>, rhs: BTreeSet<Var>) {
+        self.fds.push((lhs, rhs));
+    }
+
+    /// The dependencies.
+    pub fn fds(&self) -> &[(BTreeSet<Var>, BTreeSet<Var>)] {
+        &self.fds
+    }
+
+    /// The closure of `start` under this set (the standard fixpoint).
+    pub fn closure(&self, start: &BTreeSet<Var>) -> BTreeSet<Var> {
+        let mut out = start.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (lhs, rhs) in &self.fds {
+                if lhs.is_subset(&out) && !rhs.is_subset(&out) {
+                    out.extend(rhs.iter().copied());
+                    changed = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `lhs → rhs` is implied (`K ⊨ lhs → rhs`).
+    pub fn implies(&self, lhs: &BTreeSet<Var>, rhs: &BTreeSet<Var>) -> bool {
+        rhs.is_subset(&self.closure(lhs))
+    }
+
+    /// Whether `K ⊨ ∅ → {v}`: the variable is functionally fixed.
+    pub fn fixes(&self, v: Var) -> bool {
+        self.closure(&BTreeSet::new()).contains(&v)
+    }
+}
+
+/// `K(q)`: the set `{ key(F) → vars(F) | F ∈ q }`.
+pub fn k_of(q: &Query) -> FdSet {
+    let mut out = FdSet::new();
+    for atom in q.atoms() {
+        let sig = q.sig(atom.rel);
+        out.add(atom.key_vars(sig), atom.vars());
+    }
+    out
+}
+
+/// `F^{+,q}` for the `rel`-atom `F`: the variables functionally determined by
+/// `key(F)` via `K(q ∖ {F})` (paper §3.1).
+pub fn f_plus(q: &Query, rel: RelName) -> BTreeSet<Var> {
+    let Some(atom) = q.atom(rel) else {
+        return BTreeSet::new();
+    };
+    let key = atom.key_vars(q.sig(rel));
+    let k_rest = k_of(&q.without(rel));
+    // The paper defines F^{+,q} as a subset of vars(q); the closure may
+    // contain key(F) variables that vanish from q ∖ {F} — they are still
+    // variables of q, so keep everything in vars(q).
+    let all = q.vars();
+    k_rest
+        .closure(&key)
+        .into_iter()
+        .filter(|v| all.contains(v))
+        .collect()
+}
+
+/// The variables `v` with `K(q) ⊨ ∅ → {v}` (used by Definition 9's set `V`).
+pub fn fixed_vars(q: &Query) -> BTreeSet<Var> {
+    k_of(q).closure(&BTreeSet::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_query, parse_schema};
+    use std::sync::Arc;
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    fn set(vars: &[&str]) -> BTreeSet<Var> {
+        vars.iter().map(|s| v(s)).collect()
+    }
+
+    #[test]
+    fn closure_basics() {
+        let mut fds = FdSet::new();
+        fds.add(set(&["x"]), set(&["x", "y"]));
+        fds.add(set(&["y"]), set(&["z"]));
+        assert_eq!(fds.closure(&set(&["x"])), set(&["x", "y", "z"]));
+        assert!(fds.implies(&set(&["x"]), &set(&["z"])));
+        assert!(!fds.implies(&set(&["y"]), &set(&["x"])));
+    }
+
+    #[test]
+    fn k_of_query() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+        let k = k_of(&q);
+        assert!(k.implies(&set(&["x"]), &set(&["y"])));
+        assert!(k.implies(&set(&["y"]), &set(&["z"])));
+        assert!(k.implies(&set(&["x"]), &set(&["z"])));
+        assert!(!k.implies(&set(&["z"]), &set(&["x"])));
+    }
+
+    #[test]
+    fn constant_keys_fix_variables() {
+        // N(c, y): key holds only a constant, so ∅ → y.
+        let s = Arc::new(parse_schema("N[2,1] P[1,1]").unwrap());
+        let q = parse_query(&s, "N('c', y), P(y)").unwrap();
+        assert_eq!(fixed_vars(&q), set(&["y"]));
+        assert!(k_of(&q).fixes(v("y")));
+    }
+
+    #[test]
+    fn f_plus_chain_query() {
+        // q = {R(x,y), S(y,z)}: R^{+,q} = {x} (S's FD y→z does not fire from
+        // {x}), S^{+,q} = {y, z}... K(q∖S) = {x→xy}, closure({y}) = {y}.
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+        assert_eq!(f_plus(&q, cqa_model::RelName::new("R")), set(&["x"]));
+        assert_eq!(f_plus(&q, cqa_model::RelName::new("S")), set(&["y"]));
+    }
+
+    #[test]
+    fn f_plus_uses_other_atoms() {
+        // q = {R(x,y), S(x,y)}: K(q∖R) = {x→xy}, so R^{+,q} = {x,y}.
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(x,y)").unwrap();
+        assert_eq!(f_plus(&q, cqa_model::RelName::new("R")), set(&["x", "y"]));
+    }
+
+    #[test]
+    fn fixed_vars_propagate() {
+        // N('c', y), S(y, z): ∅ → y → z.
+        let s = Arc::new(parse_schema("N[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "N('c', y), S(y, z)").unwrap();
+        assert_eq!(fixed_vars(&q), set(&["y", "z"]));
+    }
+}

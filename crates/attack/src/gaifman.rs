@@ -1,0 +1,116 @@
+//! Vertex-restricted Gaifman graphs `G_V(q)` (paper §4, before Def. 9).
+//!
+//! For `V ⊆ vars(q)`, `G_V(q)` has vertex set `V` and an edge `{x, y}` when
+//! `x = y` or some atom of `q` contains both `x` and `y` within `V`.
+
+use cqa_model::{Query, Var};
+use std::collections::BTreeSet;
+
+/// Whether `x` and `y` are connected in `G_V(q)`.
+///
+/// Both endpoints must belong to `V` (a vertex is vacuously connected to
+/// itself when it is a vertex of the graph).
+pub fn connected_in(q: &Query, v_set: &BTreeSet<Var>, x: Var, y: Var) -> bool {
+    if !v_set.contains(&x) || !v_set.contains(&y) {
+        return false;
+    }
+    if x == y {
+        return true;
+    }
+    let mut seen: BTreeSet<Var> = BTreeSet::new();
+    let mut stack = vec![x];
+    seen.insert(x);
+    while let Some(u) = stack.pop() {
+        for atom in q.atoms() {
+            let vars: BTreeSet<Var> = atom
+                .vars()
+                .into_iter()
+                .filter(|w| v_set.contains(w))
+                .collect();
+            if vars.contains(&u) {
+                for w in vars {
+                    if w == y {
+                        return true;
+                    }
+                    if seen.insert(w) {
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The connected component of `x` in `G_V(q)`.
+pub fn component_of(q: &Query, v_set: &BTreeSet<Var>, x: Var) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    if !v_set.contains(&x) {
+        return out;
+    }
+    let mut stack = vec![x];
+    out.insert(x);
+    while let Some(u) = stack.pop() {
+        for atom in q.atoms() {
+            let vars: BTreeSet<Var> = atom
+                .vars()
+                .into_iter()
+                .filter(|w| v_set.contains(w))
+                .collect();
+            if vars.contains(&u) {
+                for w in vars {
+                    if out.insert(w) {
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_query, parse_schema};
+    use std::sync::Arc;
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    #[test]
+    fn connectivity_respects_vertex_set() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+        let all: BTreeSet<Var> = q.vars();
+        assert!(connected_in(&q, &all, v("x"), v("z")));
+
+        // Removing y from the vertex set disconnects x and z.
+        let no_y: BTreeSet<Var> = [v("x"), v("z")].into_iter().collect();
+        assert!(!connected_in(&q, &no_y, v("x"), v("z")));
+    }
+
+    #[test]
+    fn self_connectivity_needs_membership() {
+        let s = Arc::new(parse_schema("R[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y)").unwrap();
+        let only_x: BTreeSet<Var> = [v("x")].into_iter().collect();
+        assert!(connected_in(&q, &only_x, v("x"), v("x")));
+        assert!(!connected_in(&q, &only_x, v("y"), v("y")));
+    }
+
+    #[test]
+    fn components() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1] T[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,z), T(u,w)").unwrap();
+        let all = q.vars();
+        let comp = component_of(&q, &all, v("x"));
+        assert_eq!(
+            comp,
+            [v("x"), v("y"), v("z")].into_iter().collect::<BTreeSet<_>>()
+        );
+        let comp2 = component_of(&q, &all, v("u"));
+        assert_eq!(comp2, [v("u"), v("w")].into_iter().collect::<BTreeSet<_>>());
+    }
+}

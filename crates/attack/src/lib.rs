@@ -1,0 +1,28 @@
+//! # cqa-attack
+//!
+//! Consistent query answering for **primary keys only** — the state of the
+//! art the paper builds on (Koutris & Wijsen, *Consistent query answering for
+//! self-join-free conjunctive queries under primary key constraints*, TODS
+//! 2017; recalled as Theorem 2 of the reproduced paper):
+//!
+//! * functional-dependency reasoning: `K(q)`, closures, `F^{+,q}` ([`fd`]);
+//! * the **attack graph** with weak/strong attacks ([`attack_graph`]);
+//! * the FO / L-complete / coNP-complete trichotomy ([`classify`]);
+//! * the **consistent first-order rewriting** for queries with an acyclic
+//!   attack graph ([`rewrite`]);
+//! * Gaifman-style connectivity graphs `G_V(q)` used by the block-interference
+//!   test of the reproduced paper ([`gaifman`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack_graph;
+pub mod classify;
+pub mod fd;
+pub mod gaifman;
+pub mod rewrite;
+
+pub use attack_graph::AttackGraph;
+pub use classify::{classify_pk, PkClass};
+pub use fd::{f_plus, fixed_vars, k_of, FdSet};
+pub use rewrite::{kw_rewrite, RewriteError};

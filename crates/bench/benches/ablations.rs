@@ -1,0 +1,83 @@
+//! Ablation benches (design-choice experiments of DESIGN.md §3):
+//!
+//! * `guarded_vs_naive_fo` — the guarded top-down FO evaluator vs. plain
+//!   active-domain evaluation of the same rewriting formula;
+//! * `block_index` — conjunctive-query matching with the primary-key block
+//!   index vs. a relation-scan emulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_attack::kw_rewrite;
+use cqa_fo::eval::{eval_with, Strategy};
+use cqa_model::parser::{parse_query, parse_schema};
+use cqa_model::{satisfies, Instance, Schema, Valuation};
+use std::sync::Arc;
+
+fn chain_db(s: &Arc<Schema>, n: usize) -> Instance {
+    let mut db = Instance::new(s.clone());
+    for i in 0..n {
+        db.insert_named("R", &[&format!("a{i}"), &format!("b{i}")]).unwrap();
+        db.insert_named("S", &[&format!("b{i}"), &format!("c{i}")]).unwrap();
+    }
+    db
+}
+
+fn bench_guarded_vs_naive(c: &mut Criterion) {
+    let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+    let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+    let f = kw_rewrite(&q).unwrap();
+    let mut group = c.benchmark_group("guarded_vs_naive_fo");
+    group.sample_size(10);
+    for n in [8usize, 32] {
+        let db = chain_db(&s, n);
+        group.bench_with_input(BenchmarkId::new("guarded", n), &db, |b, db| {
+            b.iter(|| eval_with(db, &f, &Valuation::new(), Strategy::Guarded))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &db, |b, db| {
+            b.iter(|| eval_with(db, &f, &Valuation::new(), Strategy::Naive))
+        });
+    }
+    group.finish();
+}
+
+/// Emulates CQ matching without the block index: join the atoms by scanning
+/// full relations and filtering, the way an index-free engine would.
+fn scan_join(db: &Instance, _q: &cqa_model::Query) -> bool {
+    let r = cqa_model::RelName::new("R");
+    let s_rel = cqa_model::RelName::new("S");
+    for rf in db.facts_of(r) {
+        for sf in db.facts_of(s_rel) {
+            if rf.args[1] == sf.args[0] {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn bench_block_index(c: &mut Criterion) {
+    let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+    let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+    let mut group = c.benchmark_group("block_index");
+    group.sample_size(10);
+    for n in [64usize, 512] {
+        // Worst case for the scan: no join partner until the very end.
+        let mut db = Instance::new(s.clone());
+        for i in 0..n {
+            db.insert_named("R", &[&format!("a{i}"), &format!("miss{i}")]).unwrap();
+            db.insert_named("S", &[&format!("other{i}"), "z"]).unwrap();
+        }
+        db.insert_named("R", &["last", "hit"]).unwrap();
+        db.insert_named("S", &["hit", "z"]).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("indexed", n), &db, |b, db| {
+            b.iter(|| assert!(satisfies(db, &q)))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &db, |b, db| {
+            b.iter(|| assert!(scan_join(db, &q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_guarded_vs_naive, bench_block_index);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench E2/E8 — the §4 block-chain family through the Proposition 17
+//! dual-Horn solver (near-linear), contrasted with the exhaustive ⊕-repair
+//! oracle at tiny sizes (exponential: the candidate space is the product of
+//! block choices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_gen::{block_chain, BlockChainConfig};
+use cqa_model::Cst;
+use cqa_repair::CertaintyOracle;
+use cqa_solvers::prop17;
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blockchain_dual_horn");
+    group.sample_size(20);
+    for n in [64usize, 512, 4096] {
+        let bc = block_chain(BlockChainConfig {
+            n,
+            closing_is_c: true,
+            with_anchor: true,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bc, |b, bc| {
+            b.iter(|| {
+                assert!(prop17::certain(&bc.db, Cst::new("c")));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracle_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blockchain_oracle");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let bc = block_chain(BlockChainConfig {
+            n,
+            closing_is_c: true,
+            with_anchor: true,
+        });
+        let oracle = CertaintyOracle::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bc, |b, bc| {
+            b.iter(|| {
+                let out = oracle.is_certain(&bc.db, &bc.query, &bc.fks);
+                assert_eq!(out.as_bool(), Some(true));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_scaling, bench_oracle_blowup);
+criterion_main!(benches);

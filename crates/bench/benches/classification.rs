@@ -1,0 +1,75 @@
+//! Bench E12 — decision-procedure costs: Theorem 12 classification
+//! (attack graph + obedience + block-interference + plan construction) on a
+//! corpus, and attack-graph construction as the query grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_attack::AttackGraph;
+use cqa_core::Problem;
+use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+use cqa_model::Query;
+use std::sync::Arc;
+
+fn bench_classify_corpus(c: &mut Criterion) {
+    let corpus: Vec<(&str, &str, &str)> = vec![
+        ("N[3,1] O[2,1]", "N(x,u,y), O(y,w)", "N[3] -> O"),
+        ("N[3,1] O[2,1]", "N(x,'c',y), O(y,w)", "N[3] -> O"),
+        ("N[3,1] O[2,1]", "N(x,'c',y), O(y,'c')", "N[3] -> O"),
+        ("N[2,1] O[1,1] P[1,1]", "N('c',y), O(y), P(y)", "N[2] -> O"),
+        (
+            "A[2,1] B[2,1] C[1,1] D[2,1]",
+            "A(x,y), B(y,z), C(y), D(z,'k')",
+            "A[2] -> B, B[1] -> C, B[2] -> D",
+        ),
+        ("R[2,1] S[2,1]", "R(x,y), S(y,x)", "R[2] -> S"),
+    ];
+    let problems: Vec<Problem> = corpus
+        .iter()
+        .map(|(s, q, k)| {
+            let schema = Arc::new(parse_schema(s).unwrap());
+            Problem::new(
+                parse_query(&schema, q).unwrap(),
+                parse_fks(&schema, k).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    c.bench_function("classify_corpus_of_6", |b| {
+        b.iter(|| {
+            problems
+                .iter()
+                .map(|p| p.classify().is_fo())
+                .filter(|&fo| fo)
+                .count()
+        })
+    });
+}
+
+/// Path query R1(x1,x2), R2(x2,x3), …: attack-graph cost vs. atom count.
+fn path_query(n: usize) -> Query {
+    let schema_text: String = (0..n).map(|i| format!("P{i}[2,1] ")).collect();
+    let schema = Arc::new(parse_schema(&schema_text).unwrap());
+    let query_text: String = (0..n)
+        .map(|i| format!("P{i}(x{i}, x{})", i + 1))
+        .collect::<Vec<_>>()
+        .join(", ");
+    parse_query(&schema, &query_text).unwrap()
+}
+
+fn bench_attack_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_graph");
+    group.sample_size(20);
+    for n in [4usize, 8, 16] {
+        let q = path_query(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| {
+                let ag = AttackGraph::of(q);
+                assert!(ag.is_acyclic());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify_corpus, bench_attack_graph);
+criterion_main!(benches);

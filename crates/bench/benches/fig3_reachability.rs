@@ -1,0 +1,46 @@
+//! Bench E6 — the Figure 3 / Lemma 15 family: building the reduction
+//! instance from a graph and deciding `CERTAINTY(q, FK)` on it, as the graph
+//! (and hence the database) grows. The paper pins the problem NL-hard; the
+//! dual-Horn decision procedure scales near-linearly in the instance size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_gen::graphs::layered_dag;
+use cqa_model::Cst;
+use cqa_solvers::{fig3, prop17, DiGraph};
+
+fn to_digraph(spec: &cqa_gen::graphs::GraphSpec) -> DiGraph {
+    let mut g = DiGraph::new();
+    for &v in &spec.vertices {
+        g.add_vertex(v);
+    }
+    for &(u, v) in &spec.edges {
+        g.add_edge(u, v);
+    }
+    g
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_reachability");
+    group.sample_size(20);
+    for layers in [8usize, 32, 128] {
+        let spec = layered_dag(layers, 5, 2, 11);
+        let g = to_digraph(&spec);
+        let target = layers * 5 - 1;
+        let inst = fig3::reduce(&g, 0, target);
+
+        group.bench_with_input(
+            BenchmarkId::new("reduce", layers),
+            &layers,
+            |b, _| b.iter(|| fig3::reduce(&g, 0, target).db.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("solve", inst.db.len()),
+            &inst,
+            |b, inst| b.iter(|| prop17::certain(&inst.db, Cst::new("c"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench E7 — Proposition 16's NL-complete problem: the dual-Horn decision
+//! procedure vs. the (cycle-refined) reachability criterion on growing
+//! self-loop chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa_model::parser::parse_schema;
+use cqa_model::Instance;
+use cqa_solvers::prop16;
+use std::sync::Arc;
+
+/// A chain instance: N(v_i, v_i) and N(v_i, v_{i+1}) for i < n, with O(v_0):
+/// certainty propagates down the whole chain.
+fn chain(n: usize) -> Instance {
+    let s = Arc::new(parse_schema(prop16::SCHEMA).unwrap());
+    let mut db = Instance::new(s);
+    let name = |i: usize| format!("v{i}");
+    for i in 0..n {
+        db.insert_named("N", &[&name(i), &name(i)]).unwrap();
+        if i + 1 < n {
+            db.insert_named("N", &[&name(i), &name(i + 1)]).unwrap();
+        }
+    }
+    db.insert_named("O", &[&name(0)]).unwrap();
+    db
+}
+
+fn bench_prop16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop16");
+    group.sample_size(20);
+    for n in [16usize, 64, 256] {
+        let db = chain(n);
+        group.bench_with_input(BenchmarkId::new("dual_horn", n), &db, |b, db| {
+            b.iter(|| prop16::certain(db))
+        });
+        group.bench_with_input(BenchmarkId::new("reachability", n), &db, |b, db| {
+            b.iter(|| prop16::certain_via_reachability(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop16);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Theorem 12: the FO dichotomy for `CERTAINTY(q, FK)`.
+//!
+//! 1. acyclic attack graph and no block-interference ⟹ **FO**, with an
+//!    effectively constructed consistent first-order rewriting;
+//! 2. cyclic attack graph ⟹ **L-hard** (Lemma 14);
+//! 3. block-interference ⟹ **NL-hard** (Lemma 15).
+//!
+//! Cases 2 and 3 can hold simultaneously; both witnesses are reported.
+
+use crate::interference::{block_interference, InterferenceWitness};
+use crate::pipeline::{BuildError, RewritePlan};
+use crate::problem::Problem;
+use cqa_attack::AttackGraph;
+use std::fmt;
+
+/// Why a problem is not in FO (Theorem 12, cases 2–3).
+#[derive(Clone, Debug)]
+pub struct NotFoReason {
+    /// Case 2: the attack graph of `q` is cyclic (L-hard).
+    pub cyclic_attack_graph: bool,
+    /// Case 3: the block-interfering keys of `FK*` (NL-hard when non-empty).
+    pub interference: Vec<InterferenceWitness>,
+}
+
+impl NotFoReason {
+    /// Whether the L-hardness case applies.
+    pub fn l_hard(&self) -> bool {
+        self.cyclic_attack_graph
+    }
+
+    /// Whether the NL-hardness case applies.
+    pub fn nl_hard(&self) -> bool {
+        !self.interference.is_empty()
+    }
+}
+
+impl fmt::Display for NotFoReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if self.cyclic_attack_graph {
+            write!(f, "cyclic attack graph ⟹ L-hard")?;
+            wrote = true;
+        }
+        if !self.interference.is_empty() {
+            if wrote {
+                write!(f, "; ")?;
+            }
+            write!(f, "block-interference ⟹ NL-hard (")?;
+            for (i, w) in self.interference.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", w.fk)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of Theorem 12 on a problem.
+#[derive(Clone, Debug)]
+pub enum Classification {
+    /// In FO; the rewriting plan is attached.
+    Fo(RewritePlan),
+    /// Not in FO; hardness witnesses attached.
+    NotFo(NotFoReason),
+}
+
+impl Classification {
+    /// Whether the problem is in FO.
+    pub fn is_fo(&self) -> bool {
+        matches!(self, Classification::Fo(_))
+    }
+
+    /// The plan, if FO.
+    pub fn plan(&self) -> Option<&RewritePlan> {
+        match self {
+            Classification::Fo(p) => Some(p),
+            Classification::NotFo(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Classification::Fo(_) => write!(f, "in FO (rewriting constructed)"),
+            Classification::NotFo(r) => write!(f, "not in FO: {r}"),
+        }
+    }
+}
+
+/// Decides Theorem 12 for `problem`.
+pub fn classify(problem: &Problem) -> Classification {
+    let cyclic = !AttackGraph::of(problem.query()).is_acyclic();
+    let interference = block_interference(problem.query(), problem.fks());
+    if cyclic || !interference.is_empty() {
+        return Classification::NotFo(NotFoReason {
+            cyclic_attack_graph: cyclic,
+            interference,
+        });
+    }
+    match RewritePlan::build(problem) {
+        Ok(plan) => Classification::Fo(plan),
+        Err(BuildError::CyclicAttackGraph) => Classification::NotFo(NotFoReason {
+            cyclic_attack_graph: true,
+            interference: Vec::new(),
+        }),
+        Err(BuildError::BlockInterference(ws)) => Classification::NotFo(NotFoReason {
+            cyclic_attack_graph: false,
+            interference: ws,
+        }),
+        Err(BuildError::Internal(msg)) => {
+            unreachable!("pipeline invariant violated on {problem}: {msg}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    fn classify_texts(schema: &str, query: &str, fks: &str) -> Classification {
+        let s = Arc::new(parse_schema(schema).unwrap());
+        let q = parse_query(&s, query).unwrap();
+        let k = parse_fks(&s, fks).unwrap();
+        classify(&Problem::new(q, k).unwrap())
+    }
+
+    #[test]
+    fn example_13_dichotomy() {
+        // q1: FO; q2: NL-hard; q3: FO (paper Example 13).
+        assert!(classify_texts("N[3,1] O[2,1]", "N(x,u,y), O(y,w)", "N[3] -> O").is_fo());
+        match classify_texts("N[3,1] O[2,1]", "N(x,'c',y), O(y,w)", "N[3] -> O") {
+            Classification::NotFo(r) => {
+                assert!(r.nl_hard());
+                assert!(!r.l_hard());
+            }
+            Classification::Fo(_) => panic!("q2 must be NL-hard"),
+        }
+        assert!(classify_texts("N[3,1] O[2,1]", "N(x,'c',y), O(y,'c')", "N[3] -> O").is_fo());
+    }
+
+    #[test]
+    fn section4_query_is_nl_hard() {
+        match classify_texts("N[3,1] O[1,1]", "N(x,'c',y), O(y)", "N[3] -> O") {
+            Classification::NotFo(r) => assert!(r.nl_hard()),
+            Classification::Fo(_) => panic!("§4's query must be NL-hard"),
+        }
+    }
+
+    #[test]
+    fn proposition_16_query_is_nl_hard() {
+        match classify_texts("N[2,1] O[1,1]", "N(x,x), O(x)", "N[2] -> O") {
+            Classification::NotFo(r) => assert!(r.nl_hard()),
+            Classification::Fo(_) => panic!("Prop 16's query must be NL-hard"),
+        }
+    }
+
+    #[test]
+    fn cyclic_attack_graph_reported_with_fks() {
+        // §6's example: {R(x,y), S(y,x)} with any subset of
+        // {R[2]→S, S[2]→R} is L-hard (Lemma 14).
+        for fks in ["", "R[2] -> S", "R[2] -> S, S[2] -> R"] {
+            let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+            let q = parse_query(&s, "R(x,y), S(y,x)").unwrap();
+            let k = cqa_model::parser::parse_fks(&s, fks).unwrap();
+            match classify(&Problem::new(q, k).unwrap()) {
+                Classification::NotFo(r) => assert!(r.l_hard(), "FK = {fks}"),
+                Classification::Fo(_) => panic!("must be L-hard with FK = {fks}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pk_only_fo_case() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+        let c = classify(&Problem::pk_only(q));
+        assert!(c.is_fo());
+        assert!(c.plan().is_some());
+    }
+
+    #[test]
+    fn display() {
+        let c = classify_texts("N[3,1] O[1,1]", "N(x,'c',y), O(y)", "N[3] -> O");
+        assert!(c.to_string().contains("NL-hard"));
+    }
+}

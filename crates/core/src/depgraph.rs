@@ -1,0 +1,225 @@
+//! The dependency graph of a foreign-key set and the implication closure
+//! `FK*` (paper §3.2).
+//!
+//! The dependency graph has a vertex `(R, i)` for every position of every
+//! relation occurring in `FK`; each key `R[i] → S` (with `S` of signature
+//! `[m, 1]`) induces edges from `(R, i)` to `(S, j)` for every `j ∈ [m]`; an
+//! edge into `(S, j)` with `j ≠ 1` is *special*. The closure `P_FK` of a
+//! position set `P` is everything reachable from `P` (paths of length ≥ 0 —
+//! in particular, `P ⊆ P_FK` even for positions outside the graph).
+//!
+//! For unary inclusion dependencies, logical implication is reflexivity plus
+//! transitivity (Casanova–Fagin–Papadimitriou), so `FK*` is the transitive
+//! closure of `FK` through *key links* `S[1] → T`. Trivial keys `R[1] → R`
+//! (signature `[n,1]`) are implied but can never be falsified; we exclude
+//! them from `FK*`, because including them would add spurious special edges
+//! `(R,1) → (R,j)` to the dependency graph and corrupt the obedience
+//! analysis (see DESIGN.md §2.3).
+
+use cqa_model::{FkSet, ForeignKey, Position, RelName};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The dependency graph of a foreign-key set.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    edges: BTreeMap<Position, BTreeSet<Position>>,
+    vertices: BTreeSet<Position>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of `fks`.
+    pub fn of(fks: &FkSet) -> DepGraph {
+        let schema = fks.schema();
+        let mut vertices = BTreeSet::new();
+        for rel in fks.relations() {
+            let sig = schema.signature(rel).expect("fk validated");
+            for i in 1..=sig.arity {
+                vertices.insert(Position::new(rel, i));
+            }
+        }
+        let mut edges: BTreeMap<Position, BTreeSet<Position>> = BTreeMap::new();
+        for fk in fks.iter() {
+            let from = Position::new(fk.from, fk.pos);
+            let to_sig = schema.signature(fk.to).expect("fk validated");
+            let entry = edges.entry(from).or_default();
+            for j in 1..=to_sig.arity {
+                entry.insert(Position::new(fk.to, j));
+            }
+        }
+        DepGraph { edges, vertices }
+    }
+
+    /// The vertices.
+    pub fn vertices(&self) -> &BTreeSet<Position> {
+        &self.vertices
+    }
+
+    /// Successors of a position.
+    pub fn successors(&self, p: Position) -> impl Iterator<Item = Position> + '_ {
+        self.edges.get(&p).into_iter().flatten().copied()
+    }
+
+    /// `P_FK`: all positions reachable from `P` via paths of length ≥ 0.
+    /// Positions of `P` outside the graph are included (length-0 paths).
+    pub fn closure(&self, p: &BTreeSet<Position>) -> BTreeSet<Position> {
+        let mut out = p.clone();
+        let mut stack: Vec<Position> = p.iter().copied().collect();
+        while let Some(u) = stack.pop() {
+            for v in self.successors(u) {
+                if out.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `p` lies on a cycle (reaches itself via ≥ 1 edge).
+    pub fn on_cycle(&self, p: Position) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<Position> = self.successors(p).collect();
+        while let Some(u) = stack.pop() {
+            if u == p {
+                return true;
+            }
+            if seen.insert(u) {
+                stack.extend(self.successors(u));
+            }
+        }
+        false
+    }
+}
+
+/// `FK*` minus trivial keys: the transitive closure of `fks` through key
+/// links `S[1] → T`.
+pub fn fk_star(fks: &FkSet) -> FkSet {
+    let schema = fks.schema().clone();
+    // Key-link graph: S → T when S[1] → T ∈ FK (necessarily with S of
+    // key length 1... any relation may appear; the link is positional).
+    let mut key_links: BTreeMap<RelName, BTreeSet<RelName>> = BTreeMap::new();
+    for fk in fks.iter() {
+        if fk.pos == 1 {
+            key_links.entry(fk.from).or_default().insert(fk.to);
+        }
+    }
+    let reach_from = |start: RelName| -> BTreeSet<RelName> {
+        let mut out = BTreeSet::new();
+        out.insert(start);
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            if let Some(ts) = key_links.get(&u) {
+                for &t in ts {
+                    if out.insert(t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    let mut all: BTreeSet<ForeignKey> = BTreeSet::new();
+    for fk in fks.iter() {
+        for target in reach_from(fk.to) {
+            let implied = ForeignKey::new(fk.from, fk.pos, target);
+            if !implied.is_trivial(&schema) {
+                all.insert(implied);
+            }
+        }
+    }
+    FkSet::new(schema, all).expect("implied keys reference unary-key relations")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_schema};
+    use std::sync::Arc;
+
+    fn pos(r: &str, i: usize) -> Position {
+        Position::new(RelName::new(r), i)
+    }
+
+    #[test]
+    fn example_3_dependency_graph() {
+        // Paper Example 3: FK = {R[1]→S, R[3]→T}, R:[3,2], S,T:[2,1].
+        let s = Arc::new(parse_schema("R[3,2] S[2,1] T[2,1]").unwrap());
+        let fks = parse_fks(&s, "R[1] -> S, R[3] -> T").unwrap();
+        let g = DepGraph::of(&fks);
+        let from_r1: BTreeSet<Position> = g.successors(pos("R", 1)).collect();
+        assert_eq!(from_r1, [pos("S", 1), pos("S", 2)].into_iter().collect());
+        let from_r3: BTreeSet<Position> = g.successors(pos("R", 3)).collect();
+        assert_eq!(from_r3, [pos("T", 1), pos("T", 2)].into_iter().collect());
+        assert!(g.successors(pos("R", 2)).next().is_none());
+    }
+
+    #[test]
+    fn closure_includes_length_zero_paths() {
+        let s = Arc::new(parse_schema("R[3,2] S[2,1] U[1,1]").unwrap());
+        let fks = parse_fks(&s, "R[3] -> S").unwrap();
+        let g = DepGraph::of(&fks);
+        // (U,1) is not a vertex (U not in FK) but must be in its own closure.
+        let p: BTreeSet<Position> = [pos("U", 1)].into_iter().collect();
+        assert_eq!(g.closure(&p), p);
+        // From (R,3) we reach both S positions.
+        let p2: BTreeSet<Position> = [pos("R", 3)].into_iter().collect();
+        assert_eq!(
+            g.closure(&p2),
+            [pos("R", 3), pos("S", 1), pos("S", 2)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let s = Arc::new(parse_schema("N[2,1] O[2,1]").unwrap());
+        // N[2]→N puts (N,2) on a cycle: (N,2) → (N,1),(N,2).
+        let fks = parse_fks(&s, "N[2] -> N").unwrap();
+        let g = DepGraph::of(&fks);
+        assert!(g.on_cycle(pos("N", 2)));
+        assert!(!g.on_cycle(pos("N", 1)));
+
+        let fks2 = parse_fks(&s, "N[2] -> O").unwrap();
+        let g2 = DepGraph::of(&fks2);
+        assert!(!g2.on_cycle(pos("N", 2)));
+    }
+
+    #[test]
+    fn star_transitivity() {
+        // R[2]→S, S[1]→T implies R[2]→T.
+        let s = Arc::new(parse_schema("R[2,1] S[2,1] T[1,1]").unwrap());
+        let fks = parse_fks(&s, "R[2] -> S, S[1] -> T").unwrap();
+        let star = fk_star(&fks);
+        assert!(star.contains(&ForeignKey::from_names("R", 2, "T")));
+        assert!(star.contains(&ForeignKey::from_names("R", 2, "S")));
+        assert!(star.contains(&ForeignKey::from_names("S", 1, "T")));
+        assert_eq!(star.len(), 3);
+    }
+
+    #[test]
+    fn star_excludes_trivial() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        // S[1]→R, R[1]→S: transitively S[1]→S and R[1]→R are implied but
+        // trivial; they must be excluded.
+        let fks = parse_fks(&s, "S[1] -> R, R[1] -> S").unwrap();
+        let star = fk_star(&fks);
+        assert!(!star.contains(&ForeignKey::from_names("R", 1, "R")));
+        assert!(!star.contains(&ForeignKey::from_names("S", 1, "S")));
+        assert_eq!(star.len(), 2);
+    }
+
+    #[test]
+    fn star_keeps_strong_self_reference() {
+        let s = Arc::new(parse_schema("R[2,1]").unwrap());
+        let fks = parse_fks(&s, "R[2] -> R").unwrap();
+        let star = fk_star(&fks);
+        assert!(star.contains(&ForeignKey::from_names("R", 2, "R")));
+    }
+
+    #[test]
+    fn star_of_closed_set_is_identity() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1] T[1,1]").unwrap());
+        let fks = parse_fks(&s, "R[2] -> S, S[1] -> T, R[2] -> T").unwrap();
+        let star = fk_star(&fks);
+        assert_eq!(star, fk_star(&star));
+    }
+}

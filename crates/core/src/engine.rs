@@ -1,0 +1,109 @@
+//! The certain-answer engine: the user-facing entry point for evaluating
+//! `CERTAINTY(q, FK)` on concrete databases when the problem is in FO.
+
+use crate::classify::{classify, Classification, NotFoReason};
+use crate::flatten::{flatten, FlattenError};
+use crate::pipeline::RewritePlan;
+use crate::problem::Problem;
+use cqa_fo::Formula;
+use cqa_model::Instance;
+use std::fmt;
+
+/// An engine wrapping a constructed rewriting plan.
+///
+/// ```
+/// use cqa_core::{CertainEngine, Problem};
+/// use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+/// let q = parse_query(&schema, "N('c',y), O(y), P(y)").unwrap();
+/// let fks = parse_fks(&schema, "N[2] -> O").unwrap();
+/// let engine = CertainEngine::try_new(Problem::new(q, fks).unwrap()).unwrap();
+///
+/// let db = parse_instance(&schema, "N(c,a) N(c,b) O(a) P(a) P(b)").unwrap();
+/// assert!(engine.answer(&db)); // the paper's §8 yes-instance
+/// ```
+#[derive(Clone, Debug)]
+pub struct CertainEngine {
+    plan: RewritePlan,
+}
+
+impl CertainEngine {
+    /// Classifies the problem; returns the engine when it is in FO, or the
+    /// Theorem 12 hardness reason otherwise.
+    pub fn try_new(problem: Problem) -> Result<CertainEngine, NotFoReason> {
+        match classify(&problem) {
+            Classification::Fo(plan) => Ok(CertainEngine { plan }),
+            Classification::NotFo(reason) => Err(reason),
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &RewritePlan {
+        &self.plan
+    }
+
+    /// The problem.
+    pub fn problem(&self) -> &Problem {
+        &self.plan.problem
+    }
+
+    /// Is `db` a yes-instance of `CERTAINTY(q, FK)`?
+    pub fn answer(&self, db: &Instance) -> bool {
+        self.plan.answer(db)
+    }
+
+    /// The consistent first-order rewriting as one closed formula.
+    pub fn formula(&self) -> Result<Formula, FlattenError> {
+        flatten(&self.plan)
+    }
+
+    /// The rewriting rendered as SQL (active-domain translation).
+    pub fn sql(&self) -> Result<(String, String), FlattenError> {
+        let f = self.formula()?;
+        Ok(cqa_fo::to_sql(self.problem().query().schema(), &f))
+    }
+}
+
+impl fmt::Display for CertainEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn engine_round_trip() {
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+        let q = parse_query(&s, "N('c',y), O(y), P(y)").unwrap();
+        let fks = parse_fks(&s, "N[2] -> O").unwrap();
+        let engine = CertainEngine::try_new(Problem::new(q, fks).unwrap()).unwrap();
+
+        let yes = parse_instance(&s, "N(c,a) N(c,b) O(a) P(a) P(b)").unwrap();
+        assert!(engine.answer(&yes));
+        let no = parse_instance(&s, "N(c,a) N(c,b) O(a) P(a)").unwrap();
+        assert!(!engine.answer(&no));
+
+        let f = engine.formula().unwrap();
+        assert!(f.is_closed());
+        let (ddl, expr) = engine.sql().unwrap();
+        assert!(ddl.contains("CREATE VIEW adom"));
+        assert!(expr.contains("EXISTS"));
+    }
+
+    #[test]
+    fn hard_problem_rejected_with_reason() {
+        let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        let err = CertainEngine::try_new(Problem::new(q, fks).unwrap()).unwrap_err();
+        assert!(err.nl_hard());
+        assert!(!err.l_hard());
+    }
+}

@@ -1,0 +1,128 @@
+//! The foreign-key taxonomy of the reduction pipeline (paper Fig. 4).
+//!
+//! A strong key `R[i] → S` is typed by the obedience of its endpoint atoms:
+//! `o →str o`, `d →str d`, or `d →str o`. The type `o →str d` cannot occur
+//! (§8: if the source is obedient and the key strong, the target is obedient
+//! too); it is represented for diagnostics and asserted unreachable in the
+//! pipeline. Weak keys have the single type `weak`; trivial keys are listed
+//! separately because they are dropped up front.
+
+use crate::obedience::atom_obedient;
+use cqa_model::{FkSet, ForeignKey, Query};
+use std::fmt;
+
+/// The type of a foreign key relative to `(q, FK)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FkType {
+    /// `R[1] → R` over signature `[n,1]`: never falsifiable.
+    Trivial,
+    /// `i ≤ k`: the key overlaps the primary key.
+    Weak,
+    /// Strong, both atoms obedient (removed by Lemma 37).
+    ObedientObedient,
+    /// Strong, both atoms disobedient (removed by Lemma 39).
+    DisobedientDisobedient,
+    /// Strong, source disobedient, target obedient (removed by Lemma 40/45;
+    /// the only type that can be block-interfering).
+    DisobedientObedient,
+    /// Strong, source obedient, target disobedient — impossible per §8;
+    /// reported for diagnostics only.
+    ObedientDisobedient,
+}
+
+impl fmt::Display for FkType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FkType::Trivial => "trivial",
+            FkType::Weak => "weak",
+            FkType::ObedientObedient => "o →str o",
+            FkType::DisobedientDisobedient => "d →str d",
+            FkType::DisobedientObedient => "d →str o",
+            FkType::ObedientDisobedient => "o →str d (impossible)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Types a foreign key relative to `(q, fks)`.
+pub fn fk_type(q: &Query, fks: &FkSet, fk: &ForeignKey) -> FkType {
+    let schema = fks.schema();
+    if fk.is_trivial(schema) {
+        return FkType::Trivial;
+    }
+    if fk.is_weak(schema) {
+        return FkType::Weak;
+    }
+    let src = atom_obedient(q, fks, fk.from);
+    let dst = atom_obedient(q, fks, fk.to);
+    match (src, dst) {
+        (true, true) => FkType::ObedientObedient,
+        (false, false) => FkType::DisobedientDisobedient,
+        (false, true) => FkType::DisobedientObedient,
+        (true, false) => FkType::ObedientDisobedient,
+    }
+}
+
+/// Types every key of the set (for reports and the E12 experiment).
+pub fn type_table(q: &Query, fks: &FkSet) -> Vec<(ForeignKey, FkType)> {
+    fks.iter().map(|fk| (*fk, fk_type(q, fks, fk))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn weak_and_trivial() {
+        let s = Arc::new(parse_schema("R[2,1] S[1,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(x)").unwrap();
+        let fks = parse_fks(&s, "R[1] -> S").unwrap();
+        let fk = ForeignKey::from_names("R", 1, "S");
+        assert_eq!(fk_type(&q, &fks, &fk), FkType::Weak);
+
+        let s2 = Arc::new(parse_schema("S[2,1]").unwrap());
+        let q2 = parse_query(&s2, "S(x,y)").unwrap();
+        let fks2 = parse_fks(&s2, "S[1] -> S").unwrap();
+        assert_eq!(
+            fk_type(&q2, &fks2, &ForeignKey::from_names("S", 1, "S")),
+            FkType::Trivial
+        );
+    }
+
+    #[test]
+    fn example_13_types() {
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        let fk = ForeignKey::from_names("N", 3, "O");
+
+        // q1: o →str o (both obedient).
+        let q1 = parse_query(&s, "N(x,u,y), O(y,w)").unwrap();
+        assert_eq!(fk_type(&q1, &fks, &fk), FkType::ObedientObedient);
+
+        // q2: d →str o.
+        let q2 = parse_query(&s, "N(x,'c',y), O(y,w)").unwrap();
+        assert_eq!(fk_type(&q2, &fks, &fk), FkType::DisobedientObedient);
+
+        // q3: d →str d.
+        let q3 = parse_query(&s, "N(x,'c',y), O(y,'c')").unwrap();
+        assert_eq!(fk_type(&q3, &fks, &fk), FkType::DisobedientDisobedient);
+    }
+
+    #[test]
+    fn type_table_lists_all() {
+        let s = Arc::new(parse_schema("N[3,1] O[1,1] S[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), O(y), S(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O, N[3] -> S").unwrap();
+        let table = type_table(&q, &fks);
+        assert_eq!(table.len(), 2);
+        assert!(table.iter().all(|(_, t)| *t == FkType::DisobedientObedient));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FkType::DisobedientObedient.to_string(), "d →str o");
+        assert_eq!(FkType::Weak.to_string(), "weak");
+    }
+}

@@ -1,0 +1,345 @@
+//! The paper's hardness-side constructions, as instance generators:
+//!
+//! * **Lemma 14 / Appendix C** — for a query with a cyclic attack graph
+//!   (atoms `F ⇝ G ⇝ F`), the valuations `Θᵃᵇ` and the database `db_{R,S}`
+//!   on which `CERTAINTY(q, PK)` stays L-hard, together with the lemma's
+//!   claim that adding foreign keys changes nothing:
+//!   `db_{R,S}` is a no-instance of `CERTAINTY(q, PK)` iff it is a
+//!   no-instance of `CERTAINTY(q, PK ∪ FK)` — tested against the oracle.
+//!
+//! * **Lemma 15 / Appendix D.2** — the generic first-order reduction from
+//!   directed reachability to the complement of `CERTAINTY(q, FK)` for
+//!   *any* block-interfering pair, covering both Definition 9 cases: (3a)
+//!   fresh values at the disobedient remainder positions, (3b) the
+//!   `θ_u`-indexed copies whose Gaifman connection plays the role of the
+//!   distinguishing constant. Figure 3 is the specialization to
+//!   `q = {N(x,'c',y), O(y)}`.
+
+use crate::interference::{InterferenceWitness, WitnessKind};
+use cqa_attack::fd::fixed_vars;
+use cqa_model::{Atom, Cst, Fact, FkSet, Instance, Query, RelName, Term, Var};
+use std::collections::BTreeSet;
+
+/// Errors from the hardness generators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HardnessError(pub String);
+
+impl std::fmt::Display for HardnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hardness construction failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for HardnessError {}
+
+// ───────────────────────── Lemma 15 (Appendix D.2) ─────────────────────────
+
+/// The generic Lemma 15 reduction: given a block-interfering witness for
+/// `(q, fks)` and a directed graph with source `s` and target `t` (an edge
+/// `t → s` is added internally, as in the proof), builds a database that is
+/// a **no**-instance of `CERTAINTY(q, FK)` iff `t` is reachable from `s`.
+pub fn lemma15_reduction(
+    q: &Query,
+    fks: &FkSet,
+    witness: &InterferenceWitness,
+    vertices: &[usize],
+    edges: &[(usize, usize)],
+    s: usize,
+    t: usize,
+) -> Result<Instance, HardnessError> {
+    if s == t {
+        return Err(HardnessError("source and target must differ".into()));
+    }
+    let n_rel = witness.fk.from;
+    let o_rel = witness.fk.to;
+    let j = witness.fk.pos;
+    let n_atom = q
+        .atom(n_rel)
+        .ok_or_else(|| HardnessError(format!("{n_rel} not in query")))?
+        .clone();
+    q.atom(o_rel)
+        .ok_or_else(|| HardnessError(format!("{o_rel} not in query")))?;
+    let sig = q.sig(n_rel);
+
+    // C = fixed variables; one shared constant for all of them.
+    let fixed = fixed_vars(q);
+    let shared = Cst::new("cFix");
+    let theta = |z: Var, u: usize| -> Cst {
+        if fixed.contains(&z) {
+            shared
+        } else {
+            Cst::new(&format!("c_{z}_{u}"))
+        }
+    };
+    let theta_term = |term: Term, u: usize| -> Cst {
+        match term {
+            Term::Cst(c) => c,
+            Term::Var(z) => theta(z, u),
+        }
+    };
+    let apply = |atom: &Atom, u: usize| -> Fact {
+        Fact::new(
+            atom.rel,
+            atom.terms.iter().map(|&trm| theta_term(trm, u)).collect::<Vec<Cst>>(),
+        )
+    };
+
+    // G := input graph plus the edge t → s (the proof's cycle closure).
+    let mut all_edges: Vec<(usize, usize)> = edges.to_vec();
+    all_edges.push((t, s));
+
+    let mut db = Instance::new(q.schema().clone());
+    for &u in vertices {
+        for atom in q.atoms() {
+            if u != s && atom.rel == o_rel {
+                continue; // θ_u(q) ∖ {θ_u(O-atom)} for u ≠ s
+            }
+            db.insert(apply(atom, u))
+                .map_err(|e| HardnessError(e.to_string()))?;
+        }
+    }
+
+    // Pe: positions that receive fresh constants in the edge facts.
+    let pe: BTreeSet<usize> = match witness.kind {
+        WitnessKind::DisobedientRemainder => sig
+            .nonkey_positions()
+            .filter(|&i| i != j)
+            .collect(),
+        WitnessKind::KeyConnected { .. } => BTreeSet::new(),
+    };
+
+    for &(u, v) in &all_edges {
+        let args: Vec<Cst> = (1..=sig.arity)
+            .map(|i| {
+                let term = n_atom.terms[i - 1];
+                if pe.contains(&i) {
+                    Cst::new(&format!("f_{u}_{v}_{i}"))
+                } else if i == j {
+                    theta_term(term, v)
+                } else {
+                    theta_term(term, u)
+                }
+            })
+            .collect();
+        db.insert(Fact::new(n_rel, args))
+            .map_err(|e| HardnessError(e.to_string()))?;
+    }
+    let _ = fks; // the foreign keys define the problem; the db uses only q
+    Ok(db)
+}
+
+// ───────────────────────── Lemma 14 (Appendix C) ──────────────────────────
+
+/// The Appendix C valuation `Θᵃᵇ` and database `db_{R,S}` for a query whose
+/// attack graph has a 2-cycle `F ⇝ G ⇝ F`. `r_pairs`/`s_pairs` are the
+/// binary relations `R` and `S` of the construction.
+pub fn lemma14_instance(
+    q: &Query,
+    f_rel: RelName,
+    g_rel: RelName,
+    r_pairs: &[(usize, usize)],
+    s_pairs: &[(usize, usize)],
+) -> Result<Instance, HardnessError> {
+    let f_plus = cqa_attack::f_plus(q, f_rel);
+    let g_plus = cqa_attack::f_plus(q, g_rel);
+
+    let theta = |x: Var, a: usize, b: usize| -> Cst {
+        let in_f = f_plus.contains(&x);
+        let in_g = g_plus.contains(&x);
+        match (in_f, in_g) {
+            (true, false) => Cst::new(&format!("a{a}")),
+            (false, true) => Cst::new(&format!("b{b}")),
+            (true, true) => Cst::new("bot"),
+            (false, false) => Cst::new(&format!("p{a}_{b}")),
+        }
+    };
+    let apply = |atom: &Atom, a: usize, b: usize| -> Fact {
+        Fact::new(
+            atom.rel,
+            atom.terms
+                .iter()
+                .map(|trm| match trm {
+                    Term::Cst(c) => *c,
+                    Term::Var(x) => theta(*x, a, b),
+                })
+                .collect::<Vec<Cst>>(),
+        )
+    };
+
+    let mut db = Instance::new(q.schema().clone());
+    let union: Vec<(usize, usize)> = r_pairs.iter().chain(s_pairs.iter()).copied().collect();
+    for atom in q.atoms() {
+        if atom.rel == f_rel || atom.rel == g_rel {
+            continue;
+        }
+        for &(a, b) in &union {
+            db.insert(apply(atom, a, b))
+                .map_err(|e| HardnessError(e.to_string()))?;
+        }
+    }
+    let f_atom = q
+        .atom(f_rel)
+        .ok_or_else(|| HardnessError(format!("{f_rel} not in query")))?;
+    for &(a, b) in r_pairs {
+        db.insert(apply(f_atom, a, b))
+            .map_err(|e| HardnessError(e.to_string()))?;
+    }
+    let g_atom = q
+        .atom(g_rel)
+        .ok_or_else(|| HardnessError(format!("{g_rel} not in query")))?;
+    for &(a, b) in s_pairs {
+        db.insert(apply(g_atom, a, b))
+            .map_err(|e| HardnessError(e.to_string()))?;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::block_interference;
+    use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+    use cqa_repair::{CertaintyOracle, OracleOutcome};
+    use std::sync::Arc;
+
+    fn reachable(vertices: &[usize], edges: &[(usize, usize)], s: usize, t: usize) -> bool {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut stack = vec![s];
+        seen.insert(s);
+        while let Some(u) = stack.pop() {
+            if u == t {
+                return true;
+            }
+            for &(a, b) in edges {
+                if a == u && seen.insert(b) {
+                    stack.push(b);
+                }
+            }
+        }
+        let _ = vertices;
+        false
+    }
+
+    fn verify_lemma15(schema: &str, query: &str, fks_text: &str) {
+        let s = Arc::new(parse_schema(schema).unwrap());
+        let q = parse_query(&s, query).unwrap();
+        let fks = parse_fks(&s, fks_text).unwrap();
+        let witness = block_interference(&q, &fks)
+            .into_iter()
+            .next()
+            .expect("pair must be block-interfering");
+
+        // Small DAGs: path, fork, disconnected.
+        let graphs: Vec<(Vec<usize>, Vec<(usize, usize)>, usize, usize)> = vec![
+            (vec![0, 1], vec![(0, 1)], 0, 1),
+            (vec![0, 1], vec![], 0, 1),
+            (vec![0, 1, 2], vec![(0, 1), (1, 2)], 0, 2),
+            (vec![0, 1, 2], vec![(0, 1)], 0, 2),
+            (vec![0, 1, 2, 3], vec![(0, 1), (0, 2), (2, 3)], 0, 3),
+        ];
+        let oracle = CertaintyOracle::new();
+        for (vertices, edges, src, dst) in graphs {
+            let db = lemma15_reduction(&q, &fks, &witness, &vertices, &edges, src, dst).unwrap();
+            let expected_no = reachable(&vertices, &edges, src, dst);
+            match oracle.is_certain(&db, &q, &fks) {
+                OracleOutcome::Certain => assert!(
+                    !expected_no,
+                    "{query}: certain but s⇝t holds; edges {edges:?}, db {db}"
+                ),
+                OracleOutcome::NotCertain(w) => assert!(
+                    expected_no,
+                    "{query}: falsifying repair {w} but no s⇝t path; edges {edges:?}, db {db}"
+                ),
+                OracleOutcome::Inconclusive(why) => {
+                    panic!("oracle inconclusive on {db}: {why}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma15_case_3a_section4_query() {
+        verify_lemma15("N[3,1] O[1,1]", "N(x,'c',y), O(y)", "N[3] -> O");
+    }
+
+    #[test]
+    fn lemma15_case_3a_repeated_variable_variant() {
+        // §4's remark: N(x,y,y) also interferes via (3a).
+        verify_lemma15("N[3,1] O[1,1]", "N(x,y,y), O(y)", "N[3] -> O");
+    }
+
+    #[test]
+    fn lemma15_case_3b_example_11() {
+        // Example 11: interference via (3b); the reduction uses the θ_u
+        // copies of T in place of the constant.
+        verify_lemma15("Np[2,1] O[1,1] T[2,1]", "Np(x,y), O(y), T(x,y)", "Np[2] -> O");
+    }
+
+    #[test]
+    fn lemma15_rejects_s_equal_t() {
+        let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        let w = block_interference(&q, &fks).into_iter().next().unwrap();
+        assert!(lemma15_reduction(&q, &fks, &w, &[0], &[], 0, 0).is_err());
+    }
+
+    #[test]
+    fn lemma14_fk_invariance() {
+        // q = {R(x,y), S(y,x)} with FK ⊆ {R[2]→S, S[2]→R}: on db_{R,S},
+        // certainty with and without foreign keys coincides (the heart of
+        // Lemma 14's proof).
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,x)").unwrap();
+        let no_fk = cqa_model::FkSet::empty(s.clone());
+        let with_fk = parse_fks(&s, "R[2] -> S").unwrap();
+        let both_fk = parse_fks(&s, "R[2] -> S, S[2] -> R").unwrap();
+
+        let pair_sets: Vec<(Vec<(usize, usize)>, Vec<(usize, usize)>)> = vec![
+            (vec![(0, 0)], vec![(0, 0)]),
+            (vec![(0, 0), (0, 1)], vec![(0, 0)]),
+            (vec![(0, 0)], vec![(0, 0), (1, 0)]),
+            (vec![(0, 0), (1, 1)], vec![(0, 0), (1, 1)]),
+            (vec![(0, 1)], vec![(1, 0)]),
+        ];
+        let oracle = CertaintyOracle::new();
+        for (r_pairs, s_pairs) in pair_sets {
+            let db = lemma14_instance(
+                &q,
+                RelName::new("R"),
+                RelName::new("S"),
+                &r_pairs,
+                &s_pairs,
+            )
+            .unwrap();
+            let base = oracle.is_certain(&db, &q, &no_fk).as_bool();
+            for fks in [&with_fk, &both_fk] {
+                let with = oracle.is_certain(&db, &q, fks).as_bool();
+                if let (Some(a), Some(b)) = (base, with) {
+                    assert_eq!(
+                        a, b,
+                        "Lemma 14 invariance broken on R={r_pairs:?} S={s_pairs:?} ({db})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma14_theta_structure() {
+        // Θᵃᵇ sends F⁺∖G⁺ to a-constants and G⁺∖F⁺ to b-constants.
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,x)").unwrap();
+        let db = lemma14_instance(
+            &q,
+            RelName::new("R"),
+            RelName::new("S"),
+            &[(3, 7)],
+            &[],
+        )
+        .unwrap();
+        // F⁺ = {x}, G⁺ = {y}: Θ³₇(R(x,y)) = R(a3, b7).
+        assert!(db.contains(&Fact::from_names("R", &["a3", "b7"])));
+        assert_eq!(db.len(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Block-interference (paper Definition 9) — the new obstruction to
+//! first-order rewritability introduced by foreign keys.
+//!
+//! A strong foreign key `N[j] → O` of `FK*` is *block-interfering* in `q`
+//! when choosing a fact inside an `N`-block can force an `O`-fact insertion
+//! that re-activates *another* `N`-block, so that certainty propagates block
+//! to block (the §4 chain database) — beyond the locality of first-order
+//! logic. Formally, with `F = N(t₁…tₙ)` and `O(t_j, ⃗y)` the `O`-atom:
+//!
+//! 1. the `O`-atom is obedient;
+//! 2. `t_j` is a variable of `V = {v ∈ vars(q∖{F}) | K(q) ⊭ ∅→{v}}`;
+//! 3. (a) `P_N ∖ {(N,j)}` is disobedient, or (b) some key term `tᵢ` of `N`
+//!    is a variable connected to `t_j` in the Gaifman graph `G_V(q∖{F})`.
+
+use crate::depgraph::fk_star;
+use crate::obedience::{atom_obedient, is_obedient_set, nonkey_positions};
+use cqa_attack::fd::fixed_vars;
+use cqa_attack::gaifman::connected_in;
+use cqa_model::{FkSet, ForeignKey, Position, Query, Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How Definition 9's condition 3 was met.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WitnessKind {
+    /// (3a): `P_N ∖ {(N, j)}` is not obedient.
+    DisobedientRemainder,
+    /// (3b): key term at this 1-based position connects to `t_j` in
+    /// `G_V(q′)`.
+    KeyConnected {
+        /// The key position `i` whose term connects to `t_j`.
+        key_pos: usize,
+    },
+}
+
+/// A block-interfering foreign key with its justification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterferenceWitness {
+    /// The strong foreign key of `FK*` that interferes.
+    pub fk: ForeignKey,
+    /// Which branch of condition 3 holds.
+    pub kind: WitnessKind,
+    /// The interfering variable `t_j`.
+    pub var: Var,
+}
+
+impl fmt::Display for InterferenceWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            WitnessKind::DisobedientRemainder => write!(
+                f,
+                "{} is block-interfering via (3a): the remaining non-key positions of {} are disobedient (variable {})",
+                self.fk, self.fk.from, self.var
+            ),
+            WitnessKind::KeyConnected { key_pos } => write!(
+                f,
+                "{} is block-interfering via (3b): key position ({}, {}) connects to {} in G_V(q′)",
+                self.fk, self.fk.from, key_pos, self.var
+            ),
+        }
+    }
+}
+
+/// Returns every block-interfering foreign key of `FK*` with its witness;
+/// `(q, FK)` *has block-interference* iff the result is non-empty.
+pub fn block_interference(q: &Query, fks: &FkSet) -> Vec<InterferenceWitness> {
+    let star = fk_star(fks);
+    let mut out = Vec::new();
+    for fk in star.strong() {
+        if let Some(w) = interferes(q, fks, &fk) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+fn interferes(q: &Query, fks: &FkSet, fk: &ForeignKey) -> Option<InterferenceWitness> {
+    let n_atom = q.atom(fk.from)?;
+    q.atom(fk.to)?;
+
+    // Condition 1: the O-atom is obedient.
+    if !atom_obedient(q, fks, fk.to) {
+        return None;
+    }
+
+    // Condition 2: t_j is a variable of V.
+    let tj = match n_atom.term_at(fk.pos)? {
+        Term::Var(v) => v,
+        Term::Cst(_) => return None,
+    };
+    let fixed = fixed_vars(q);
+    if fixed.contains(&tj) {
+        return None;
+    }
+    let q_prime = q.without(fk.from);
+    if !q_prime.vars().contains(&tj) {
+        return None;
+    }
+
+    // Condition 3a: P_N ∖ {(N, j)} disobedient.
+    let mut pa = nonkey_positions(q, fk.from);
+    pa.remove(&Position::new(fk.from, fk.pos));
+    if !is_obedient_set(q, fks, &pa) {
+        return Some(InterferenceWitness {
+            fk: *fk,
+            kind: WitnessKind::DisobedientRemainder,
+            var: tj,
+        });
+    }
+
+    // Condition 3b: some key term connects to t_j in G_V(q′).
+    let v_set: BTreeSet<Var> = q_prime
+        .vars()
+        .into_iter()
+        .filter(|v| !fixed.contains(v))
+        .collect();
+    let sig = q.sig(fk.from);
+    for i in sig.key_positions() {
+        if let Some(Term::Var(ti)) = n_atom.term_at(i) {
+            if connected_in(&q_prime, &v_set, ti, tj) {
+                return Some(InterferenceWitness {
+                    fk: *fk,
+                    kind: WitnessKind::KeyConnected { key_pos: i },
+                    var: tj,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn example_10_interference_via_3a() {
+        // q = {N(x,'c',y), O(y)}, FK = {N[3]→O}: block-interfering via (3a)
+        // because {(N,2)} is disobedient (Example 10).
+        let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        let ws = block_interference(&q, &fks);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].kind, WitnessKind::DisobedientRemainder);
+        assert_eq!(ws[0].var, Var::new("y"));
+    }
+
+    #[test]
+    fn example_10_variant_with_repeated_variable() {
+        // §4 remark: replacing N(x,'c',y) by N(x,y,y) keeps interference
+        // (two occurrences of the same variable distinguish block facts).
+        let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,y,y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        assert!(!block_interference(&q, &fks).is_empty());
+    }
+
+    #[test]
+    fn example_10_variant_fresh_variable_no_interference() {
+        // §4 remark: N(x,z,y) with orphan z removes the interference.
+        let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,z,y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        assert!(block_interference(&q, &fks).is_empty());
+    }
+
+    #[test]
+    fn example_10_variant_selective_o_atom_no_interference() {
+        // §4 remark: replacing O(y) by O(y,'c') or O(y,y) removes the
+        // interference (O becomes disobedient); O(y,w) keeps it.
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+
+        let q_const = parse_query(&s, "N(x,'c',y), O(y,'c')").unwrap();
+        assert!(block_interference(&q_const, &fks).is_empty());
+
+        let q_rep = parse_query(&s, "N(x,'c',y), O(y,y)").unwrap();
+        assert!(block_interference(&q_rep, &fks).is_empty());
+
+        let q_var = parse_query(&s, "N(x,'c',y), O(y,w)").unwrap();
+        assert!(!block_interference(&q_var, &fks).is_empty());
+    }
+
+    #[test]
+    fn example_11_interference_via_3b() {
+        // q0 = {N'(x,y), O(y), T(x,y)}, FK = {N'[2]→O}: the T-atom connects
+        // x and y, giving interference via (3b).
+        let s = Arc::new(parse_schema("Np[2,1] O[1,1] T[2,1]").unwrap());
+        let q = parse_query(&s, "Np(x,y), O(y), T(x,y)").unwrap();
+        let fks = parse_fks(&s, "Np[2] -> O").unwrap();
+        let ws = block_interference(&q, &fks);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].kind, WitnessKind::KeyConnected { key_pos: 1 });
+    }
+
+    #[test]
+    fn example_11_v_set_restriction() {
+        // Example 11's closing remark: adding R('a', x) fixes x
+        // (K(q) ⊨ ∅→x), shrinking V and killing the (3b) connection.
+        let s = Arc::new(parse_schema("Np[2,1] O[1,1] T[2,1] R[2,1]").unwrap());
+        let q = parse_query(&s, "Np(x,y), O(y), T(x,y), R('a',x)").unwrap();
+        let fks = parse_fks(&s, "Np[2] -> O").unwrap();
+        assert!(block_interference(&q, &fks).is_empty());
+    }
+
+    #[test]
+    fn example_13_classifications() {
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+
+        // q1: no interference ((N,2) is obedient).
+        let q1 = parse_query(&s, "N(x,u,y), O(y,w)").unwrap();
+        assert!(block_interference(&q1, &fks).is_empty());
+
+        // q2: interference (constant at (N,2)).
+        let q2 = parse_query(&s, "N(x,'c',y), O(y,w)").unwrap();
+        assert!(!block_interference(&q2, &fks).is_empty());
+
+        // q3: no interference (O-atom disobedient).
+        let q3 = parse_query(&s, "N(x,'c',y), O(y,'c')").unwrap();
+        assert!(block_interference(&q3, &fks).is_empty());
+    }
+
+    #[test]
+    fn weak_keys_never_interfere() {
+        let s = Arc::new(parse_schema("R[2,1] S[1,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(x)").unwrap();
+        let fks = parse_fks(&s, "R[1] -> S").unwrap();
+        assert!(block_interference(&q, &fks).is_empty());
+    }
+
+    #[test]
+    fn interference_through_fk_star() {
+        // N[3]→S weak into S, S[1]→O: FK* contains the strong N[3]→O.
+        // With a constant at (N,2) and obedient O, interference arises
+        // through the *implied* key.
+        let s = Arc::new(parse_schema("N[3,1] S[1,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), S(y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> S, S[1] -> O").unwrap();
+        let ws = block_interference(&q, &fks);
+        assert!(
+            ws.iter().any(|w| w.fk == ForeignKey::from_names("N", 3, "O")
+                || w.fk == ForeignKey::from_names("N", 3, "S")),
+            "interference must be found through FK*: {ws:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_tj_blocks_interference() {
+        // A constant key on N fixes y via K(q): ∅ → y, so condition 2 fails.
+        let s = Arc::new(parse_schema("N[3,2] O[1,1]").unwrap());
+        let q = parse_query(&s, "N('a','b',y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        assert!(block_interference(&q, &fks).is_empty());
+    }
+
+    #[test]
+    fn witness_display() {
+        let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        let ws = block_interference(&q, &fks);
+        assert!(ws[0].to_string().contains("block-interfering"));
+    }
+}

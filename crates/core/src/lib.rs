@@ -1,0 +1,50 @@
+//! # cqa-core
+//!
+//! The paper's primary contribution, implemented end to end:
+//! **deciding whether `CERTAINTY(q, FK)` is in FO, and constructing the
+//! consistent first-order rewriting when it is** (Hannula & Wijsen,
+//! *A Dichotomy in Consistent Query Answering for Primary Keys and Unary
+//! Foreign Keys*, PODS 2022).
+//!
+//! Main entry points:
+//!
+//! * [`problem::Problem`] — a validated pair `(q, FK)` with `FK` *about* `q`;
+//! * [`classify::classify`] — Theorem 12: FO (with a constructed
+//!   [`pipeline::RewritePlan`]) vs. L-hard / NL-hard with witnesses;
+//! * [`engine::CertainEngine`] — evaluates certain answers through the plan;
+//! * [`flatten`] — folds a plan into one closed first-order sentence.
+//!
+//! Internal machinery, each mapped to its definition in the paper:
+//!
+//! | module | paper |
+//! |--------|-------|
+//! | [`depgraph`] | dependency graph of `FK`, closures `P_FK` (§3.2) + implication closure `FK*` |
+//! | [`obedience`] | obedience, Definition 5 / Theorem 7 (syntactic characterization) |
+//! | [`interference`] | block-interference, Definition 9 |
+//! | [`fk_types`] | the `weak` / `o→o` / `d→d` / `d→o` taxonomy (Fig. 4) |
+//! | [`pipeline`] | the Appendix E reduction pipeline (Lemmas 36, 37, 39, 40, 45) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod answers;
+pub mod classify;
+pub mod depgraph;
+pub mod engine;
+pub mod fk_types;
+pub mod flatten;
+pub mod hardness;
+pub mod interference;
+pub mod obedience;
+pub mod pipeline;
+pub mod problem;
+
+pub use answers::{certain_answers, AnswerError};
+pub use classify::{classify, Classification, NotFoReason};
+pub use depgraph::{fk_star, DepGraph};
+pub use engine::CertainEngine;
+pub use hardness::{lemma14_instance, lemma15_reduction};
+pub use interference::{block_interference, InterferenceWitness};
+pub use obedience::{atom_obedient, is_obedient_set, qfk_atoms};
+pub use pipeline::RewritePlan;
+pub use problem::Problem;

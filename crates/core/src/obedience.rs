@@ -1,0 +1,257 @@
+//! Obedience (paper Definition 5, decided via Theorem 7).
+//!
+//! A set `P` of non-primary-key positions of an atom `F = R(…)` is
+//! *obedient* when replacing the terms at `P` by fresh variables preserves
+//! the query up to `FK`-equivalence — intuitively, the values at those
+//! positions "do not matter" because foreign keys can always regenerate
+//! suitable witnesses. Theorem 7 characterizes obedience syntactically over
+//! the dependency graph of `FK`:
+//!
+//! 1. no position of `P` lies on a cycle;
+//! 2. no constant occurs in `q` at a position of the closure `P_FK`;
+//! 3. no variable occurs both at a position of `P_FK` and at one of its
+//!    complement `P_FK^co`;
+//! 4. no variable occurs at two distinct non-primary-key positions of
+//!    `P_FK`.
+//!
+//! The semantic Definition 5 is implemented independently in the integration
+//! tests via the bounded chase of `cqa-repair`, and property-tested to agree
+//! with this syntactic test (ablation `closure_ablation` in DESIGN.md).
+
+use crate::depgraph::DepGraph;
+use cqa_model::{FkSet, Position, Query, RelName, Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `q^FK_P`: the atoms of `q` whose relation has a position in the closure
+/// `P_FK` (Definition 5).
+pub fn qfk_atoms(q: &Query, fks: &FkSet, p: &BTreeSet<Position>) -> BTreeSet<RelName> {
+    let g = DepGraph::of(fks);
+    g.closure(p).into_iter().map(|pos| pos.rel).filter(|r| q.contains(*r)).collect()
+}
+
+/// `q^FK_R` for the `rel`-atom: shorthand for `q^FK_P` with `P` the set of
+/// all non-primary-key positions of `rel`.
+pub fn qfk_atoms_of(q: &Query, fks: &FkSet, rel: RelName) -> BTreeSet<RelName> {
+    qfk_atoms(q, fks, &nonkey_positions(q, rel))
+}
+
+/// The non-primary-key positions of the `rel`-atom of `q`.
+pub fn nonkey_positions(q: &Query, rel: RelName) -> BTreeSet<Position> {
+    match q.atom(rel) {
+        Some(_) => {
+            let sig = q.sig(rel);
+            sig.nonkey_positions().map(|i| Position::new(rel, i)).collect()
+        }
+        None => BTreeSet::new(),
+    }
+}
+
+/// Theorem 7: whether the position set `P` (non-primary-key positions of a
+/// single atom) is obedient over `FK` and `q`.
+pub fn is_obedient_set(q: &Query, fks: &FkSet, p: &BTreeSet<Position>) -> bool {
+    if p.is_empty() {
+        return true;
+    }
+    let g = DepGraph::of(fks);
+
+    // (I) no position of P on a cycle.
+    if p.iter().any(|&pos| g.on_cycle(pos)) {
+        return false;
+    }
+
+    let closure = g.closure(p);
+    // Restrict to positions of relations occurring in q (FK is about q, so
+    // closure positions always are; keep the filter for robustness).
+    let closure_in_q: BTreeSet<Position> =
+        closure.into_iter().filter(|pos| q.contains(pos.rel)).collect();
+
+    // (II) no constant at a position of P_FK.
+    for &pos in &closure_in_q {
+        if let Some(Term::Cst(_)) = q.term_at(pos) {
+            return false;
+        }
+    }
+
+    // Variable occurrence maps.
+    let mut in_closure: BTreeMap<Var, Vec<Position>> = BTreeMap::new();
+    let mut in_complement: BTreeSet<Var> = BTreeSet::new();
+    for pos in q.positions() {
+        if let Some(Term::Var(v)) = q.term_at(pos) {
+            if closure_in_q.contains(&pos) {
+                in_closure.entry(v).or_default().push(pos);
+            } else {
+                in_complement.insert(v);
+            }
+        }
+    }
+
+    // (III) no variable at both a P_FK position and a complement position.
+    if in_closure.keys().any(|v| in_complement.contains(v)) {
+        return false;
+    }
+
+    // (IV) no variable at two distinct non-primary-key positions of P_FK.
+    for positions in in_closure.values() {
+        let nonkey_count = positions
+            .iter()
+            .filter(|pos| {
+                let sig = q.sig(pos.rel);
+                !sig.is_key_pos(pos.idx)
+            })
+            .count();
+        if nonkey_count >= 2 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether a single position is obedient (Corollary 8 reduces sets to
+/// singletons; both directions are exposed and property-tested).
+pub fn is_obedient_position(q: &Query, fks: &FkSet, pos: Position) -> bool {
+    is_obedient_set(q, fks, &[pos].into_iter().collect())
+}
+
+/// Whether the `rel`-atom is obedient: the set of **all** its
+/// non-primary-key positions is obedient (Definition 5).
+pub fn atom_obedient(q: &Query, fks: &FkSet, rel: RelName) -> bool {
+    is_obedient_set(q, fks, &nonkey_positions(q, rel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    fn pos(r: &str, i: usize) -> Position {
+        Position::new(RelName::new(r), i)
+    }
+
+    fn rel(r: &str) -> RelName {
+        RelName::new(r)
+    }
+
+    #[test]
+    fn example_6_obedience() {
+        // q = {N(x,'c',y), O(y)}, FK = {N[3]→O}:
+        // {(N,2)} is NOT obedient (constant c in its closure);
+        // {(N,3)} IS obedient; the O-atom is obedient (no non-key positions).
+        let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+
+        assert!(!is_obedient_position(&q, &fks, pos("N", 2)));
+        assert!(is_obedient_position(&q, &fks, pos("N", 3)));
+        assert!(atom_obedient(&q, &fks, rel("O")));
+        // The full N-atom set {(N,2),(N,3)} is therefore disobedient.
+        assert!(!atom_obedient(&q, &fks, rel("N")));
+
+        // q^FK for the two singleton sets (Example 6's computation).
+        let p0: BTreeSet<Position> = [pos("N", 2)].into_iter().collect();
+        assert_eq!(qfk_atoms(&q, &fks, &p0), [rel("N")].into_iter().collect());
+        let p1: BTreeSet<Position> = [pos("N", 3)].into_iter().collect();
+        assert_eq!(
+            qfk_atoms(&q, &fks, &p1),
+            [rel("N"), rel("O")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn corollary_8_set_vs_singletons() {
+        // A set is obedient iff each singleton is (Corollary 8) — exercised
+        // on Example 13's q1 = {N(x,u,y), O(y,w)}.
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let q = parse_query(&s, "N(x,u,y), O(y,w)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        let both: BTreeSet<Position> = [pos("N", 2), pos("N", 3)].into_iter().collect();
+        let set_ok = is_obedient_set(&q, &fks, &both);
+        let singles_ok = is_obedient_position(&q, &fks, pos("N", 2))
+            && is_obedient_position(&q, &fks, pos("N", 3));
+        assert_eq!(set_ok, singles_ok);
+        assert!(set_ok, "q1's N-atom is obedient (Example 13)");
+    }
+
+    #[test]
+    fn example_13_variants() {
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+
+        // q1 = {N(x,u,y), O(y,w)}: O obedient, N obedient ((N,2) holds an
+        // orphan variable).
+        let q1 = parse_query(&s, "N(x,u,y), O(y,w)").unwrap();
+        assert!(atom_obedient(&q1, &fks, rel("O")));
+        assert!(atom_obedient(&q1, &fks, rel("N")));
+
+        // q2 = {N(x,'c',y), O(y,w)}: O obedient, N disobedient (constant).
+        let q2 = parse_query(&s, "N(x,'c',y), O(y,w)").unwrap();
+        assert!(atom_obedient(&q2, &fks, rel("O")));
+        assert!(!atom_obedient(&q2, &fks, rel("N")));
+
+        // q3 = {N(x,'c',y), O(y,'c')}: O disobedient (constant at its
+        // non-key position).
+        let q3 = parse_query(&s, "N(x,'c',y), O(y,'c')").unwrap();
+        assert!(!atom_obedient(&q3, &fks, rel("O")));
+    }
+
+    #[test]
+    fn condition_i_cycles() {
+        // Example 27's FK = {N[2]→N, N[2]→O}: (N,2) lies on a cycle.
+        let s = Arc::new(parse_schema("N[2,1] O[2,1]").unwrap());
+        let q = parse_query(&s, "N(x,x), O(x,y)").unwrap();
+        let fks = parse_fks(&s, "N[2] -> N, N[2] -> O").unwrap();
+        assert!(!is_obedient_position(&q, &fks, pos("N", 2)));
+    }
+
+    #[test]
+    fn condition_iii_shared_variable_with_complement() {
+        // §8's example: q = {N('c',y), O(y), P(y)}, FK = {N[2]→O}: the
+        // closure of (N,2) holds y, which also occurs at (P,1) ∈ co-closure.
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+        let q = parse_query(&s, "N('c',y), O(y), P(y)").unwrap();
+        let fks = parse_fks(&s, "N[2] -> O").unwrap();
+        assert!(!is_obedient_position(&q, &fks, pos("N", 2)));
+        // O and P have no non-key positions: obedient.
+        assert!(atom_obedient(&q, &fks, rel("O")));
+        assert!(atom_obedient(&q, &fks, rel("P")));
+    }
+
+    #[test]
+    fn condition_iv_repeated_in_closure() {
+        // q = {N(x, y), O(y, y)}, FK = {N[2]→O}: closure of (N,2) contains
+        // (O,2) where y appears... build a case where a variable repeats at
+        // two non-key closure positions: O(y, z, z).
+        let s = Arc::new(parse_schema("N[2,1] O[3,1]").unwrap());
+        let q = parse_query(&s, "N(x,y), O(y,z,z)").unwrap();
+        let fks = parse_fks(&s, "N[2] -> O").unwrap();
+        assert!(!is_obedient_position(&q, &fks, pos("N", 2)));
+
+        // With distinct variables the position becomes obedient.
+        let q2 = parse_query(&s, "N(x,y), O(y,z,w)").unwrap();
+        assert!(is_obedient_position(&q2, &fks, pos("N", 2)));
+    }
+
+    #[test]
+    fn atoms_outside_fk_are_value_sensitive() {
+        // An atom not referenced by any FK: replacing its non-key terms with
+        // fresh variables weakens the query, so its positions are
+        // disobedient whenever occupied by a constant or shared variable.
+        let s = Arc::new(parse_schema("T[2,1] N[2,1] O[1,1]").unwrap());
+        let fks = parse_fks(&s, "N[2] -> O").unwrap();
+        let q = parse_query(&s, "T(x,'c'), N(x,y), O(y)").unwrap();
+        assert!(!is_obedient_position(&q, &fks, pos("T", 2)));
+        // An orphan variable at that position is obedient.
+        let q2 = parse_query(&s, "T(x,w), N(x,y), O(y)").unwrap();
+        assert!(is_obedient_position(&q2, &fks, pos("T", 2)));
+    }
+
+    #[test]
+    fn empty_set_is_obedient() {
+        let s = Arc::new(parse_schema("O[1,1] N[2,1]").unwrap());
+        let q = parse_query(&s, "N(x,y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[2] -> O").unwrap();
+        assert!(is_obedient_set(&q, &fks, &BTreeSet::new()));
+        // O has no non-key positions → obedient.
+        assert!(atom_obedient(&q, &fks, rel("O")));
+    }
+}

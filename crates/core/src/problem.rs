@@ -1,0 +1,115 @@
+//! A validated `CERTAINTY(q, FK)` problem.
+
+use cqa_model::{FkSet, ModelError, Query};
+use std::fmt;
+
+/// A pair `(q, FK)` where `q` is a self-join-free Boolean conjunctive query
+/// and `FK` is a set of unary foreign keys *about* `q` (paper §3.2): every
+/// key is satisfied by `q` read with distinct variables as distinct
+/// constants, and every relation of `FK` occurs in `q`.
+///
+/// Construction validates both conditions; e.g. the paper's Proposition 19
+/// pair `({E(x,y)}, {E[2]→E})` is rejected here because it is not about the
+/// query (see §9 for why that case is genuinely open).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Problem {
+    query: Query,
+    fks: FkSet,
+}
+
+impl Problem {
+    /// Validates and builds a problem.
+    pub fn new(query: Query, fks: FkSet) -> Result<Problem, ModelError> {
+        fks.check_about(&query)?;
+        Ok(Problem { query, fks })
+    }
+
+    /// A problem with no foreign keys (plain `CERTAINTY(q)`).
+    pub fn pk_only(query: Query) -> Problem {
+        let fks = FkSet::empty(query.schema().clone());
+        Problem { query, fks }
+    }
+
+    /// The query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The foreign keys.
+    pub fn fks(&self) -> &FkSet {
+        &self.fks
+    }
+
+    /// Classifies this problem per Theorem 12 (convenience for
+    /// [`crate::classify::classify`]).
+    pub fn classify(&self) -> crate::classify::Classification {
+        crate::classify::classify(self)
+    }
+
+    /// The primary-keys-only complexity of `CERTAINTY(q)` (Theorem 2's
+    /// trichotomy), for comparison with the foreign-key classification.
+    pub fn pk_class(&self) -> cqa_attack::PkClass {
+        cqa_attack::classify_pk(&self.query)
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CERTAINTY({}, {})", self.query, self.fks)
+    }
+}
+
+impl fmt::Debug for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn accepts_about_pair() {
+        let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        let p = Problem::new(q, fks).unwrap();
+        assert_eq!(p.fks().len(), 1);
+        assert!(p.to_string().starts_with("CERTAINTY("));
+    }
+
+    #[test]
+    fn rejects_proposition_19_pair() {
+        let s = Arc::new(parse_schema("E[2,1]").unwrap());
+        let q = parse_query(&s, "E(x,y)").unwrap();
+        let fks = parse_fks(&s, "E[2] -> E").unwrap();
+        assert!(Problem::new(q, fks).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_reference_atom() {
+        // §1: FK0 is not about {DOCS(x,t,'2016'), R(x,'o1')} because the
+        // AUTHORS atom is missing.
+        let s = Arc::new(parse_schema("DOCS[3,1] R[2,2] AUTHORS[3,1]").unwrap());
+        let q = parse_query(&s, "DOCS(x, t, 2016), R(x, 'o1')").unwrap();
+        let fks = parse_fks(&s, "R[1] -> DOCS, R[2] -> AUTHORS").unwrap();
+        assert!(Problem::new(q, fks).is_err());
+
+        // The full three-atom formulation q1 is accepted.
+        let q1 = parse_query(&s, "DOCS(x, t, 2016), R(x, 'o1'), AUTHORS('o1', u, z)").unwrap();
+        let fks1 = parse_fks(&s, "R[1] -> DOCS, R[2] -> AUTHORS").unwrap();
+        assert!(Problem::new(q1, fks1).is_ok());
+    }
+
+    #[test]
+    fn pk_only_constructor() {
+        let s = Arc::new(parse_schema("R[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y)").unwrap();
+        let p = Problem::pk_only(q);
+        assert!(p.fks().is_empty());
+        assert_eq!(p.pk_class(), cqa_attack::PkClass::Fo);
+    }
+}

@@ -1,0 +1,523 @@
+//! The first-order formula AST.
+//!
+//! Formulas are built over the atoms of `cqa-model`; equality atoms compare
+//! terms. Smart constructors perform light on-the-fly normalization (empty
+//! quantifier lists vanish, `And`/`Or` of a singleton collapse) so that
+//! generated rewritings stay readable.
+
+use cqa_model::{Atom, Cst, Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A first-order formula over relational atoms and term equality.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// A relational atom `R(t₁, …, tₙ)`.
+    Atom(Atom),
+    /// Term equality `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (n-ary).
+    And(Vec<Formula>),
+    /// Disjunction (n-ary).
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification over a block of variables.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// Smart conjunction: drops `True`, short-circuits `False`, flattens.
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Smart disjunction: drops `False`, short-circuits `True`, flattens.
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Smart negation: collapses double negation and constants.
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Smart implication.
+    pub fn implies(lhs: Formula, rhs: Formula) -> Formula {
+        match (lhs, rhs) {
+            (Formula::True, r) => r,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            (l, Formula::False) => Formula::not(l),
+            (l, r) => Formula::Implies(Box::new(l), Box::new(r)),
+        }
+    }
+
+    /// Smart existential quantifier: drops variables that do not occur free
+    /// in the body, merges nested `Exists`.
+    pub fn exists(vars: impl IntoIterator<Item = Var>, body: Formula) -> Formula {
+        let free = body.free_vars();
+        let mut vs: Vec<Var> = vars.into_iter().filter(|v| free.contains(v)).collect();
+        vs.dedup();
+        if vs.is_empty() {
+            return body;
+        }
+        match body {
+            Formula::Exists(inner_vars, inner) => {
+                let mut all = vs;
+                all.extend(inner_vars);
+                Formula::Exists(all, inner)
+            }
+            other => Formula::Exists(vs, Box::new(other)),
+        }
+    }
+
+    /// Smart universal quantifier: drops variables that do not occur free in
+    /// the body, merges nested `Forall`.
+    pub fn forall(vars: impl IntoIterator<Item = Var>, body: Formula) -> Formula {
+        let free = body.free_vars();
+        let mut vs: Vec<Var> = vars.into_iter().filter(|v| free.contains(v)).collect();
+        vs.dedup();
+        if vs.is_empty() {
+            return body;
+        }
+        match body {
+            Formula::Forall(inner_vars, inner) => {
+                let mut all = vs;
+                all.extend(inner_vars);
+                Formula::Forall(all, inner)
+            }
+            other => Formula::Forall(vs, Box::new(other)),
+        }
+    }
+
+    /// Equality, collapsing the reflexive case.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        if a == b {
+            Formula::True
+        } else {
+            Formula::Eq(a, b)
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn go(f: &Formula, bound: &mut Vec<Var>, out: &mut BTreeSet<Var>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Atom(a) => {
+                    for v in a.vars() {
+                        if !bound.contains(&v) {
+                            out.insert(v);
+                        }
+                    }
+                }
+                Formula::Eq(s, t) => {
+                    for term in [s, t] {
+                        if let Term::Var(v) = term {
+                            if !bound.contains(v) {
+                                out.insert(*v);
+                            }
+                        }
+                    }
+                }
+                Formula::Not(g) => go(g, bound, out),
+                Formula::And(gs) | Formula::Or(gs) => {
+                    for g in gs {
+                        go(g, bound, out);
+                    }
+                }
+                Formula::Implies(l, r) => {
+                    go(l, bound, out);
+                    go(r, bound, out);
+                }
+                Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                    let n = bound.len();
+                    bound.extend(vs.iter().copied());
+                    go(g, bound, out);
+                    bound.truncate(n);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Whether the formula is a sentence (no free variables).
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// All constants occurring in the formula.
+    pub fn consts(&self) -> BTreeSet<Cst> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Atom(a) => out.extend(a.consts()),
+            Formula::Eq(s, t) => {
+                for term in [s, t] {
+                    if let Term::Cst(c) = term {
+                        out.insert(*c);
+                    }
+                }
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// All relation names occurring in the formula.
+    pub fn relations(&self) -> BTreeSet<cqa_model::RelName> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            if let Formula::Atom(a) = f {
+                out.insert(a.rel);
+            }
+        });
+        out
+    }
+
+    /// Visits every subformula, pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::Eq(_, _) => {}
+            Formula::Not(g) => g.visit(f),
+            Formula::And(gs) | Formula::Or(gs) => {
+                for g in gs {
+                    g.visit(f);
+                }
+            }
+            Formula::Implies(l, r) => {
+                l.visit(f);
+                r.visit(f);
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => g.visit(f),
+        }
+    }
+
+    /// Substitutes free occurrences of variables by terms.
+    ///
+    /// The construction code in this workspace always substitutes either
+    /// constants or globally fresh variables, so variable capture cannot
+    /// occur; a debug assertion guards against accidental capture.
+    pub fn substitute(&self, map: &BTreeMap<Var, Term>) -> Formula {
+        fn go(f: &Formula, map: &BTreeMap<Var, Term>) -> Formula {
+            match f {
+                Formula::True => Formula::True,
+                Formula::False => Formula::False,
+                Formula::Atom(a) => Formula::Atom(a.substitute(map)),
+                Formula::Eq(s, t) => {
+                    let sub = |term: &Term| match term {
+                        Term::Var(v) => map.get(v).copied().unwrap_or(*term),
+                        Term::Cst(_) => *term,
+                    };
+                    Formula::eq(sub(s), sub(t))
+                }
+                Formula::Not(g) => Formula::not(go(g, map)),
+                Formula::And(gs) => Formula::and(gs.iter().map(|g| go(g, map))),
+                Formula::Or(gs) => Formula::or(gs.iter().map(|g| go(g, map))),
+                Formula::Implies(l, r) => Formula::implies(go(l, map), go(r, map)),
+                Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                    debug_assert!(
+                        map.values()
+                            .all(|t| t.as_var().map(|v| !vs.contains(&v)).unwrap_or(true)),
+                        "substitution would be captured by a quantifier"
+                    );
+                    let mut inner_map = map.clone();
+                    for v in vs {
+                        inner_map.remove(v);
+                    }
+                    let body = go(g, &inner_map);
+                    match f {
+                        Formula::Exists(..) => Formula::exists(vs.iter().copied(), body),
+                        _ => Formula::forall(vs.iter().copied(), body),
+                    }
+                }
+            }
+        }
+        go(self, map)
+    }
+
+    /// Replaces *parameter constants* (frozen variables, see
+    /// [`Cst::as_param`]) back by their variables. Used when emitting
+    /// rewriting formulas built over frozen queries.
+    pub fn unfreeze(&self) -> Formula {
+        fn unfreeze_term(t: Term) -> Term {
+            match t {
+                Term::Cst(c) => match c.as_param() {
+                    Some(v) => Term::Var(v),
+                    None => t,
+                },
+                Term::Var(_) => t,
+            }
+        }
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::Atom(Atom::new(
+                a.rel,
+                a.terms.iter().map(|t| unfreeze_term(*t)).collect(),
+            )),
+            Formula::Eq(s, t) => Formula::eq(unfreeze_term(*s), unfreeze_term(*t)),
+            Formula::Not(g) => Formula::not(g.unfreeze()),
+            Formula::And(gs) => Formula::and(gs.iter().map(|g| g.unfreeze())),
+            Formula::Or(gs) => Formula::or(gs.iter().map(|g| g.unfreeze())),
+            Formula::Implies(l, r) => Formula::implies(l.unfreeze(), r.unfreeze()),
+            Formula::Exists(vs, g) => Formula::exists(vs.iter().copied(), g.unfreeze()),
+            Formula::Forall(vs, g) => Formula::forall(vs.iter().copied(), g.unfreeze()),
+        }
+    }
+
+    /// Renders with ASCII connectives (`exists`, `forall`, `&`, `|`, `~`).
+    pub fn ascii(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, false).expect("string write");
+        s
+    }
+
+    fn render(&self, out: &mut impl fmt::Write, unicode: bool) -> fmt::Result {
+        let (ex, fa, and, or, not, imp) = if unicode {
+            ("∃", "∀", " ∧ ", " ∨ ", "¬", " → ")
+        } else {
+            ("exists ", "forall ", " & ", " | ", "~", " -> ")
+        };
+        match self {
+            Formula::True => write!(out, "true"),
+            Formula::False => write!(out, "false"),
+            Formula::Atom(a) => write!(out, "{a}"),
+            Formula::Eq(s, t) => write!(out, "{s} = {t}"),
+            Formula::Not(g) => {
+                write!(out, "{not}")?;
+                g.render_child(out, unicode)
+            }
+            Formula::And(gs) => {
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, "{and}")?;
+                    }
+                    g.render_child(out, unicode)?;
+                }
+                Ok(())
+            }
+            Formula::Or(gs) => {
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, "{or}")?;
+                    }
+                    g.render_child(out, unicode)?;
+                }
+                Ok(())
+            }
+            Formula::Implies(l, r) => {
+                l.render_child(out, unicode)?;
+                write!(out, "{imp}")?;
+                r.render_child(out, unicode)
+            }
+            Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                let q = if matches!(self, Formula::Exists(..)) { ex } else { fa };
+                write!(out, "{q}")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, " ")?;
+                        if !unicode {
+                            // keep `exists x y` readable
+                        }
+                    }
+                    write!(out, "{v}")?;
+                }
+                write!(out, " ")?;
+                g.render_child(out, unicode)
+            }
+        }
+    }
+
+    fn render_child(&self, out: &mut impl fmt::Write, unicode: bool) -> fmt::Result {
+        fn is_atomic(f: &Formula) -> bool {
+            matches!(
+                f,
+                Formula::True | Formula::False | Formula::Atom(_) | Formula::Eq(_, _)
+            )
+        }
+        let atomic = is_atomic(self)
+            || matches!(self, Formula::Not(inner) if is_atomic(inner));
+        if atomic {
+            self.render(out, unicode)
+        } else {
+            write!(out, "(")?;
+            self.render(out, unicode)?;
+            write!(out, ")")
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s, true)?;
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::RelName;
+
+    fn atom(rel: &str, terms: Vec<Term>) -> Formula {
+        Formula::Atom(Atom::new(RelName::new(rel), terms))
+    }
+
+    #[test]
+    fn smart_and_or() {
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+        assert_eq!(
+            Formula::and([Formula::True, Formula::False]),
+            Formula::False
+        );
+        assert_eq!(Formula::or([Formula::False, Formula::True]), Formula::True);
+        let a = atom("R", vec![Term::var("x")]);
+        assert_eq!(Formula::and([Formula::True, a.clone()]), a);
+    }
+
+    #[test]
+    fn smart_not_and_implies() {
+        let a = atom("R", vec![Term::var("x")]);
+        assert_eq!(Formula::not(Formula::not(a.clone())), a);
+        assert_eq!(Formula::implies(Formula::True, a.clone()), a);
+        assert_eq!(Formula::implies(a.clone(), Formula::True), Formula::True);
+        assert_eq!(
+            Formula::implies(a.clone(), Formula::False),
+            Formula::not(a)
+        );
+    }
+
+    #[test]
+    fn quantifiers_drop_unused_vars() {
+        let a = atom("R", vec![Term::var("x")]);
+        let f = Formula::exists([Var::new("x"), Var::new("zzz")], a.clone());
+        match &f {
+            Formula::Exists(vs, _) => assert_eq!(vs, &vec![Var::new("x")]),
+            _ => panic!("expected Exists"),
+        }
+        assert_eq!(Formula::forall([Var::new("zzz")], a.clone()), a);
+    }
+
+    #[test]
+    fn nested_quantifiers_merge() {
+        let a = atom("R", vec![Term::var("x"), Term::var("y")]);
+        let f = Formula::exists([Var::new("x")], Formula::exists([Var::new("y")], a));
+        match &f {
+            Formula::Exists(vs, _) => assert_eq!(vs.len(), 2),
+            _ => panic!("expected merged Exists"),
+        }
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let a = atom("R", vec![Term::var("x"), Term::var("y")]);
+        let f = Formula::exists([Var::new("x")], a);
+        assert_eq!(f.free_vars(), [Var::new("y")].into_iter().collect());
+        assert!(!f.is_closed());
+        let g = Formula::forall([Var::new("y")], f);
+        assert!(g.is_closed());
+    }
+
+    #[test]
+    fn substitution() {
+        let a = atom("R", vec![Term::var("x"), Term::var("y")]);
+        let f = Formula::exists([Var::new("y")], a);
+        let mut m = BTreeMap::new();
+        m.insert(Var::new("x"), Term::cst("c"));
+        // y is bound; substituting y must not touch it.
+        m.insert(Var::new("y"), Term::cst("d"));
+        let g = f.substitute(&m);
+        assert_eq!(g.free_vars().len(), 0);
+        assert!(g.consts().contains(&Cst::new("c")));
+        assert!(!g.consts().contains(&Cst::new("d")));
+    }
+
+    #[test]
+    fn unfreeze_restores_params() {
+        let p = Cst::param(Var::new("x"));
+        let f = atom("R", vec![Term::Cst(p)]);
+        let g = f.unfreeze();
+        assert_eq!(g.free_vars(), [Var::new("x")].into_iter().collect());
+    }
+
+    #[test]
+    fn display_unicode_and_ascii() {
+        let a = atom("R", vec![Term::var("x")]);
+        let f = Formula::exists(
+            [Var::new("x")],
+            Formula::and([a.clone(), Formula::not(a)]),
+        );
+        assert_eq!(f.to_string(), "∃x (R(x) ∧ ¬R(x))");
+        assert_eq!(f.ascii(), "exists x (R(x) & ~R(x))");
+    }
+
+    #[test]
+    fn eq_collapses_reflexivity() {
+        assert_eq!(Formula::eq(Term::var("x"), Term::var("x")), Formula::True);
+        assert!(matches!(
+            Formula::eq(Term::var("x"), Term::var("y")),
+            Formula::Eq(_, _)
+        ));
+    }
+
+    #[test]
+    fn relations_and_consts_collection() {
+        let f = Formula::and([
+            atom("R", vec![Term::cst("a")]),
+            Formula::not(atom("S", vec![Term::var("x")])),
+        ]);
+        assert_eq!(f.relations().len(), 2);
+        assert_eq!(f.consts(), [Cst::new("a")].into_iter().collect());
+    }
+}

@@ -1,0 +1,26 @@
+//! # cqa-fo
+//!
+//! A first-order logic engine over the `cqa-model` data model: formula AST,
+//! substitution, simplification, evaluation and SQL rendering.
+//!
+//! Consistent first-order rewritings — the output of the paper's Theorem 12
+//! when `CERTAINTY(q, FK)` is in `FO` — are values of type [`ast::Formula`].
+//! They can be pretty-printed (Unicode or ASCII), simplified, evaluated over
+//! an [`cqa_model::Instance`] (naive active-domain semantics or a guarded
+//! top-down strategy that exploits the ∃/∀-guard structure of rewritings),
+//! and rendered to SQL.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod simplify;
+pub mod sql;
+pub mod stats;
+
+pub use ast::Formula;
+pub use eval::{eval_closed, eval_with, Strategy};
+pub use simplify::simplify;
+pub use sql::to_sql;
+pub use stats::{stats, FormulaStats};

@@ -1,0 +1,129 @@
+//! Logical simplification of formulas.
+//!
+//! The rewriting constructions generate formulas with vacuous parts (e.g.
+//! `∀⃗y (R(⃗x, ⃗y) → true)` when the recursion bottoms out). [`simplify`]
+//! normalizes them so that printed rewritings match the compact forms shown
+//! in the paper. Simplification is purely equivalence-preserving.
+
+use crate::ast::Formula;
+
+/// Simplifies a formula to a fixpoint of local rewrite rules:
+///
+/// * constant folding through all connectives (via the smart constructors);
+/// * `∀⃗y (φ → true) ⇒ true`, `∃⃗x true ⇒ true`;
+/// * unit `And`/`Or` collapse, nested quantifier merging;
+/// * `¬¬φ ⇒ φ`, reflexive equality elimination;
+/// * duplicate conjunct/disjunct elimination.
+pub fn simplify(f: &Formula) -> Formula {
+    let mut cur = f.clone();
+    loop {
+        let next = pass(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn pass(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom(a) => Formula::Atom(a.clone()),
+        Formula::Eq(s, t) => Formula::eq(*s, *t),
+        Formula::Not(g) => Formula::not(pass(g)),
+        Formula::And(gs) => {
+            let mut seen = Vec::new();
+            for g in gs {
+                let s = pass(g);
+                if s == Formula::False {
+                    return Formula::False;
+                }
+                if s != Formula::True && !seen.contains(&s) {
+                    seen.push(s);
+                }
+            }
+            Formula::and(seen)
+        }
+        Formula::Or(gs) => {
+            let mut seen = Vec::new();
+            for g in gs {
+                let s = pass(g);
+                if s == Formula::True {
+                    return Formula::True;
+                }
+                if s != Formula::False && !seen.contains(&s) {
+                    seen.push(s);
+                }
+            }
+            Formula::or(seen)
+        }
+        Formula::Implies(l, r) => Formula::implies(pass(l), pass(r)),
+        Formula::Exists(vs, g) => Formula::exists(vs.iter().copied(), pass(g)),
+        Formula::Forall(vs, g) => Formula::forall(vs.iter().copied(), pass(g)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::{Atom, RelName, Term, Var};
+
+    fn atom(rel: &str, vars: &[&str]) -> Formula {
+        Formula::Atom(Atom::new(
+            RelName::new(rel),
+            vars.iter().map(|v| Term::var(v)).collect(),
+        ))
+    }
+
+    #[test]
+    fn vacuous_forall_collapses() {
+        // ∃x (∃w R(x,w) ∧ ∀y (R(x,y) → true))  ⇒  ∃x w R(x,w)
+        let f = Formula::Exists(
+            vec![Var::new("x")],
+            Box::new(Formula::And(vec![
+                Formula::Exists(vec![Var::new("w")], Box::new(atom("R", &["x", "w"]))),
+                Formula::Forall(
+                    vec![Var::new("y")],
+                    Box::new(Formula::Implies(
+                        Box::new(atom("R", &["x", "y"])),
+                        Box::new(Formula::True),
+                    )),
+                ),
+            ])),
+        );
+        let s = simplify(&f);
+        assert_eq!(s.to_string(), "∃x w R(x, w)");
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let a = atom("R", &["x"]);
+        let f = Formula::And(vec![a.clone(), a.clone(), a.clone()]);
+        assert_eq!(simplify(&f), a);
+        let g = Formula::Or(vec![a.clone(), a.clone()]);
+        assert_eq!(simplify(&g), a);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let f = Formula::Implies(Box::new(Formula::False), Box::new(atom("R", &["x"])));
+        assert_eq!(simplify(&f), Formula::True);
+        let g = Formula::Not(Box::new(Formula::Not(Box::new(atom("R", &["x"])))));
+        assert_eq!(simplify(&g), atom("R", &["x"]));
+    }
+
+    #[test]
+    fn simplification_is_idempotent() {
+        let f = Formula::Forall(
+            vec![Var::new("y")],
+            Box::new(Formula::Implies(
+                Box::new(atom("R", &["y"])),
+                Box::new(Formula::Or(vec![Formula::True, atom("S", &["y"])])),
+            )),
+        );
+        let once = simplify(&f);
+        assert_eq!(once, simplify(&once));
+        assert_eq!(once, Formula::True);
+    }
+}

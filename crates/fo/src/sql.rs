@@ -1,0 +1,197 @@
+//! Rendering closed formulas to SQL.
+//!
+//! Consistent first-order rewritings are exactly the queries a production
+//! system would push into a relational engine (cf. the CQA prototype systems
+//! surveyed in the paper's §2: ConQuer and successors). The translation below
+//! follows the classical relational-calculus-to-SQL scheme under
+//! active-domain semantics:
+//!
+//! * a view `adom(v)` collects every constant of the database;
+//! * `∃x φ` becomes `EXISTS (SELECT 1 FROM adom dx WHERE φ′)`;
+//! * `∀x φ` becomes `NOT EXISTS (SELECT 1 FROM adom dx WHERE NOT φ′)`;
+//! * an atom `R(t₁, …, tₙ)` becomes
+//!   `EXISTS (SELECT 1 FROM R WHERE a1 = t₁ AND … AND an = tₙ)`.
+//!
+//! Guarded quantifiers produced by the rewriting pipeline could be translated
+//! to joins directly; the uniform scheme keeps the translation simple and
+//! obviously correct, and is what the tests check.
+
+use crate::ast::Formula;
+use cqa_model::{Schema, Term, Var};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Renders a closed formula as a SQL boolean expression, together with the
+/// DDL for the active-domain view. Returns `(ddl, where_expression)`.
+pub fn to_sql(schema: &Schema, f: &Formula) -> (String, String) {
+    let mut ddl = String::new();
+    writeln!(ddl, "-- Active domain: one row per constant in the database.").expect("write");
+    write!(ddl, "CREATE VIEW adom(v) AS").expect("write");
+    let mut first = true;
+    for (rel, sig) in schema.relations() {
+        for i in 1..=sig.arity {
+            if !first {
+                write!(ddl, "\n  UNION").expect("write");
+            }
+            write!(ddl, "\n  SELECT a{i} FROM {rel}").expect("write");
+            first = false;
+        }
+    }
+    writeln!(ddl, ";").expect("write");
+
+    let mut ctx = SqlCtx {
+        names: BTreeMap::new(),
+        counter: 0,
+    };
+    let expr = ctx.render(f);
+    (ddl, expr)
+}
+
+struct SqlCtx {
+    names: BTreeMap<Var, String>,
+    counter: usize,
+}
+
+impl SqlCtx {
+    fn term(&self, t: &Term) -> String {
+        match t {
+            Term::Cst(c) => format!("'{}'", c.name().replace('\'', "''")),
+            Term::Var(v) => self
+                .names
+                .get(v)
+                .cloned()
+                .unwrap_or_else(|| panic!("unbound variable {v} in SQL rendering")),
+        }
+    }
+
+    fn render(&mut self, f: &Formula) -> String {
+        match f {
+            Formula::True => "(1=1)".to_string(),
+            Formula::False => "(1=0)".to_string(),
+            Formula::Eq(s, t) => format!("({} = {})", self.term(s), self.term(t)),
+            Formula::Atom(a) => {
+                let conds: Vec<String> = a
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("a{} = {}", i + 1, self.term(t)))
+                    .collect();
+                format!(
+                    "EXISTS (SELECT 1 FROM {} WHERE {})",
+                    a.rel,
+                    conds.join(" AND ")
+                )
+            }
+            Formula::Not(g) => format!("NOT {}", self.render(g)),
+            Formula::And(gs) => {
+                let parts: Vec<String> = gs.iter().map(|g| self.render(g)).collect();
+                format!("({})", parts.join(" AND "))
+            }
+            Formula::Or(gs) => {
+                let parts: Vec<String> = gs.iter().map(|g| self.render(g)).collect();
+                format!("({})", parts.join(" OR "))
+            }
+            Formula::Implies(l, r) => {
+                let l = self.render(l);
+                let r = self.render(r);
+                format!("(NOT {l} OR {r})")
+            }
+            Formula::Exists(vs, g) => self.quantifier(vs, g, false),
+            Formula::Forall(vs, g) => self.quantifier(vs, g, true),
+        }
+    }
+
+    fn quantifier(&mut self, vs: &[Var], body: &Formula, universal: bool) -> String {
+        let mut aliases = Vec::new();
+        let mut saved = Vec::new();
+        for v in vs {
+            self.counter += 1;
+            let alias = format!("d{}", self.counter);
+            aliases.push(alias.clone());
+            saved.push((*v, self.names.insert(*v, format!("{alias}.v"))));
+        }
+        let inner = self.render(body);
+        for (v, prev) in saved {
+            match prev {
+                Some(p) => {
+                    self.names.insert(v, p);
+                }
+                None => {
+                    self.names.remove(&v);
+                }
+            }
+        }
+        let from: Vec<String> = aliases.iter().map(|a| format!("adom {a}")).collect();
+        if universal {
+            format!(
+                "NOT EXISTS (SELECT 1 FROM {} WHERE NOT {})",
+                from.join(", "),
+                inner
+            )
+        } else {
+            format!("EXISTS (SELECT 1 FROM {} WHERE {})", from.join(", "), inner)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::parse_schema;
+    use cqa_model::{Atom, RelName};
+
+    #[test]
+    fn renders_guarded_rewriting() {
+        let schema = parse_schema("R[2,1]").unwrap();
+        // ∃x (∃w R(x,w) ∧ ∀y (R(x,y) → y = 'b'))
+        let f = Formula::exists(
+            [Var::new("x")],
+            Formula::and([
+                Formula::exists(
+                    [Var::new("w")],
+                    Formula::Atom(Atom::new(
+                        RelName::new("R"),
+                        vec![Term::var("x"), Term::var("w")],
+                    )),
+                ),
+                Formula::forall(
+                    [Var::new("y")],
+                    Formula::implies(
+                        Formula::Atom(Atom::new(
+                            RelName::new("R"),
+                            vec![Term::var("x"), Term::var("y")],
+                        )),
+                        Formula::eq(Term::var("y"), Term::cst("b")),
+                    ),
+                ),
+            ]),
+        );
+        let (ddl, expr) = to_sql(&schema, &f);
+        assert!(ddl.contains("CREATE VIEW adom"));
+        assert!(ddl.contains("SELECT a1 FROM R"));
+        assert!(ddl.contains("SELECT a2 FROM R"));
+        assert!(expr.contains("EXISTS"));
+        assert!(expr.contains("NOT EXISTS"));
+        assert!(expr.contains("= 'b'"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let schema = parse_schema("R[1,1]").unwrap();
+        let f = Formula::Atom(Atom::new(
+            RelName::new("R"),
+            vec![Term::Cst(cqa_model::Cst::new("O'Brien"))],
+        ));
+        let (_, expr) = to_sql(&schema, &f);
+        assert!(expr.contains("'O''Brien'"));
+    }
+
+    #[test]
+    fn constants_render() {
+        let schema = parse_schema("R[1,1]").unwrap();
+        let (_, t) = to_sql(&schema, &Formula::True);
+        assert_eq!(t, "(1=1)");
+        let (_, f) = to_sql(&schema, &Formula::False);
+        assert_eq!(f, "(1=0)");
+    }
+}

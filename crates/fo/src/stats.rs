@@ -1,0 +1,131 @@
+//! Structural statistics of formulas — used to report rewriting sizes in
+//! the experiment harness (rewriting growth is the practical cost of the
+//! paper's reductions; cf. the prototype systems surveyed in §2).
+
+use crate::ast::Formula;
+
+/// Size and shape measurements of a formula.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FormulaStats {
+    /// Total AST nodes.
+    pub nodes: usize,
+    /// Relational atoms.
+    pub atoms: usize,
+    /// Equality atoms.
+    pub equalities: usize,
+    /// Quantifier blocks (∃/∀).
+    pub quantifier_blocks: usize,
+    /// Quantified variables (counting every variable of every block).
+    pub quantified_vars: usize,
+    /// Maximum quantifier nesting depth (blocks, not variables).
+    pub quantifier_depth: usize,
+    /// Negations.
+    pub negations: usize,
+}
+
+/// Computes [`FormulaStats`] for `f`.
+pub fn stats(f: &Formula) -> FormulaStats {
+    fn go(f: &Formula, depth: usize, s: &mut FormulaStats) {
+        s.nodes += 1;
+        s.quantifier_depth = s.quantifier_depth.max(depth);
+        match f {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_) => s.atoms += 1,
+            Formula::Eq(_, _) => s.equalities += 1,
+            Formula::Not(g) => {
+                s.negations += 1;
+                go(g, depth, s);
+            }
+            Formula::And(gs) | Formula::Or(gs) => {
+                for g in gs {
+                    go(g, depth, s);
+                }
+            }
+            Formula::Implies(l, r) => {
+                go(l, depth, s);
+                go(r, depth, s);
+            }
+            Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+                s.quantifier_blocks += 1;
+                s.quantified_vars += vs.len();
+                go(g, depth + 1, s);
+            }
+        }
+    }
+    let mut s = FormulaStats::default();
+    go(f, 0, &mut s);
+    s
+}
+
+impl std::fmt::Display for FormulaStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} atoms, {} equalities, {} quantifier blocks ({} vars, depth {})",
+            self.nodes,
+            self.atoms,
+            self.equalities,
+            self.quantifier_blocks,
+            self.quantified_vars,
+            self.quantifier_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::{Atom, RelName, Term, Var};
+
+    fn atom(rel: &str, vars: &[&str]) -> Formula {
+        Formula::Atom(Atom::new(
+            RelName::new(rel),
+            vars.iter().map(|v| Term::var(v)).collect(),
+        ))
+    }
+
+    #[test]
+    fn counts_basic_shapes() {
+        // ∃x (R(x,y) ∧ ∀y (S(y) → x = y))
+        let f = Formula::Exists(
+            vec![Var::new("x")],
+            Box::new(Formula::And(vec![
+                atom("R", &["x", "y"]),
+                Formula::Forall(
+                    vec![Var::new("y")],
+                    Box::new(Formula::Implies(
+                        Box::new(atom("S", &["y"])),
+                        Box::new(Formula::Eq(Term::var("x"), Term::var("y"))),
+                    )),
+                ),
+            ])),
+        );
+        let s = stats(&f);
+        assert_eq!(s.atoms, 2);
+        assert_eq!(s.equalities, 1);
+        assert_eq!(s.quantifier_blocks, 2);
+        assert_eq!(s.quantified_vars, 2);
+        assert_eq!(s.quantifier_depth, 2);
+        assert_eq!(s.negations, 0);
+        assert!(s.to_string().contains("2 quantifier blocks"));
+    }
+
+    #[test]
+    fn depth_is_nesting_not_count() {
+        // Two sibling quantifiers: depth 1, blocks 2.
+        let f = Formula::And(vec![
+            Formula::Exists(vec![Var::new("x")], Box::new(atom("S", &["x"]))),
+            Formula::Exists(vec![Var::new("y")], Box::new(atom("S", &["y"]))),
+        ]);
+        let s = stats(&f);
+        assert_eq!(s.quantifier_blocks, 2);
+        assert_eq!(s.quantifier_depth, 1);
+    }
+
+    #[test]
+    fn constants_have_no_atoms() {
+        let s = stats(&Formula::True);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.atoms, 0);
+    }
+}

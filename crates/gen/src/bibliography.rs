@@ -1,0 +1,132 @@
+//! The Figure 1 bibliography scenario.
+//!
+//! Relations (primary keys underlined in the paper):
+//!
+//! * `R(doi, orcid)` — authorship, composite key (both attributes);
+//! * `AUTHORS(orcid, first, last)`;
+//! * `DOCS(doi, title, year)`;
+//!
+//! with `FK₀ = {R[1]→DOCS, R[2]→AUTHORS}`. The instance has one
+//! primary-key violation (two first names for ORCiD `o1`) and one dangling
+//! authorship fact (`R(d1, o3)`). The §1 query `q₀` asks: *does some paper
+//! of 2016 have an author with first name Jeff?* — whose consistent answer
+//! is **no**.
+
+use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+use cqa_model::{FkSet, Instance, Query, Schema};
+use std::sync::Arc;
+
+/// The generated Figure 1 scenario.
+#[derive(Clone, Debug)]
+pub struct Bibliography {
+    /// Schema `R[2,2] AUTHORS[3,1] DOCS[3,1]`.
+    pub schema: Arc<Schema>,
+    /// The §1 query `q₀`.
+    pub query: Query,
+    /// `FK₀`.
+    pub fks: FkSet,
+    /// The Figure 1 instance.
+    pub db: Instance,
+}
+
+/// Builds the paper's Figure 1 database, query `q₀` and `FK₀`.
+pub fn bibliography_scenario() -> Bibliography {
+    let schema = Arc::new(parse_schema("R[2,2] AUTHORS[3,1] DOCS[3,1]").unwrap());
+    let query = parse_query(
+        &schema,
+        "DOCS(x, t, 2016), R(x, y), AUTHORS(y, 'Jeff', z)",
+    )
+    .unwrap();
+    let fks = parse_fks(&schema, "R[1] -> DOCS, R[2] -> AUTHORS").unwrap();
+    let db = parse_instance(
+        &schema,
+        "R(d1, o1); R(d1, o2); R(d1, o3)
+         AUTHORS(o1, 'Jeff', 'Ullman'); AUTHORS(o1, 'Jeffrey', 'Ullman')
+         AUTHORS(o2, 'Jonathan', 'Ullman')
+         DOCS(d1, 'Some pairs problems', 2016)",
+    )
+    .unwrap();
+    Bibliography {
+        schema,
+        query,
+        fks,
+        db,
+    }
+}
+
+/// A scaled-up bibliography: `papers` documents, each with `authors_per`
+/// authors, a fraction of authors with conflicting first names and a
+/// fraction of dangling authorships. Used by the E1 benchmarks.
+pub fn scaled_bibliography(
+    papers: usize,
+    authors_per: usize,
+    conflict_every: usize,
+    dangling_every: usize,
+) -> Bibliography {
+    let base = bibliography_scenario();
+    let mut db = Instance::new(base.schema.clone());
+    let mut author_id = 0usize;
+    for p in 0..papers {
+        let doi = format!("doi{p}");
+        let year = if p % 2 == 0 { "2016" } else { "2017" };
+        db.insert_named("DOCS", &[&doi, &format!("title{p}"), year])
+            .unwrap();
+        for a in 0..authors_per {
+            author_id += 1;
+            let orcid = format!("orcid{author_id}");
+            if dangling_every > 0 && author_id.is_multiple_of(dangling_every) {
+                // dangling authorship: no AUTHORS tuple
+                db.insert_named("R", &[&doi, &orcid]).unwrap();
+                continue;
+            }
+            db.insert_named("R", &[&doi, &orcid]).unwrap();
+            let first = if a == 0 { "Jeff" } else { "Ada" };
+            db.insert_named("AUTHORS", &[&orcid, first, "Lovelace"])
+                .unwrap();
+            if conflict_every > 0 && author_id.is_multiple_of(conflict_every) {
+                db.insert_named("AUTHORS", &[&orcid, "Geoff", "Lovelace"])
+                    .unwrap();
+            }
+        }
+    }
+    Bibliography {
+        schema: base.schema,
+        query: base.query,
+        fks: base.fks,
+        db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::Fact;
+
+    #[test]
+    fn figure_1_shape() {
+        let b = bibliography_scenario();
+        assert_eq!(b.db.len(), 7);
+        // One PK violation: the o1 block of AUTHORS.
+        let v = b.db.pk_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, cqa_model::RelName::new("AUTHORS"));
+        // One dangling fact: R(d1, o3).
+        let dangling = b.db.dangling_facts(&b.fks);
+        assert_eq!(dangling, vec![Fact::from_names("R", &["d1", "o3"])]);
+    }
+
+    #[test]
+    fn fk0_is_about_q0() {
+        let b = bibliography_scenario();
+        assert!(b.fks.check_about(&b.query).is_ok());
+    }
+
+    #[test]
+    fn scaled_generation() {
+        let b = scaled_bibliography(10, 3, 5, 7);
+        assert_eq!(b.db.count_of(cqa_model::RelName::new("DOCS")), 10);
+        assert!(b.db.count_of(cqa_model::RelName::new("R")) == 30);
+        assert!(!b.db.pk_violations().is_empty());
+        assert!(!b.db.dangling_facts(&b.fks).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! The §4 block-chain family for `q = {N(x,'c',y), O(y)}`, `FK = {N[3]→O}`.
+//!
+//! ```text
+//! N(b₁,c,1) N(b₁,d,2)
+//! N(b₂,c,2) N(b₂,d,3)
+//! …
+//! N(bₙ,c,n) N(bₙ,d,n+1)
+//! N(bₙ₊₁,□,n+1)
+//! O(1)
+//! ```
+//!
+//! The paper: this is a yes-instance iff `□ = c`; deleting `O(1)` makes the
+//! empty instance a repair, hence a no-instance. Certainty must propagate
+//! from block to block — the behaviour block-interference captures and the
+//! reason the problem escapes FO.
+
+use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+use cqa_model::{Cst, Fact, FkSet, Instance, Query, RelName, Schema};
+use std::sync::Arc;
+
+/// Configuration for the block-chain generator.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockChainConfig {
+    /// Number of full blocks `n`.
+    pub n: usize,
+    /// The middle value `□` of the closing fact (`true` ⇒ `c`, else `d`).
+    pub closing_is_c: bool,
+    /// Whether to include the anchor fact `O(1)`.
+    pub with_anchor: bool,
+}
+
+impl Default for BlockChainConfig {
+    fn default() -> Self {
+        BlockChainConfig {
+            n: 8,
+            closing_is_c: true,
+            with_anchor: true,
+        }
+    }
+}
+
+/// The generated problem pieces.
+#[derive(Clone, Debug)]
+pub struct BlockChain {
+    /// Schema `N[3,1] O[1,1]`.
+    pub schema: Arc<Schema>,
+    /// Query `{N(x,'c',y), O(y)}`.
+    pub query: Query,
+    /// Foreign keys `{N[3]→O}`.
+    pub fks: FkSet,
+    /// The database.
+    pub db: Instance,
+    /// The ground-truth answer (yes-instance iff `□ = c` and anchored).
+    pub expected_certain: bool,
+}
+
+/// Generates the §4 chain database.
+pub fn block_chain(cfg: BlockChainConfig) -> BlockChain {
+    let schema = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+    let query = parse_query(&schema, "N(x,'c',y), O(y)").unwrap();
+    let fks = parse_fks(&schema, "N[3] -> O").unwrap();
+
+    let n_rel = RelName::new("N");
+    let o_rel = RelName::new("O");
+    let c = Cst::new("c");
+    let d = Cst::new("d");
+    let key = |i: usize| Cst::new(&format!("b{i}"));
+    let val = |i: usize| Cst::new(&format!("{i}"));
+
+    let mut db = Instance::new(schema.clone());
+    for i in 1..=cfg.n {
+        db.insert(Fact::new(n_rel, vec![key(i), c, val(i)])).unwrap();
+        db.insert(Fact::new(n_rel, vec![key(i), d, val(i + 1)]))
+            .unwrap();
+    }
+    let closing = if cfg.closing_is_c { c } else { d };
+    db.insert(Fact::new(n_rel, vec![key(cfg.n + 1), closing, val(cfg.n + 1)]))
+        .unwrap();
+    if cfg.with_anchor {
+        db.insert(Fact::new(o_rel, vec![val(1)])).unwrap();
+    }
+
+    BlockChain {
+        schema,
+        query,
+        fks,
+        db,
+        expected_certain: cfg.closing_is_c && cfg.with_anchor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let bc = block_chain(BlockChainConfig {
+            n: 5,
+            closing_is_c: true,
+            with_anchor: true,
+        });
+        assert_eq!(bc.db.count_of(RelName::new("N")), 11);
+        assert_eq!(bc.db.count_of(RelName::new("O")), 1);
+    }
+
+    #[test]
+    fn expected_answers() {
+        assert!(block_chain(BlockChainConfig::default()).expected_certain);
+        assert!(
+            !block_chain(BlockChainConfig {
+                closing_is_c: false,
+                ..Default::default()
+            })
+            .expected_certain
+        );
+        assert!(
+            !block_chain(BlockChainConfig {
+                with_anchor: false,
+                ..Default::default()
+            })
+            .expected_certain
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Random graph generators for the Figure 3 reachability reduction.
+//!
+//! `cqa-gen` deliberately does not depend on `cqa-solvers`; it emits plain
+//! edge lists ([`GraphSpec`]) that the bench harness feeds into
+//! `cqa_solvers::DiGraph` and `cqa_solvers::fig3::reduce`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A generated graph as vertex/edge lists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// The vertices.
+    pub vertices: Vec<usize>,
+    /// The directed edges.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl GraphSpec {
+    /// BFS reachability on the spec (ground truth for the generated family).
+    pub fn reachable(&self, s: usize, t: usize) -> bool {
+        if s == t {
+            return self.vertices.contains(&s);
+        }
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut stack = vec![s];
+        seen.insert(s);
+        while let Some(u) = stack.pop() {
+            for &(a, b) in &self.edges {
+                if a == u {
+                    if b == t {
+                        return true;
+                    }
+                    if seen.insert(b) {
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A random DAG on `n` vertices: each ordered pair `(i, j)` with `i < j`
+/// gets an edge with probability `p` (acyclic by construction).
+pub fn random_dag(n: usize, p: f64, seed: u64) -> GraphSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = GraphSpec {
+        vertices: (0..n).collect(),
+        edges: Vec::new(),
+    };
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.edges.push((i, j));
+            }
+        }
+    }
+    g
+}
+
+/// A layered DAG: `layers` layers of `width` vertices; every vertex points
+/// to `fanout` random vertices of the next layer. Vertex `0` is the natural
+/// source and `layers*width - 1` the natural target; reachability distance
+/// grows with `layers`, which is what the NL-hardness benchmark sweeps.
+pub fn layered_dag(layers: usize, width: usize, fanout: usize, seed: u64) -> GraphSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |layer: usize, i: usize| layer * width + i;
+    let mut g = GraphSpec {
+        vertices: (0..layers * width).collect(),
+        edges: Vec::new(),
+    };
+    let mut seen = BTreeSet::new();
+    for l in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            for _ in 0..fanout {
+                let j = rng.gen_range(0..width);
+                if seen.insert((id(l, i), id(l + 1, j))) {
+                    g.edges.push((id(l, i), id(l + 1, j)));
+                }
+            }
+        }
+    }
+    g
+}
+
+/// A directed path `0 → 1 → … → n-1` (worst-case reachability depth).
+pub fn path_graph(n: usize) -> GraphSpec {
+    GraphSpec {
+        vertices: (0..n).collect(),
+        edges: (0..n.saturating_sub(1)).map(|v| (v, v + 1)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_is_deterministic_per_seed() {
+        assert_eq!(random_dag(10, 0.3, 42), random_dag(10, 0.3, 42));
+    }
+
+    #[test]
+    fn dag_edges_go_forward() {
+        let g = random_dag(12, 0.5, 7);
+        assert!(g.edges.iter().all(|(u, v)| u < v));
+    }
+
+    #[test]
+    fn path_reachability() {
+        let g = path_graph(6);
+        assert!(g.reachable(0, 5));
+        assert!(!g.reachable(5, 0));
+        assert!(g.reachable(3, 3));
+    }
+
+    #[test]
+    fn layered_shape() {
+        let g = layered_dag(4, 3, 2, 1);
+        assert_eq!(g.vertices.len(), 12);
+        assert!(g.edges.iter().all(|(u, v)| v / 3 == u / 3 + 1));
+    }
+}

@@ -1,0 +1,25 @@
+//! # cqa-gen
+//!
+//! Workload and instance generators for the experiment harness:
+//!
+//! * [`mod@block_chain`] — the §4 block-to-block propagation family (the
+//!   intuition behind block-interference and the P-complete Proposition 17);
+//! * [`bibliography`] — the Figure 1 bibliography scenario (DOIs, ORCiDs,
+//!   dirty author names, a dangling authorship fact);
+//! * [`graphs`] — random DAGs and layered graphs feeding the Figure 3
+//!   reachability reduction;
+//! * [`inconsistent`] — parameterized inconsistent-database generation for
+//!   arbitrary `(q, FK)` problems: plant satisfying valuations, then inject
+//!   primary-key violations and foreign-key dangling facts at given rates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bibliography;
+pub mod block_chain;
+pub mod graphs;
+pub mod inconsistent;
+
+pub use bibliography::bibliography_scenario;
+pub use block_chain::{block_chain, BlockChainConfig};
+pub use inconsistent::{generate, GenConfig};

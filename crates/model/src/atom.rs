@@ -1,0 +1,179 @@
+//! Atoms `R(t₁, …, tₙ)`.
+
+use crate::intern::{Cst, Var};
+use crate::schema::{RelName, Signature};
+use crate::term::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atom `R(t₁, …, tₖ, tₖ₊₁, …, tₙ)` over a relation of signature `[n, k]`.
+///
+/// The atom itself does not carry the signature; arity is validated when the
+/// atom enters a [`crate::Query`] or is matched against a schema.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// Relation name.
+    pub rel: RelName,
+    /// Terms, in attribute order.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(rel: RelName, terms: Vec<Term>) -> Atom {
+        Atom { rel, terms }
+    }
+
+    /// Arity (number of terms).
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The term at 1-based position `i`.
+    pub fn term_at(&self, i: usize) -> Option<Term> {
+        self.terms.get(i.checked_sub(1)?).copied()
+    }
+
+    /// `vars(F)`: the set of variables occurring in the atom.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.terms.iter().filter_map(|t| t.as_var()).collect()
+    }
+
+    /// The set of constants occurring in the atom.
+    pub fn consts(&self) -> BTreeSet<Cst> {
+        self.terms.iter().filter_map(|t| t.as_cst()).collect()
+    }
+
+    /// `key(F)`: the set of variables occurring at primary-key positions.
+    pub fn key_vars(&self, sig: Signature) -> BTreeSet<Var> {
+        self.terms[..sig.key_len]
+            .iter()
+            .filter_map(|t| t.as_var())
+            .collect()
+    }
+
+    /// The key terms (positions `1..=k`), in order.
+    pub fn key_terms(&self, sig: Signature) -> &[Term] {
+        &self.terms[..sig.key_len]
+    }
+
+    /// The non-key terms (positions `k+1..=n`), in order.
+    pub fn nonkey_terms(&self, sig: Signature) -> &[Term] {
+        &self.terms[sig.key_len..]
+    }
+
+    /// Whether the atom is a *fact* (contains no variables).
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.is_cst())
+    }
+
+    /// Applies a variable substitution, leaving unmapped variables in place.
+    pub fn substitute(&self, map: &std::collections::BTreeMap<Var, Term>) -> Atom {
+        Atom {
+            rel: self.rel,
+            terms: self
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => map.get(v).copied().unwrap_or(*t),
+                    Term::Cst(_) => *t,
+                })
+                .collect(),
+        }
+    }
+
+    /// Positions (1-based) at which `v` occurs.
+    pub fn positions_of(&self, v: Var) -> Vec<usize> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (t.as_var() == Some(v)).then_some(i + 1))
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn atom() -> Atom {
+        // R(x, 'a', y, x)
+        Atom::new(
+            RelName::new("R"),
+            vec![Term::var("x"), Term::cst("a"), Term::var("y"), Term::var("x")],
+        )
+    }
+
+    #[test]
+    fn vars_and_consts() {
+        let a = atom();
+        assert_eq!(a.arity(), 4);
+        assert_eq!(
+            a.vars(),
+            [Var::new("x"), Var::new("y")].into_iter().collect()
+        );
+        assert_eq!(a.consts(), [Cst::new("a")].into_iter().collect());
+    }
+
+    #[test]
+    fn key_and_nonkey() {
+        let a = atom();
+        let sig = Signature::new(4, 2).unwrap();
+        assert_eq!(a.key_vars(sig), [Var::new("x")].into_iter().collect());
+        assert_eq!(a.key_terms(sig), &[Term::var("x"), Term::cst("a")]);
+        assert_eq!(a.nonkey_terms(sig), &[Term::var("y"), Term::var("x")]);
+    }
+
+    #[test]
+    fn term_at_is_one_based() {
+        let a = atom();
+        assert_eq!(a.term_at(1), Some(Term::var("x")));
+        assert_eq!(a.term_at(2), Some(Term::cst("a")));
+        assert_eq!(a.term_at(5), None);
+        assert_eq!(a.term_at(0), None);
+    }
+
+    #[test]
+    fn substitution() {
+        let a = atom();
+        let mut m = BTreeMap::new();
+        m.insert(Var::new("x"), Term::cst("c1"));
+        let b = a.substitute(&m);
+        assert_eq!(b.terms[0], Term::cst("c1"));
+        assert_eq!(b.terms[3], Term::cst("c1"));
+        assert_eq!(b.terms[2], Term::var("y"));
+        assert!(!b.is_ground());
+    }
+
+    #[test]
+    fn positions_of_var() {
+        let a = atom();
+        assert_eq!(a.positions_of(Var::new("x")), vec![1, 4]);
+        assert_eq!(a.positions_of(Var::new("z")), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(atom().to_string(), "R(x, 'a', y, x)");
+    }
+}

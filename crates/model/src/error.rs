@@ -1,0 +1,114 @@
+//! Typed errors for schema, query, foreign-key and parsing validation.
+
+use crate::schema::RelName;
+use std::fmt;
+
+/// Errors raised while building or validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Signature `[n, k]` requires `1 ≤ k ≤ n` and `n ≥ 1`.
+    BadSignature {
+        /// Relation being declared.
+        rel: String,
+        /// Declared arity.
+        arity: usize,
+        /// Declared key length.
+        key_len: usize,
+    },
+    /// The same relation was declared twice with different signatures.
+    ConflictingSignature(String),
+    /// An atom or fact refers to a relation absent from the schema.
+    UnknownRelation(String),
+    /// An atom or fact has the wrong number of terms.
+    ArityMismatch {
+        /// Offending relation.
+        rel: RelName,
+        /// Expected arity per the schema.
+        expected: usize,
+        /// Number of terms supplied.
+        got: usize,
+    },
+    /// A Boolean conjunctive query mentioned the same relation twice
+    /// (queries must be self-join-free).
+    SelfJoin(RelName),
+    /// A foreign key `R[i] → S` has `i` outside `[1, arity(R)]`.
+    BadFkPosition {
+        /// Source relation.
+        from: RelName,
+        /// Offending position.
+        pos: usize,
+    },
+    /// A foreign key references a relation whose primary key is not unary
+    /// (the paper requires the referenced key to be the single leftmost
+    /// attribute).
+    CompositeKeyReferenced(RelName),
+    /// A foreign key set is not *about* the query: either a relation of the
+    /// set does not occur in the query, or the query (with distinct variables
+    /// read as distinct constants) falsifies some foreign key.
+    NotAboutQuery {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A fact contained a variable or a query operation required a constant.
+    NonGroundTerm,
+    /// Text-syntax parse error.
+    Parse {
+        /// Human-readable explanation with position info.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadSignature { rel, arity, key_len } => write!(
+                f,
+                "invalid signature [{arity}, {key_len}] for {rel}: need 1 <= k <= n"
+            ),
+            ModelError::ConflictingSignature(rel) => {
+                write!(f, "relation {rel} declared twice with different signatures")
+            }
+            ModelError::UnknownRelation(rel) => write!(f, "unknown relation {rel}"),
+            ModelError::ArityMismatch { rel, expected, got } => {
+                write!(f, "{rel} expects {expected} terms, got {got}")
+            }
+            ModelError::SelfJoin(rel) => write!(
+                f,
+                "query mentions {rel} more than once; only self-join-free queries are supported"
+            ),
+            ModelError::BadFkPosition { from, pos } => {
+                write!(f, "foreign key position {from}[{pos}] is out of range")
+            }
+            ModelError::CompositeKeyReferenced(rel) => write!(
+                f,
+                "foreign key references {rel}, whose primary key is not unary"
+            ),
+            ModelError::NotAboutQuery { detail } => {
+                write!(f, "foreign keys are not about the query: {detail}")
+            }
+            ModelError::NonGroundTerm => write!(f, "expected a ground (constant) term"),
+            ModelError::Parse { detail } => write!(f, "parse error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::BadSignature {
+            rel: "R".into(),
+            arity: 2,
+            key_len: 3,
+        };
+        assert!(e.to_string().contains("[2, 3]"));
+        let e = ModelError::Parse {
+            detail: "unexpected ')'".into(),
+        };
+        assert!(e.to_string().contains("unexpected"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Conjunctive-query evaluation: homomorphism (valuation) search.
+//!
+//! A Boolean conjunctive query `q` is satisfied by `db` (`db ⊨ q`) if there
+//! is a valuation `θ` over `vars(q)` with `θ(q) ⊆ db` (paper §3.1). The
+//! search below is a backtracking join that picks, at each step, the atom
+//! with the fewest candidate facts under the current partial valuation,
+//! using the primary-key block index whenever the key prefix is ground.
+
+use crate::atom::Atom;
+use crate::fact::Fact;
+use crate::instance::Instance;
+use crate::intern::{Cst, Var};
+use crate::query::Query;
+use crate::term::Term;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A (partial) valuation: a mapping from variables to constants.
+pub type Valuation = BTreeMap<Var, Cst>;
+
+/// Applies a valuation to an atom; `None` if some variable is unbound.
+pub fn apply_atom(atom: &Atom, val: &Valuation) -> Option<Fact> {
+    let mut args = Vec::with_capacity(atom.arity());
+    for t in &atom.terms {
+        match t {
+            Term::Cst(c) => args.push(*c),
+            Term::Var(v) => args.push(*val.get(v)?),
+        }
+    }
+    Some(Fact::new(atom.rel, args))
+}
+
+/// Applies a valuation to a whole query; `None` if some variable is unbound.
+pub fn apply_query(q: &Query, val: &Valuation) -> Option<Vec<Fact>> {
+    q.atoms().iter().map(|a| apply_atom(a, val)).collect()
+}
+
+/// Unifies an atom with a fact, extending `base`. Fails on constant mismatch
+/// or inconsistent repeated variables.
+pub fn unify(atom: &Atom, fact: &Fact, base: &Valuation) -> Option<Valuation> {
+    if atom.rel != fact.rel || atom.arity() != fact.arity() {
+        return None;
+    }
+    let mut val = base.clone();
+    for (t, &a) in atom.terms.iter().zip(fact.args.iter()) {
+        match t {
+            Term::Cst(c) => {
+                if *c != a {
+                    return None;
+                }
+            }
+            Term::Var(v) => match val.get(v) {
+                Some(&bound) if bound != a => return None,
+                Some(_) => {}
+                None => {
+                    val.insert(*v, a);
+                }
+            },
+        }
+    }
+    Some(val)
+}
+
+/// Candidate facts for an atom under a partial valuation. Uses the block
+/// index when all key terms are ground.
+fn candidates(db: &Instance, atom: &Atom, val: &Valuation) -> Vec<Fact> {
+    let sig = db.sig(atom.rel);
+    let mut key: Vec<Cst> = Vec::with_capacity(sig.key_len);
+    for t in atom.key_terms(sig) {
+        match t {
+            Term::Cst(c) => key.push(*c),
+            Term::Var(v) => match val.get(v) {
+                Some(&c) => key.push(c),
+                None => return db.facts_of(atom.rel).collect(),
+            },
+        }
+    }
+    db.block(atom.rel, &key)
+}
+
+fn search(
+    db: &Instance,
+    remaining: &mut Vec<&Atom>,
+    val: &Valuation,
+    on_match: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    if remaining.is_empty() {
+        return on_match(val);
+    }
+    // Pick the atom with the fewest candidates (fail-first).
+    let mut best_idx = 0;
+    let mut best: Option<Vec<Fact>> = None;
+    for (i, atom) in remaining.iter().enumerate() {
+        let c = candidates(db, atom, val);
+        let better = match &best {
+            None => true,
+            Some(b) => c.len() < b.len(),
+        };
+        if better {
+            best_idx = i;
+            let empty = c.is_empty();
+            best = Some(c);
+            if empty {
+                break;
+            }
+        }
+    }
+    let cands = best.expect("remaining non-empty");
+    let atom = remaining.swap_remove(best_idx);
+    let mut stop = false;
+    for fact in cands {
+        if let Some(next) = unify(atom, &fact, val) {
+            if search(db, remaining, &next, on_match) {
+                stop = true;
+                break;
+            }
+        }
+    }
+    // restore for caller
+    remaining.push(atom);
+    let last = remaining.len() - 1;
+    remaining.swap(best_idx, last);
+    stop
+}
+
+/// Finds a valuation extending `base` with `θ(q) ⊆ db`.
+pub fn find_valuation_with(db: &Instance, q: &Query, base: &Valuation) -> Option<Valuation> {
+    let mut result = None;
+    let mut atoms: Vec<&Atom> = q.atoms().iter().collect();
+    search(db, &mut atoms, base, &mut |val| {
+        result = Some(val.clone());
+        true
+    });
+    result
+}
+
+/// Finds a valuation with `θ(q) ⊆ db`.
+pub fn find_valuation(db: &Instance, q: &Query) -> Option<Valuation> {
+    find_valuation_with(db, q, &Valuation::new())
+}
+
+/// `db ⊨ q`.
+pub fn satisfies(db: &Instance, q: &Query) -> bool {
+    find_valuation(db, q).is_some()
+}
+
+/// All total valuations over `vars(q)` with `θ(q) ⊆ db` (deduplicated).
+pub fn all_valuations(db: &Instance, q: &Query) -> Vec<Valuation> {
+    let mut out: BTreeSet<Valuation> = BTreeSet::new();
+    let mut atoms: Vec<&Atom> = q.atoms().iter().collect();
+    search(db, &mut atoms, &Valuation::new(), &mut |val| {
+        out.insert(val.clone());
+        false // keep enumerating
+    });
+    out.into_iter().collect()
+}
+
+/// A fact `A` is *relevant* for `q` in `db` if some valuation `θ` has
+/// `A ∈ θ(q) ⊆ db` (paper Appendix A). Returns all relevant facts.
+pub fn relevant_facts(db: &Instance, q: &Query) -> BTreeSet<Fact> {
+    let mut out = BTreeSet::new();
+    for atom in q.atoms() {
+        for fact in db.facts_of(atom.rel) {
+            if out.contains(&fact) {
+                continue;
+            }
+            if is_relevant(db, q, &fact) {
+                out.insert(fact);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the single fact `A` is relevant for `q` in `db`, i.e. some
+/// valuation maps the (unique) atom over `A`'s relation to `A` and embeds the
+/// rest of the query.
+pub fn is_relevant(db: &Instance, q: &Query, fact: &Fact) -> bool {
+    let Some(atom) = q.atom(fact.rel) else {
+        return false;
+    };
+    let Some(base) = unify(atom, fact, &Valuation::new()) else {
+        return false;
+    };
+    find_valuation_with(db, &q.without(fact.rel), &base).is_some()
+}
+
+/// Whether a block (given by one of its facts) is relevant for `q` in `db`:
+/// it contains at least one relevant fact (paper Appendix A).
+pub fn block_is_relevant(db: &Instance, q: &Query, member: &Fact) -> bool {
+    db.block_of(member)
+        .iter()
+        .any(|fact| is_relevant(db, q, fact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RelName, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        let mut s = Schema::new();
+        s.add("R", 2, 1).unwrap();
+        s.add("S", 2, 1).unwrap();
+        s.add("T", 1, 1).unwrap();
+        Arc::new(s)
+    }
+
+    fn q_rst() -> Query {
+        // {R(x, y), S(y, z), T(z)}
+        Query::new(
+            schema(),
+            vec![
+                Atom::new(RelName::new("R"), vec![Term::var("x"), Term::var("y")]),
+                Atom::new(RelName::new("S"), vec![Term::var("y"), Term::var("z")]),
+                Atom::new(RelName::new("T"), vec![Term::var("z")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn db() -> Instance {
+        let mut db = Instance::new(schema());
+        db.insert_named("R", &["a", "b"]).unwrap();
+        db.insert_named("R", &["a", "c"]).unwrap();
+        db.insert_named("S", &["b", "d"]).unwrap();
+        db.insert_named("S", &["x", "y"]).unwrap();
+        db.insert_named("T", &["d"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn satisfaction_via_join() {
+        assert!(satisfies(&db(), &q_rst()));
+        let val = find_valuation(&db(), &q_rst()).unwrap();
+        assert_eq!(val[&Var::new("x")], Cst::new("a"));
+        assert_eq!(val[&Var::new("y")], Cst::new("b"));
+        assert_eq!(val[&Var::new("z")], Cst::new("d"));
+    }
+
+    #[test]
+    fn unsatisfied_when_chain_broken() {
+        let mut d = db();
+        d.remove(&Fact::from_names("T", &["d"]));
+        assert!(!satisfies(&d, &q_rst()));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let q = Query::new(
+            schema(),
+            vec![Atom::new(
+                RelName::new("R"),
+                vec![Term::var("x"), Term::cst("zzz")],
+            )],
+        )
+        .unwrap();
+        assert!(!satisfies(&db(), &q));
+        let q2 = Query::new(
+            schema(),
+            vec![Atom::new(
+                RelName::new("R"),
+                vec![Term::var("x"), Term::cst("b")],
+            )],
+        )
+        .unwrap();
+        assert!(satisfies(&db(), &q2));
+    }
+
+    #[test]
+    fn repeated_variables_enforced() {
+        // R(x, x) only matches facts with equal components.
+        let q = Query::new(
+            schema(),
+            vec![Atom::new(
+                RelName::new("R"),
+                vec![Term::var("x"), Term::var("x")],
+            )],
+        )
+        .unwrap();
+        assert!(!satisfies(&db(), &q));
+        let mut d = db();
+        d.insert_named("R", &["e", "e"]).unwrap();
+        assert!(satisfies(&d, &q));
+    }
+
+    #[test]
+    fn partial_valuation_respected() {
+        let mut base = Valuation::new();
+        base.insert(Var::new("x"), Cst::new("nope"));
+        assert!(find_valuation_with(&db(), &q_rst(), &base).is_none());
+        let mut base2 = Valuation::new();
+        base2.insert(Var::new("x"), Cst::new("a"));
+        assert!(find_valuation_with(&db(), &q_rst(), &base2).is_some());
+    }
+
+    #[test]
+    fn all_valuations_enumeration() {
+        // {R(x, y)} has two embeddings in db.
+        let q = Query::new(
+            schema(),
+            vec![Atom::new(
+                RelName::new("R"),
+                vec![Term::var("x"), Term::var("y")],
+            )],
+        )
+        .unwrap();
+        assert_eq!(all_valuations(&db(), &q).len(), 2);
+    }
+
+    #[test]
+    fn empty_query_always_true() {
+        let q = Query::empty(schema());
+        assert!(satisfies(&Instance::new(schema()), &q));
+        assert_eq!(all_valuations(&db(), &q).len(), 1); // the empty valuation
+    }
+
+    #[test]
+    fn relevance() {
+        let d = db();
+        let q = q_rst();
+        let rel = relevant_facts(&d, &q);
+        // Only the R(a,b) → S(b,d) → T(d) chain is relevant.
+        assert!(rel.contains(&Fact::from_names("R", &["a", "b"])));
+        assert!(rel.contains(&Fact::from_names("S", &["b", "d"])));
+        assert!(rel.contains(&Fact::from_names("T", &["d"])));
+        assert!(!rel.contains(&Fact::from_names("R", &["a", "c"])));
+        assert!(!rel.contains(&Fact::from_names("S", &["x", "y"])));
+
+        // Block relevance: the R(a,·) block is relevant via R(a,b).
+        assert!(block_is_relevant(&d, &q, &Fact::from_names("R", &["a", "c"])));
+        assert!(!block_is_relevant(
+            &d,
+            &q,
+            &Fact::from_names("S", &["x", "y"])
+        ));
+    }
+
+    #[test]
+    fn unify_rejects_mismatches() {
+        let atom = Atom::new(RelName::new("R"), vec![Term::var("x"), Term::var("x")]);
+        let f1 = Fact::from_names("R", &["a", "a"]);
+        let f2 = Fact::from_names("R", &["a", "b"]);
+        assert!(unify(&atom, &f1, &Valuation::new()).is_some());
+        assert!(unify(&atom, &f2, &Valuation::new()).is_none());
+        let f3 = Fact::from_names("S", &["a", "a"]);
+        assert!(unify(&atom, &f3, &Valuation::new()).is_none());
+    }
+}

@@ -1,0 +1,523 @@
+//! Database instances with primary-key *block* indexes.
+//!
+//! A *block* (paper §3.1) is a maximal set of key-equal facts; repairs with
+//! respect to primary keys choose at most one fact per block. The instance
+//! keeps, per relation, a map from key prefix to the facts of that block, so
+//! block enumeration — the primitive of every CQA algorithm — is direct.
+
+use crate::error::ModelError;
+use crate::fact::Fact;
+use crate::fk::{FkSet, ForeignKey};
+use crate::intern::Cst;
+use crate::schema::{RelName, Schema, Signature};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Per-relation fact store with a block index.
+#[derive(Clone, Debug, Default)]
+struct RelStore {
+    rows: BTreeSet<Box<[Cst]>>,
+    /// key prefix → rows of the block (kept sorted for determinism).
+    blocks: BTreeMap<Box<[Cst]>, BTreeSet<Box<[Cst]>>>,
+}
+
+/// A finite set of facts over a schema.
+#[derive(Clone)]
+pub struct Instance {
+    schema: Arc<Schema>,
+    rels: BTreeMap<RelName, RelStore>,
+    len: usize,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new(schema: Arc<Schema>) -> Instance {
+        Instance {
+            schema,
+            rels: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Inserts a fact; returns `Ok(true)` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> Result<bool, ModelError> {
+        let sig = self.schema.expect(fact.rel)?;
+        if fact.arity() != sig.arity {
+            return Err(ModelError::ArityMismatch {
+                rel: fact.rel,
+                expected: sig.arity,
+                got: fact.arity(),
+            });
+        }
+        let store = self.rels.entry(fact.rel).or_default();
+        let key: Box<[Cst]> = fact.key(sig).into();
+        if store.rows.insert(fact.args.clone()) {
+            store.blocks.entry(key).or_default().insert(fact.args);
+            self.len += 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Convenience: inserts `rel(args…)` by name.
+    pub fn insert_named(&mut self, rel: &str, args: &[&str]) -> Result<bool, ModelError> {
+        self.insert(Fact::from_names(rel, args))
+    }
+
+    /// Removes a fact; returns whether it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        let Some(sig) = self.schema.signature(fact.rel) else {
+            return false;
+        };
+        let Some(store) = self.rels.get_mut(&fact.rel) else {
+            return false;
+        };
+        if store.rows.remove(&fact.args) {
+            let key: Box<[Cst]> = fact.key(sig).into();
+            if let Some(block) = store.blocks.get_mut(&key) {
+                block.remove(&fact.args);
+                if block.is_empty() {
+                    store.blocks.remove(&key);
+                }
+            }
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the instance contains `fact`.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.rels
+            .get(&fact.rel)
+            .map(|s| s.rows.contains(&fact.args))
+            .unwrap_or(false)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All facts, in canonical order.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rels.iter().flat_map(|(rel, store)| {
+            store.rows.iter().map(move |row| Fact::new(*rel, row.clone()))
+        })
+    }
+
+    /// Facts of one relation, in canonical order.
+    pub fn facts_of(&self, rel: RelName) -> impl Iterator<Item = Fact> + '_ {
+        self.rels
+            .get(&rel)
+            .into_iter()
+            .flat_map(move |store| store.rows.iter().map(move |row| Fact::new(rel, row.clone())))
+    }
+
+    /// Number of facts of one relation.
+    pub fn count_of(&self, rel: RelName) -> usize {
+        self.rels.get(&rel).map(|s| s.rows.len()).unwrap_or(0)
+    }
+
+    /// The block `R(⃗a, ∗)`: all facts of `rel` with key prefix `key`.
+    pub fn block(&self, rel: RelName, key: &[Cst]) -> Vec<Fact> {
+        match self.rels.get(&rel) {
+            Some(store) => store
+                .blocks
+                .get(key)
+                .map(|rows| rows.iter().map(|r| Fact::new(rel, r.clone())).collect())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// `block(A, db)`: the block containing `fact` (empty if absent relation).
+    pub fn block_of(&self, fact: &Fact) -> Vec<Fact> {
+        match self.schema.signature(fact.rel) {
+            Some(sig) => self.block(fact.rel, fact.key(sig)),
+            None => Vec::new(),
+        }
+    }
+
+    /// All blocks of `rel` as `(key, facts)` pairs, in canonical order.
+    pub fn blocks(&self, rel: RelName) -> Vec<(Box<[Cst]>, Vec<Fact>)> {
+        match self.rels.get(&rel) {
+            Some(store) => store
+                .blocks
+                .iter()
+                .map(|(k, rows)| {
+                    (
+                        k.clone(),
+                        rows.iter().map(|r| Fact::new(rel, r.clone())).collect(),
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Relations with at least one fact.
+    pub fn populated_relations(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.rels
+            .iter()
+            .filter(|(_, s)| !s.rows.is_empty())
+            .map(|(r, _)| *r)
+    }
+
+    /// `adom(db)`: the active domain.
+    pub fn adom(&self) -> BTreeSet<Cst> {
+        self.facts().flat_map(|f| f.args.to_vec()).collect()
+    }
+
+    /// `keyconst(db)`: constants appearing at some primary-key position
+    /// (paper Appendix B).
+    pub fn key_consts(&self) -> BTreeSet<Cst> {
+        let mut out = BTreeSet::new();
+        for (rel, store) in &self.rels {
+            let sig = self.schema.signature(*rel).expect("validated on insert");
+            for row in &store.rows {
+                out.extend(row[..sig.key_len].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// A constant is *orphan* in `db` if it occurs exactly once, at a
+    /// non-primary-key position (paper Appendix A).
+    pub fn is_orphan_const(&self, c: Cst) -> bool {
+        let mut occurrences = 0usize;
+        let mut at_nonkey = false;
+        for (rel, store) in &self.rels {
+            let sig = self.schema.signature(*rel).expect("validated on insert");
+            for row in &store.rows {
+                for (i, &a) in row.iter().enumerate() {
+                    if a == c {
+                        occurrences += 1;
+                        if occurrences > 1 {
+                            return false;
+                        }
+                        at_nonkey = i + 1 > sig.key_len;
+                    }
+                }
+            }
+        }
+        occurrences == 1 && at_nonkey
+    }
+
+    /// Whether the instance satisfies all primary keys (no two distinct
+    /// key-equal facts).
+    pub fn satisfies_pk(&self) -> bool {
+        self.rels
+            .values()
+            .all(|s| s.blocks.values().all(|b| b.len() <= 1))
+    }
+
+    /// The blocks violating a primary key, as `(rel, key)` pairs.
+    pub fn pk_violations(&self) -> Vec<(RelName, Box<[Cst]>)> {
+        let mut out = Vec::new();
+        for (rel, store) in &self.rels {
+            for (key, rows) in &store.blocks {
+                if rows.len() > 1 {
+                    out.push((*rel, key.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `fact` is dangling in this instance with respect to `fk`
+    /// (paper §3.2): no `S`-fact whose key equals the fact's `i`-th value.
+    pub fn is_dangling(&self, fact: &Fact, fk: &ForeignKey) -> bool {
+        if fact.rel != fk.from {
+            return false;
+        }
+        let Some(v) = fact.arg_at(fk.pos) else {
+            return true;
+        };
+        self.block(fk.to, &[v]).is_empty()
+    }
+
+    /// Whether `fact` is dangling with respect to *some* key of `fks`.
+    pub fn is_dangling_any(&self, fact: &Fact, fks: &FkSet) -> bool {
+        fks.iter().any(|fk| self.is_dangling(fact, fk))
+    }
+
+    /// All dangling facts with respect to `fks`.
+    pub fn dangling_facts(&self, fks: &FkSet) -> Vec<Fact> {
+        self.facts()
+            .filter(|f| self.is_dangling_any(f, fks))
+            .collect()
+    }
+
+    /// Whether the instance satisfies all foreign keys of `fks`.
+    pub fn satisfies_fks(&self, fks: &FkSet) -> bool {
+        self.facts().all(|f| !self.is_dangling_any(&f, fks))
+    }
+
+    /// Whether the instance is consistent with respect to `PK ∪ FK`.
+    pub fn is_consistent(&self, fks: &FkSet) -> bool {
+        self.satisfies_pk() && self.satisfies_fks(fks)
+    }
+
+    /// `db ∪ other`.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for f in other.facts() {
+            out.insert(f).expect("schemas compatible");
+        }
+        out
+    }
+
+    /// `db ∖ other` as a new instance.
+    pub fn difference(&self, other: &Instance) -> Instance {
+        let mut out = Instance::new(self.schema.clone());
+        for f in self.facts() {
+            if !other.contains(&f) {
+                out.insert(f).expect("same schema");
+            }
+        }
+        out
+    }
+
+    /// `db ⊕ other`: symmetric difference as a fact set.
+    pub fn symmetric_difference(&self, other: &Instance) -> BTreeSet<Fact> {
+        let mut out: BTreeSet<Fact> = self.facts().filter(|f| !other.contains(f)).collect();
+        out.extend(other.facts().filter(|f| !self.contains(f)));
+        out
+    }
+
+    /// Intersection `db ∩ other` as a new instance.
+    pub fn intersection(&self, other: &Instance) -> Instance {
+        let mut out = Instance::new(self.schema.clone());
+        for f in self.facts() {
+            if other.contains(&f) {
+                out.insert(f).expect("same schema");
+            }
+        }
+        out
+    }
+
+    /// Whether `self ⊆ other` as fact sets.
+    pub fn subset_of(&self, other: &Instance) -> bool {
+        self.facts().all(|f| other.contains(&f))
+    }
+
+    /// `db↾rels`: restriction to facts whose relation is in `keep`.
+    pub fn restrict(&self, keep: &BTreeSet<RelName>) -> Instance {
+        let mut out = Instance::new(self.schema.clone());
+        for f in self.facts() {
+            if keep.contains(&f.rel) {
+                out.insert(f).expect("same schema");
+            }
+        }
+        out
+    }
+
+    /// Builds an instance from facts.
+    pub fn from_facts(
+        schema: Arc<Schema>,
+        facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<Instance, ModelError> {
+        let mut out = Instance::new(schema);
+        for f in facts {
+            out.insert(f)?;
+        }
+        Ok(out)
+    }
+
+    /// The signature of `rel` (panics if absent; instances validate inserts).
+    pub fn sig(&self, rel: RelName) -> Signature {
+        self.schema.signature(rel).expect("validated on insert")
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.subset_of(other)
+    }
+}
+
+impl Eq for Instance {}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.facts().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        let mut s = Schema::new();
+        s.add("R", 2, 1).unwrap();
+        s.add("S", 2, 1).unwrap();
+        Arc::new(s)
+    }
+
+    fn db() -> Instance {
+        let mut db = Instance::new(schema());
+        db.insert_named("R", &["a", "1"]).unwrap();
+        db.insert_named("R", &["a", "2"]).unwrap();
+        db.insert_named("R", &["b", "1"]).unwrap();
+        db.insert_named("S", &["1", "x"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_dedup_and_len() {
+        let mut db = db();
+        assert_eq!(db.len(), 4);
+        assert!(!db.insert_named("R", &["a", "1"]).unwrap());
+        assert_eq!(db.len(), 4);
+        assert!(db.contains(&Fact::from_names("R", &["a", "1"])));
+    }
+
+    #[test]
+    fn arity_validated() {
+        let mut db = db();
+        assert!(matches!(
+            db.insert_named("R", &["a"]),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+        assert!(db.insert_named("Zzz", &["a"]).is_err());
+    }
+
+    #[test]
+    fn blocks_and_block_of() {
+        let db = db();
+        let block = db.block(RelName::new("R"), &[Cst::new("a")]);
+        assert_eq!(block.len(), 2);
+        let blocks = db.blocks(RelName::new("R"));
+        assert_eq!(blocks.len(), 2);
+        let b = db.block_of(&Fact::from_names("R", &["a", "1"]));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn pk_violation_detection() {
+        let db = db();
+        assert!(!db.satisfies_pk());
+        let v = db.pk_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, RelName::new("R"));
+
+        let mut clean = Instance::new(schema());
+        clean.insert_named("R", &["a", "1"]).unwrap();
+        clean.insert_named("R", &["b", "1"]).unwrap();
+        assert!(clean.satisfies_pk());
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let db = db();
+        let fk = ForeignKey::from_names("R", 2, "S");
+        // R(a,1) references S(1,·) which exists; R(a,2) dangles.
+        assert!(!db.is_dangling(&Fact::from_names("R", &["a", "1"]), &fk));
+        assert!(db.is_dangling(&Fact::from_names("R", &["a", "2"]), &fk));
+        let fks = FkSet::new(schema(), vec![fk]).unwrap();
+        let dangling = db.dangling_facts(&fks);
+        assert_eq!(dangling.len(), 1);
+        assert!(!db.satisfies_fks(&fks));
+    }
+
+    #[test]
+    fn set_operations() {
+        let db = db();
+        let mut other = Instance::new(schema());
+        other.insert_named("R", &["a", "1"]).unwrap();
+        other.insert_named("S", &["9", "z"]).unwrap();
+
+        let inter = db.intersection(&other);
+        assert_eq!(inter.len(), 1);
+
+        let diff = db.difference(&other);
+        assert_eq!(diff.len(), 3);
+
+        let sym = db.symmetric_difference(&other);
+        assert_eq!(sym.len(), 4); // 3 only-in-db + 1 only-in-other
+
+        let uni = db.union(&other);
+        assert_eq!(uni.len(), 5);
+        assert!(db.subset_of(&uni));
+        assert!(!uni.subset_of(&db));
+    }
+
+    #[test]
+    fn adom_and_key_consts() {
+        let db = db();
+        assert!(db.adom().contains(&Cst::new("x")));
+        let kc = db.key_consts();
+        assert!(kc.contains(&Cst::new("a")));
+        assert!(kc.contains(&Cst::new("1"))); // S's key
+        assert!(!kc.contains(&Cst::new("x")));
+    }
+
+    #[test]
+    fn orphan_constants() {
+        let db = db();
+        // "x" occurs once at a non-key position of S.
+        assert!(db.is_orphan_const(Cst::new("x")));
+        // "1" occurs three times.
+        assert!(!db.is_orphan_const(Cst::new("1")));
+        // "b" occurs once but at a key position.
+        assert!(!db.is_orphan_const(Cst::new("b")));
+    }
+
+    #[test]
+    fn restriction() {
+        let db = db();
+        let r = db.restrict(&[RelName::new("S")].into_iter().collect());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.count_of(RelName::new("R")), 0);
+    }
+
+    #[test]
+    fn remove() {
+        let mut db = db();
+        assert!(db.remove(&Fact::from_names("R", &["a", "2"])));
+        assert!(!db.remove(&Fact::from_names("R", &["a", "2"])));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.block(RelName::new("R"), &[Cst::new("a")]).len(), 1);
+        assert!(db.satisfies_pk());
+    }
+
+    #[test]
+    fn equality_is_setwise() {
+        let a = db();
+        let mut b = Instance::new(schema());
+        // insert in a different order
+        b.insert_named("S", &["1", "x"]).unwrap();
+        b.insert_named("R", &["b", "1"]).unwrap();
+        b.insert_named("R", &["a", "2"]).unwrap();
+        b.insert_named("R", &["a", "1"]).unwrap();
+        assert_eq!(a, b);
+    }
+}

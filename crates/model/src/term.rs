@@ -1,0 +1,109 @@
+//! Terms: variables or constants.
+
+use crate::intern::{Cst, Var};
+use std::fmt;
+
+/// A term is a variable or a constant (paper §3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A query variable.
+    Var(Var),
+    /// A constant.
+    Cst(Cst),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Convenience constructor for a constant term.
+    pub fn cst(name: &str) -> Term {
+        Term::Cst(Cst::new(name))
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Cst(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_cst(self) -> Option<Cst> {
+        match self {
+            Term::Cst(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Whether the term is a variable.
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Whether the term is a constant.
+    pub fn is_cst(self) -> bool {
+        matches!(self, Term::Cst(_))
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl From<Cst> for Term {
+    fn from(c: Cst) -> Term {
+        Term::Cst(c)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Cst(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let t = Term::var("x");
+        assert!(t.is_var());
+        assert_eq!(t.as_var(), Some(Var::new("x")));
+        assert_eq!(t.as_cst(), None);
+
+        let c = Term::cst("a");
+        assert!(c.is_cst());
+        assert_eq!(c.as_cst(), Some(Cst::new("a")));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::cst("a").to_string(), "'a'");
+    }
+
+    #[test]
+    fn from_impls() {
+        let v: Term = Var::new("x").into();
+        assert!(v.is_var());
+        let c: Term = Cst::new("a").into();
+        assert!(c.is_cst());
+    }
+}

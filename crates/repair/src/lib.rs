@@ -1,0 +1,39 @@
+//! # cqa-repair
+//!
+//! Symmetric-difference (⊕) repair semantics for primary keys and unary
+//! foreign keys, exactly as defined in §3.3 of the reproduced paper:
+//!
+//! * the ⊕-closeness preorder `⪯_db` and **exact ⊕-repair verification**
+//!   for finite candidate instances ([`delta`]);
+//! * enumeration of primary-key repairs (one fact per block) and certainty by
+//!   exhaustion for `FK = ∅` ([`mod@pk_repairs`]);
+//! * the foreign-key **chase** with fresh constants, used both by the
+//!   repair-search oracle and by the paper's Appendix-B constructions
+//!   ([`chase`]);
+//! * an exhaustive **certainty oracle** for small instances — the ground
+//!   truth every classifier and rewriting in this workspace is tested
+//!   against ([`oracle`]).
+//!
+//! The oracle is deliberately exponential: it realizes the generic
+//! "enumerate repairs" baseline whose cost the paper's FO rewritings avoid,
+//! and doubles as the baseline in the `fo_vs_naive` benchmark (DESIGN.md,
+//! experiment E13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod counting;
+pub mod delta;
+pub mod limits;
+pub mod oracle;
+pub mod pre_repair;
+pub mod pk_repairs;
+
+pub use chase::{chase_fresh, ChaseError};
+pub use counting::{count_satisfying_pk_repairs, exact_satisfaction_ratio, sampled_satisfaction_ratio};
+pub use delta::{closer_eq, is_delta_repair, strictly_closer};
+pub use limits::SearchLimits;
+pub use oracle::{CertaintyOracle, OracleOutcome};
+pub use pk_repairs::{count_pk_repairs, pk_certain, pk_repairs};
+pub use pre_repair::{cap_closer, is_irrelevantly_dangling};

@@ -1,0 +1,50 @@
+//! Resource limits for the exhaustive repair search.
+//!
+//! The oracle is exponential by design (it is the ground truth, not the
+//! algorithm). Limits keep it honest: when a search would exceed them, the
+//! oracle reports [`crate::OracleOutcome::Inconclusive`] instead of guessing.
+
+/// Limits for repair enumeration and chase expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Maximum number of candidate block-choice combinations to enumerate.
+    pub max_candidates: u64,
+    /// Maximum number of facts the chase may insert per candidate.
+    pub max_chase_inserts: usize,
+    /// Maximum number of dominating instances examined per ⊕-minimality
+    /// check.
+    pub max_domination_checks: u64,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_candidates: 1_000_000,
+            max_chase_inserts: 64,
+            max_domination_checks: 4_000_000,
+        }
+    }
+}
+
+impl SearchLimits {
+    /// A small limit set for quick tests.
+    pub fn small() -> Self {
+        SearchLimits {
+            max_candidates: 50_000,
+            max_chase_inserts: 16,
+            max_domination_checks: 200_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous() {
+        let l = SearchLimits::default();
+        assert!(l.max_candidates >= 100_000);
+        assert!(l.max_chase_inserts >= 16);
+    }
+}

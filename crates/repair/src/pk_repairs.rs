@@ -1,0 +1,153 @@
+//! Primary-key repairs: one fact per block (paper §3.1).
+//!
+//! With `FK = ∅`, the ⊕-repairs of `db` are exactly the maximal subsets with
+//! no two key-equal facts — the products of choosing one fact from every
+//! block. Insertions never occur (dropping an inserted fact always yields a
+//! strictly ⊕-closer consistent instance), so enumeration is direct.
+
+use cqa_model::{Fact, Instance, Query};
+
+/// Enumerates all primary-key repairs of `db`.
+///
+/// The number of repairs is the product of block sizes, so this is for small
+/// instances and ground-truth testing (which is its purpose).
+pub fn pk_repairs(db: &Instance) -> Vec<Instance> {
+    let mut blocks: Vec<Vec<Fact>> = Vec::new();
+    for rel in db.populated_relations() {
+        for (_, facts) in db.blocks(rel) {
+            blocks.push(facts);
+        }
+    }
+    let mut out = Vec::new();
+    let mut current: Vec<Fact> = Vec::new();
+    build(db, &blocks, 0, &mut current, &mut out);
+    out
+}
+
+fn build(
+    db: &Instance,
+    blocks: &[Vec<Fact>],
+    idx: usize,
+    current: &mut Vec<Fact>,
+    out: &mut Vec<Instance>,
+) {
+    if idx == blocks.len() {
+        let mut r = Instance::new(db.schema().clone());
+        for f in current.iter() {
+            r.insert(f.clone()).expect("db fact");
+        }
+        out.push(r);
+        return;
+    }
+    for f in &blocks[idx] {
+        current.push(f.clone());
+        build(db, blocks, idx + 1, current, out);
+        current.pop();
+    }
+}
+
+/// The number of primary-key repairs (the product of block sizes).
+pub fn count_pk_repairs(db: &Instance) -> u128 {
+    let mut n: u128 = 1;
+    for rel in db.populated_relations() {
+        for (_, facts) in db.blocks(rel) {
+            n = n.saturating_mul(facts.len() as u128);
+        }
+    }
+    n
+}
+
+/// `CERTAINTY(q)` by exhaustive repair enumeration: does every primary-key
+/// repair of `db` satisfy `q`?
+pub fn pk_certain(db: &Instance, q: &Query) -> bool {
+    let mut blocks: Vec<Vec<Fact>> = Vec::new();
+    for rel in db.populated_relations() {
+        for (_, facts) in db.blocks(rel) {
+            blocks.push(facts);
+        }
+    }
+    let mut current: Vec<Fact> = Vec::new();
+    all_satisfy(db, q, &blocks, 0, &mut current)
+}
+
+fn all_satisfy(
+    db: &Instance,
+    q: &Query,
+    blocks: &[Vec<Fact>],
+    idx: usize,
+    current: &mut Vec<Fact>,
+) -> bool {
+    if idx == blocks.len() {
+        let mut r = Instance::new(db.schema().clone());
+        for f in current.iter() {
+            r.insert(f.clone()).expect("db fact");
+        }
+        return cqa_model::satisfies(&r, q);
+    }
+    for f in &blocks[idx] {
+        current.push(f.clone());
+        let ok = all_satisfy(db, q, blocks, idx + 1, current);
+        current.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_instance, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn repair_count_is_block_product() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let db = parse_instance(&s, "R(a,1) R(a,2) R(b,1) S(x,1) S(x,2) S(x,3)").unwrap();
+        assert_eq!(count_pk_repairs(&db), 2 * 3);
+        let repairs = pk_repairs(&db);
+        assert_eq!(repairs.len(), 6);
+        for r in &repairs {
+            assert!(r.satisfies_pk());
+            assert!(r.subset_of(&db));
+            assert_eq!(r.len(), 3); // one per block
+        }
+        // All repairs distinct.
+        for i in 0..repairs.len() {
+            for j in (i + 1)..repairs.len() {
+                assert_ne!(repairs[i], repairs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn certainty_by_enumeration() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+        // Certain: both choices of the R-block chain into S.
+        let yes = parse_instance(&s, "R(a,b) R(a,c) S(b,1) S(c,2)").unwrap();
+        assert!(pk_certain(&yes, &q));
+        // Not certain: the repair picking R(a,c) fails.
+        let no = parse_instance(&s, "R(a,b) R(a,c) S(b,1)").unwrap();
+        assert!(!pk_certain(&no, &q));
+    }
+
+    #[test]
+    fn consistent_db_single_repair() {
+        let s = Arc::new(parse_schema("R[2,1]").unwrap());
+        let db = parse_instance(&s, "R(a,1) R(b,2)").unwrap();
+        let repairs = pk_repairs(&db);
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0], db);
+    }
+
+    #[test]
+    fn empty_db() {
+        let s = Arc::new(parse_schema("R[2,1]").unwrap());
+        let db = Instance::new(s.clone());
+        assert_eq!(pk_repairs(&db).len(), 1);
+        let q = parse_query(&s, "R(x,y)").unwrap();
+        assert!(!pk_certain(&db, &q));
+    }
+}

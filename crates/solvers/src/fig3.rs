@@ -1,0 +1,139 @@
+//! The Figure 3 reduction: directed reachability → complement of
+//! `CERTAINTY({N(x,'c',y), O(y)}, {N[3]→O})`.
+//!
+//! Given an (acyclic) digraph `G` with source `s` and target `t`:
+//!
+//! * for every vertex `v ≠ t`: a fact `N(v, c, v)`;
+//! * for every edge `(u, w)`: a fact `N(u, d, w)`;
+//! * one fact `O(s)`.
+//!
+//! Then the database is a **no**-instance iff `t` is reachable from `s` —
+//! the falsifying repair walks the path, repeatedly choosing the `d`-fact of
+//! the current block and inserting the `O`-fact that activates the next
+//! block (paper §7). This is the NL-hardness witness family of Lemma 15 and
+//! powers the `fig3_reachability` benchmark (experiment E6).
+
+use crate::reach::DiGraph;
+use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+use cqa_model::{Cst, Fact, FkSet, Instance, Query, RelName, Schema};
+use std::sync::Arc;
+
+/// A generated Figure-3 instance.
+#[derive(Clone, Debug)]
+pub struct Fig3Instance {
+    /// The schema `N[3,1] O[1,1]`.
+    pub schema: Arc<Schema>,
+    /// The query `{N(x,'c',y), O(y)}`.
+    pub query: Query,
+    /// The foreign keys `{N[3]→O}`.
+    pub fks: FkSet,
+    /// The generated database.
+    pub db: Instance,
+    /// Whether `t` was reachable from `s` in the source graph (ground
+    /// truth: iff this holds, `db` is a no-instance).
+    pub reachable: bool,
+}
+
+/// Builds the reduction instance from `(g, s, t)`. The graph should be
+/// acyclic (reachability remains NL-hard on DAGs); vertices are rendered as
+/// constants `v{i}`.
+pub fn reduce(g: &DiGraph, s: usize, t: usize) -> Fig3Instance {
+    let schema = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+    let query = parse_query(&schema, "N(x,'c',y), O(y)").unwrap();
+    let fks = parse_fks(&schema, "N[3] -> O").unwrap();
+
+    let name = |v: usize| Cst::new(&format!("v{v}"));
+    let c = Cst::new("c");
+    let d = Cst::new("d");
+    let n = RelName::new("N");
+    let o = RelName::new("O");
+
+    let mut db = Instance::new(schema.clone());
+    for v in g.vertices() {
+        if v != t {
+            db.insert(Fact::new(n, vec![name(v), c, name(v)]))
+                .expect("schema ok");
+        }
+    }
+    for (u, w) in g.edges() {
+        db.insert(Fact::new(n, vec![name(u), d, name(w)]))
+            .expect("schema ok");
+    }
+    db.insert(Fact::new(o, vec![name(s)])).expect("schema ok");
+
+    Fig3Instance {
+        schema,
+        query,
+        fks,
+        db,
+        reachable: g.reachable(s, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_repair::{CertaintyOracle, OracleOutcome};
+
+    fn verify(g: &DiGraph, s: usize, t: usize) {
+        let inst = reduce(g, s, t);
+        // Fast solver (Proposition 17 engine).
+        let fast = crate::prop17::certain(&inst.db, Cst::new("c"));
+        assert_eq!(
+            fast, !inst.reachable,
+            "solver: no-instance iff reachable; graph {g:?} s={s} t={t}"
+        );
+        // Exhaustive oracle on small instances.
+        if inst.db.len() <= 10 {
+            match CertaintyOracle::new().is_certain(&inst.db, &inst.query, &inst.fks) {
+                OracleOutcome::Certain => assert!(!inst.reachable),
+                OracleOutcome::NotCertain(_) => assert!(inst.reachable),
+                OracleOutcome::Inconclusive(why) => panic!("oracle inconclusive: {why}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1);
+        verify(&g, 0, 1); // reachable → no-instance
+        verify(&g, 1, 0); // not reachable → yes-instance
+    }
+
+    #[test]
+    fn fig3_example_graph() {
+        // The paper's Figure 3 graph: s→1, s→2, 2→t (s=0, t=3).
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        verify(&g, 0, 3);
+
+        // Disconnect t: every path from s dies elsewhere → yes-instance.
+        let mut g2 = DiGraph::new();
+        g2.add_edge(0, 1);
+        g2.add_edge(0, 2);
+        g2.add_vertex(3);
+        verify(&g2, 0, 3);
+    }
+
+    #[test]
+    fn longer_paths_and_dead_ends() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 4);
+        g.add_edge(1, 3); // dead end
+        verify(&g, 0, 4);
+        verify(&g, 3, 4);
+    }
+
+    #[test]
+    fn isolated_source() {
+        let mut g = DiGraph::new();
+        g.add_vertex(0);
+        g.add_vertex(1);
+        verify(&g, 0, 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Horn and dual-Horn satisfiability with unit propagation.
+//!
+//! A clause is *Horn* if it has at most one positive literal, and *dual
+//! Horn* if it has at most one negative literal. Satisfiability of either is
+//! decidable in linear time by unit propagation and is P-complete
+//! (Schaefer) — exactly the engine Proposition 17 of the paper reduces to
+//! (DUAL HORN SAT).
+
+use std::collections::BTreeSet;
+
+/// A CNF clause with positive and negative variable occurrences.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clause {
+    /// Positive literals.
+    pub pos: Vec<usize>,
+    /// Negated literals.
+    pub neg: Vec<usize>,
+}
+
+/// A conjunction of Horn clauses (≤ 1 positive literal each).
+#[derive(Clone, Debug, Default)]
+pub struct HornFormula {
+    clauses: Vec<Clause>,
+    num_vars: usize,
+}
+
+impl HornFormula {
+    /// Creates an empty formula.
+    pub fn new() -> HornFormula {
+        HornFormula::default()
+    }
+
+    /// Adds a clause `⋁neg̅ ∨ ⋁pos`; panics if it is not Horn.
+    pub fn add_clause(&mut self, neg: Vec<usize>, pos: Vec<usize>) {
+        assert!(pos.len() <= 1, "Horn clauses have at most one positive literal");
+        for &v in neg.iter().chain(pos.iter()) {
+            self.num_vars = self.num_vars.max(v + 1);
+        }
+        self.clauses.push(Clause { pos, neg });
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the formula has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Unit propagation. Returns the minimal model (the set of variables
+    /// forced true) if satisfiable, `None` otherwise.
+    pub fn solve(&self) -> Option<BTreeSet<usize>> {
+        let mut true_vars = vec![false; self.num_vars];
+        // counts[i] = number of negative literals of clause i not yet true.
+        let mut counts: Vec<usize> = self.clauses.iter().map(|c| c.neg.len()).collect();
+        // watch[v] = clauses where v occurs negatively.
+        let mut watch: Vec<Vec<usize>> = vec![Vec::new(); self.num_vars];
+        for (i, c) in self.clauses.iter().enumerate() {
+            for &v in &c.neg {
+                watch[v].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = Vec::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if counts[i] == 0 {
+                // all-negative part satisfied vacuously: positive must hold
+                match c.pos.first() {
+                    Some(&v) => {
+                        if !true_vars[v] {
+                            true_vars[v] = true;
+                            queue.push(v);
+                        }
+                    }
+                    None => return None, // empty clause
+                }
+            }
+        }
+        while let Some(v) = queue.pop() {
+            for &i in &watch[v] {
+                // v became true; one more negative literal of clause i is
+                // falsified. (A variable may appear several times; count each
+                // occurrence once by recomputing.)
+                counts[i] = self.clauses[i]
+                    .neg
+                    .iter()
+                    .filter(|&&u| !true_vars[u])
+                    .count();
+                if counts[i] == 0 {
+                    match self.clauses[i].pos.first() {
+                        Some(&u) => {
+                            if !true_vars[u] {
+                                true_vars[u] = true;
+                                queue.push(u);
+                            }
+                        }
+                        None => return None,
+                    }
+                }
+            }
+        }
+        Some(
+            true_vars
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t)
+                .map(|(v, _)| v)
+                .collect(),
+        )
+    }
+
+    /// Brute-force satisfiability over all assignments (testing only).
+    pub fn brute_force_sat(&self) -> bool {
+        let n = self.num_vars;
+        assert!(n <= 20, "brute force is for small formulas");
+        'outer: for mask in 0..(1u64 << n) {
+            for c in &self.clauses {
+                let sat = c.pos.iter().any(|&v| mask & (1 << v) != 0)
+                    || c.neg.iter().any(|&v| mask & (1 << v) == 0);
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// A conjunction of dual-Horn clauses (≤ 1 negative literal each).
+#[derive(Clone, Debug, Default)]
+pub struct DualHornFormula {
+    clauses: Vec<Clause>,
+    num_vars: usize,
+}
+
+impl DualHornFormula {
+    /// Creates an empty formula.
+    pub fn new() -> DualHornFormula {
+        DualHornFormula::default()
+    }
+
+    /// Adds a clause `⋁neg̅ ∨ ⋁pos`; panics if it is not dual Horn.
+    pub fn add_clause(&mut self, neg: Vec<usize>, pos: Vec<usize>) {
+        assert!(
+            neg.len() <= 1,
+            "dual-Horn clauses have at most one negative literal"
+        );
+        for &v in neg.iter().chain(pos.iter()) {
+            self.num_vars = self.num_vars.max(v + 1);
+        }
+        self.clauses.push(Clause { pos, neg });
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the formula has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Solves by dualization: flipping the polarity of every literal yields a
+    /// Horn formula whose models are the complements of this formula's
+    /// models. Returns the *maximal* model (the set of variables that may be
+    /// true; its complement is the forced-false set) if satisfiable.
+    pub fn solve(&self) -> Option<BTreeSet<usize>> {
+        let mut horn = HornFormula::new();
+        horn.num_vars = self.num_vars;
+        for c in &self.clauses {
+            horn.add_clause(c.pos.clone(), c.neg.clone());
+        }
+        let forced_false = horn.solve()?;
+        Some(
+            (0..self.num_vars)
+                .filter(|v| !forced_false.contains(v))
+                .collect(),
+        )
+    }
+
+    /// Whether the formula is satisfiable.
+    pub fn satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    /// Brute-force satisfiability (testing only).
+    pub fn brute_force_sat(&self) -> bool {
+        let mut f = HornFormula::new();
+        f.num_vars = self.num_vars;
+        f.clauses = self.clauses.clone();
+        // Reuse the generic checker (it ignores the Horn restriction).
+        f.brute_force_sat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horn_unit_propagation() {
+        // a; a→b; b→c: minimal model {a,b,c}.
+        let mut f = HornFormula::new();
+        f.add_clause(vec![], vec![0]);
+        f.add_clause(vec![0], vec![1]);
+        f.add_clause(vec![1], vec![2]);
+        assert_eq!(f.solve(), Some([0, 1, 2].into_iter().collect()));
+    }
+
+    #[test]
+    fn horn_unsat() {
+        // a; a→b; ¬a∨¬b.
+        let mut f = HornFormula::new();
+        f.add_clause(vec![], vec![0]);
+        f.add_clause(vec![0], vec![1]);
+        f.add_clause(vec![0, 1], vec![]);
+        assert_eq!(f.solve(), None);
+        assert!(!f.brute_force_sat());
+    }
+
+    #[test]
+    fn horn_empty_clause_unsat() {
+        let mut f = HornFormula::new();
+        f.add_clause(vec![], vec![]);
+        assert_eq!(f.solve(), None);
+    }
+
+    #[test]
+    fn horn_all_false_model() {
+        // a→b only: minimal model ∅.
+        let mut f = HornFormula::new();
+        f.add_clause(vec![0], vec![1]);
+        assert_eq!(f.solve(), Some(BTreeSet::new()));
+    }
+
+    #[test]
+    fn dual_horn_propagation() {
+        // ¬a (a false); b∨a (so b true... wait: with a false, b must be true
+        // only if the clause has no other support): clause {a, b} positive.
+        let mut f = DualHornFormula::new();
+        f.add_clause(vec![0], vec![]); // ¬a
+        f.add_clause(vec![], vec![0, 1]); // a ∨ b
+        let model = f.solve().unwrap();
+        assert!(!model.contains(&0));
+        assert!(model.contains(&1));
+    }
+
+    #[test]
+    fn dual_horn_unsat() {
+        // ¬a; ¬b; a∨b.
+        let mut f = DualHornFormula::new();
+        f.add_clause(vec![0], vec![]);
+        f.add_clause(vec![1], vec![]);
+        f.add_clause(vec![], vec![0, 1]);
+        assert!(!f.satisfiable());
+        assert!(!f.brute_force_sat());
+    }
+
+    #[test]
+    fn dual_horn_matches_brute_force_on_samples() {
+        // Systematic small cases: all dual-Horn formulas over 3 vars with 2
+        // clauses drawn from a pool.
+        let pool: Vec<(Vec<usize>, Vec<usize>)> = vec![
+            (vec![], vec![0]),
+            (vec![], vec![0, 1]),
+            (vec![], vec![1, 2]),
+            (vec![0], vec![]),
+            (vec![1], vec![0]),
+            (vec![2], vec![0, 1]),
+            (vec![0], vec![1, 2]),
+        ];
+        for (i, a) in pool.iter().enumerate() {
+            for b in pool.iter().skip(i) {
+                let mut f = DualHornFormula::new();
+                f.add_clause(a.0.clone(), a.1.clone());
+                f.add_clause(b.0.clone(), b.1.clone());
+                assert_eq!(
+                    f.satisfiable(),
+                    f.brute_force_sat(),
+                    "clauses {a:?} {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one positive")]
+    fn horn_rejects_non_horn() {
+        let mut f = HornFormula::new();
+        f.add_clause(vec![], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one negative")]
+    fn dual_horn_rejects_non_dual() {
+        let mut f = DualHornFormula::new();
+        f.add_clause(vec![0, 1], vec![]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # cqa-solvers
+//!
+//! Polynomial-time solvers for the CQA problems the paper pins at NL- and
+//! P-completeness, plus the combinatorial substrates they reduce to:
+//!
+//! * directed-graph **reachability** ([`reach`]) — the NL-complete problem
+//!   behind Lemma 15 and Proposition 16;
+//! * **Horn / dual-Horn SAT** with unit propagation ([`horn`]) — the
+//!   P-complete problem behind Proposition 17;
+//! * the **Proposition 16 solver**: `CERTAINTY(q, FK)` for
+//!   `q = {N(x,x), O(x)}`, `FK = {N[2]→O}`, decided via reachability
+//!   ([`prop16`]);
+//! * the **Proposition 17 solver**: `CERTAINTY(q, FK)` for
+//!   `q = {N(x,'c',y), O(y)}`, `FK = {N[3]→O}`, decided via dual-Horn SAT
+//!   ([`prop17`]);
+//! * the **Figure 3 reduction** from reachability to the complement of
+//!   `CERTAINTY(q, FK)`, which generates the NL-hardness instance family
+//!   ([`fig3`]).
+//!
+//! Each solver is validated against the exhaustive repair oracle of
+//! `cqa-repair` on small instances (see the crate tests and the integration
+//! suite).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig3;
+pub mod horn;
+pub mod prop16;
+pub mod prop17;
+pub mod reach;
+
+pub use fig3::Fig3Instance;
+pub use horn::{DualHornFormula, HornFormula};
+pub use reach::DiGraph;

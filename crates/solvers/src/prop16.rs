@@ -1,0 +1,227 @@
+//! Proposition 16: `CERTAINTY(q, FK)` is **NL-complete** for
+//! `q = {N(x,x), O(x)}` and `FK = {N[2] → O}`.
+//!
+//! Two polynomial-time deciders are provided, both validated against the
+//! exhaustive ⊕-repair oracle:
+//!
+//! * [`certain`] — a dual-Horn encoding derived directly from ⊕-repair
+//!   semantics. Variables are constants `w`, read as "`O(w)` belongs to the
+//!   repair":
+//!   - `O(p) ∈ db` forces `x_p` (database `O`-facts are never deleted);
+//!   - for every `N`-block with key `u` and member `N(u, w)`: if `x_w` holds
+//!     the block cannot be dropped (the member would be re-addable), so a
+//!     falsifying repair must keep some **non-diagonal** member `N(u, wᵢ)`
+//!     (`wᵢ ≠ u`), which requires `x_{wᵢ}`: clause `¬x_w ∨ ⋁ x_{wᵢ}`.
+//!   `db` is a no-instance iff the formula is satisfiable.
+//!
+//! * [`certain_via_reachability`] — the paper's proof-sketch graph, refined:
+//!   vertices `V = {c | N(c,c) ∈ db} ∪ {⊥}`; block edges to in-`V` seconds,
+//!   or to `⊥` when a second escapes `V`; `c` is marked when `O(c) ∈ db`.
+//!   The sketch's criterion "`⊥` reachable from every marked vertex" must be
+//!   broadened to "**`⊥` or a cycle** reachable from every marked vertex": a
+//!   falsifying repair may also walk a cycle of non-diagonal choices forever
+//!   (e.g. `{N(a,a), N(a,b), N(b,b), N(b,a), O(a)}`, which has the
+//!   falsifying repair `{N(a,b), N(b,a), O(a), O(b)}`). This refinement is
+//!   still decidable in NL, preserving the proposition.
+
+use crate::horn::DualHornFormula;
+use crate::reach::DiGraph;
+use cqa_model::{Cst, Instance, RelName};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The schema text for Proposition 16's problem.
+pub const SCHEMA: &str = "N[2,1] O[1,1]";
+/// The query text for Proposition 16's problem.
+pub const QUERY: &str = "N(x,x), O(x)";
+/// The foreign-key text for Proposition 16's problem.
+pub const FKS: &str = "N[2] -> O";
+
+/// Decides `CERTAINTY({N(x,x), O(x)}, {N[2]→O})` on `db` (dual-Horn
+/// encoding; polynomial time).
+pub fn certain(db: &Instance) -> bool {
+    !build_formula(db).satisfiable()
+}
+
+/// Builds the dual-Horn formula whose satisfiability witnesses a falsifying
+/// ⊕-repair; exposed for the benchmarks.
+pub fn build_formula(db: &Instance) -> DualHornFormula {
+    let n = RelName::new("N");
+    let o = RelName::new("O");
+    let mut ids: BTreeMap<Cst, usize> = BTreeMap::new();
+    let id = |ids: &mut BTreeMap<Cst, usize>, v: Cst| -> usize {
+        let next = ids.len();
+        *ids.entry(v).or_insert(next)
+    };
+
+    let mut f = DualHornFormula::new();
+    for fact in db.facts_of(o) {
+        let p = id(&mut ids, fact.args[0]);
+        f.add_clause(vec![], vec![p]);
+    }
+    for (key, block) in db.blocks(n) {
+        let u = key[0];
+        let nondiag: Vec<usize> = block
+            .iter()
+            .filter(|fact| fact.args[1] != u)
+            .map(|fact| id(&mut ids, fact.args[1]))
+            .collect();
+        for member in &block {
+            let w = id(&mut ids, member.args[1]);
+            f.add_clause(vec![w], nondiag.clone());
+        }
+    }
+    f
+}
+
+/// Decides the same problem through the (cycle-refined) reachability
+/// criterion of the paper's proof sketch. Agrees with [`certain`] on every
+/// instance (tested); kept separate because it exhibits the NL upper bound.
+pub fn certain_via_reachability(db: &Instance) -> bool {
+    let n = RelName::new("N");
+    let o = RelName::new("O");
+
+    let bottom = 0usize;
+    let mut ids: BTreeMap<Cst, usize> = BTreeMap::new();
+    for fact in db.facts_of(n) {
+        if fact.args[0] == fact.args[1] {
+            let next = ids.len() + 1;
+            ids.entry(fact.args[0]).or_insert(next);
+        }
+    }
+
+    let mut g = DiGraph::new();
+    g.add_vertex(bottom);
+    for (&c, &cid) in &ids {
+        g.add_vertex(cid);
+        let others: Vec<Cst> = db
+            .block(n, &[c])
+            .iter()
+            .map(|f| f.args[1])
+            .filter(|&d| d != c)
+            .collect();
+        for d in others {
+            match ids.get(&d) {
+                Some(&did) => g.add_edge(cid, did),
+                None => g.add_edge(cid, bottom),
+            }
+        }
+    }
+
+    // Vertices lying on a cycle: those that can reach themselves via ≥1 edge.
+    let on_cycle: BTreeSet<usize> = g
+        .vertices()
+        .filter(|&v| g.successors(v).any(|s| g.reachable(s, v)))
+        .collect();
+    // Escape set: ⊥ plus all cycle vertices.
+    let escapes: BTreeSet<usize> = on_cycle.iter().copied().chain([bottom]).collect();
+
+    let marked: Vec<usize> = db
+        .facts_of(o)
+        .filter_map(|f| ids.get(&f.args[0]).copied())
+        .collect();
+
+    // no-instance iff every marked vertex reaches an escape.
+    !marked
+        .iter()
+        .all(|&m| escapes.iter().any(|&e| g.reachable(m, e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+    use cqa_repair::{CertaintyOracle, OracleOutcome};
+    use std::sync::Arc;
+
+    const CASES: &[&str] = &[
+        "",
+        "N(a,a) O(a)",
+        "N(a,a)",
+        "N(a,b)",
+        "N(a,a) N(a,b) O(a)",
+        "N(a,a) N(a,b) N(b,b) O(a)",
+        "N(a,a) N(a,b) N(b,b) O(a) O(b)",
+        "N(a,a) N(a,b) N(b,b) N(b,c) O(a)",
+        "N(a,a) N(a,b) N(b,b) N(b,a) O(a)",
+        "N(a,a) O(a) O(zz)",
+        "N(a,a) N(b,b) O(a) O(b)",
+        "N(a,a) N(a,b) N(b,b) N(b,c) N(c,c) O(a) O(c)",
+        "N(a,a) N(a,e) N(w,w) N(w,e) O(a) O(w)",
+        "N(a,a) N(a,b) N(b,c) N(c,c) O(a)",
+        "N(a,b) N(a,c) O(a)",
+        "N(a,a) N(a,b) N(b,b) N(b,a) N(c,c) O(a) O(c)",
+    ];
+
+    fn check_against_oracle(text: &str) {
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let q = parse_query(&s, QUERY).unwrap();
+        let fks = parse_fks(&s, FKS).unwrap();
+        let db = parse_instance(&s, text).unwrap();
+        let fast = certain(&db);
+        match CertaintyOracle::new().is_certain(&db, &q, &fks) {
+            OracleOutcome::Certain => assert!(fast, "oracle says certain on {text:?}"),
+            OracleOutcome::NotCertain(_) => {
+                assert!(!fast, "oracle says not certain on {text:?}")
+            }
+            OracleOutcome::Inconclusive(why) => panic!("oracle inconclusive on {text:?}: {why}"),
+        }
+    }
+
+    #[test]
+    fn dual_horn_matches_oracle() {
+        for text in CASES {
+            check_against_oracle(text);
+        }
+    }
+
+    #[test]
+    fn reachability_matches_dual_horn() {
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        for text in CASES {
+            let db = parse_instance(&s, text).unwrap();
+            assert_eq!(
+                certain(&db),
+                certain_via_reachability(&db),
+                "criteria disagree on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_refinement_matters() {
+        // The instance that separates the naive sketch (⊥ only) from the
+        // refined criterion (⊥ or cycle): a ⇄ b with O(a).
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let db = parse_instance(&s, "N(a,a) N(a,b) N(b,b) N(b,a) O(a)").unwrap();
+        assert!(!certain(&db), "falsifiable by cycling a → b → a");
+        assert!(!certain_via_reachability(&db));
+    }
+
+    #[test]
+    fn simple_yes_instance() {
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let db = parse_instance(&s, "N(a,a) O(a)").unwrap();
+        assert!(certain(&db));
+    }
+
+    #[test]
+    fn escape_to_bottom_is_no_instance() {
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let db = parse_instance(&s, "N(a,a) N(a,b) O(a)").unwrap();
+        assert!(!certain(&db));
+    }
+
+    #[test]
+    fn chain_without_escape_is_yes_instance() {
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let db = parse_instance(&s, "N(a,a) N(a,b) N(b,b) O(a)").unwrap();
+        assert!(certain(&db));
+    }
+
+    #[test]
+    fn no_marked_vertices_is_no_instance() {
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let db = parse_instance(&s, "N(a,a)").unwrap();
+        assert!(!certain(&db));
+    }
+}

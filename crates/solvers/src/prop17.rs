@@ -1,0 +1,150 @@
+//! Proposition 17: `CERTAINTY(q, FK)` is **P-complete** for
+//! `q = {N(x,'c',y), O(y)}` and `FK = {N[3] → O}`.
+//!
+//! Membership in P (this module) reduces the *complement* to DUAL HORN SAT,
+//! following the paper's proof sketch. Variables are database constants,
+//! read as "an `O`-fact with this key is present in the repair":
+//!
+//! * for every fact `O(p) ∈ db`, a positive unit clause `p` (database
+//!   `O`-facts are never deleted by a repair);
+//! * for every `N`-block `{N(i,c,p₁), …, N(i,c,pₙ), N(i,b₁,q₁), …,
+//!   N(i,bₘ,qₘ)}` with `bⱼ ≠ c`: for each `j ∈ [n]`, a clause
+//!   `¬pⱼ ∨ q₁ ∨ ⋯ ∨ qₘ` — if `O(pⱼ)` is available, the block cannot be
+//!   dropped, so a falsifying repair must pick some `N(i,bᵢ,qᵢ)` and insert
+//!   `O(qᵢ)`.
+//!
+//! `db` is a **no**-instance iff the formula is satisfiable.
+
+use crate::horn::DualHornFormula;
+use cqa_model::{Cst, Instance, RelName};
+use std::collections::BTreeMap;
+
+/// The schema text for Proposition 17's problem.
+pub const SCHEMA: &str = "N[3,1] O[1,1]";
+/// The query text for Proposition 17's problem.
+pub const QUERY: &str = "N(x,'c',y), O(y)";
+/// The foreign-key text for Proposition 17's problem.
+pub const FKS: &str = "N[3] -> O";
+
+/// Decides `CERTAINTY({N(x,'c',y), O(y)}, {N[3]→O})` on `db` in polynomial
+/// time, where `c` is the query's middle constant.
+pub fn certain(db: &Instance, c: Cst) -> bool {
+    !build_formula(db, c).satisfiable()
+}
+
+/// Builds the paper's dual-Horn formula `ϕ_db`; exposed for the benchmarks.
+pub fn build_formula(db: &Instance, c: Cst) -> DualHornFormula {
+    let n = RelName::new("N");
+    let o = RelName::new("O");
+    let mut ids: BTreeMap<Cst, usize> = BTreeMap::new();
+    let id = |ids: &mut BTreeMap<Cst, usize>, v: Cst| -> usize {
+        let next = ids.len();
+        *ids.entry(v).or_insert(next)
+    };
+
+    let mut f = DualHornFormula::new();
+    for fact in db.facts_of(o) {
+        let p = id(&mut ids, fact.args[0]);
+        f.add_clause(vec![], vec![p]);
+    }
+    for (_, block) in db.blocks(n) {
+        let ps: Vec<usize> = block
+            .iter()
+            .filter(|fact| fact.args[1] == c)
+            .map(|fact| id(&mut ids, fact.args[2]))
+            .collect();
+        let qs: Vec<usize> = block
+            .iter()
+            .filter(|fact| fact.args[1] != c)
+            .map(|fact| id(&mut ids, fact.args[2]))
+            .collect();
+        for &p in &ps {
+            f.add_clause(vec![p], qs.clone());
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+    use cqa_repair::{CertaintyOracle, OracleOutcome};
+    use std::sync::Arc;
+
+    fn check_against_oracle(text: &str) {
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let q = parse_query(&s, QUERY).unwrap();
+        let fks = parse_fks(&s, FKS).unwrap();
+        let db = parse_instance(&s, text).unwrap();
+        let fast = certain(&db, Cst::new("c"));
+        match CertaintyOracle::new().is_certain(&db, &q, &fks) {
+            OracleOutcome::Certain => assert!(fast, "oracle says certain on {text}"),
+            OracleOutcome::NotCertain(_) => {
+                assert!(!fast, "oracle says not certain on {text}")
+            }
+            OracleOutcome::Inconclusive(why) => panic!("oracle inconclusive on {text}: {why}"),
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_hand_picked_instances() {
+        for text in [
+            "",
+            "O(1)",
+            "N(i,c,1)",
+            "N(i,c,1) O(1)",
+            "N(i,c,1) N(i,d,2) O(1)",
+            "N(i,c,1) N(i,d,2) O(1) O(2)",
+            "N(b1,c,1) N(b1,d,2) N(b2,c,2) O(1)",
+            "N(b1,c,1) N(b1,d,2) N(b2,d,3) O(1)",
+            "N(b1,c,1) N(b1,d,2) N(b2,c,2) N(b2,d,3) O(1)",
+            "N(b1,c,1) N(b1,c,2) O(1) O(2)",
+            "N(b1,d,1) O(1)",
+        ] {
+            check_against_oracle(text);
+        }
+    }
+
+    #[test]
+    fn blockchain_family_semantics() {
+        // §4's chain: certainty propagates block to block; the final block's
+        // middle value decides the answer.
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let c = Cst::new("c");
+
+        // n = 2 chain, closing fact has middle c: yes-instance.
+        let yes = parse_instance(
+            &s,
+            "N(b1,c,1) N(b1,d,2) N(b2,c,2) N(b2,d,3) N(b3,c,3) O(1)",
+        )
+        .unwrap();
+        assert!(certain(&yes, c));
+
+        // Same chain but the closing fact has middle d: no-instance.
+        let no = parse_instance(
+            &s,
+            "N(b1,c,1) N(b1,d,2) N(b2,c,2) N(b2,d,3) N(b3,d,4) O(1)",
+        )
+        .unwrap();
+        assert!(!certain(&no, c));
+
+        // Dropping O(1) breaks the anchor: no-instance (paper's db′).
+        let no2 = parse_instance(
+            &s,
+            "N(b1,c,1) N(b1,d,2) N(b2,c,2) N(b2,d,3) N(b3,c,3)",
+        )
+        .unwrap();
+        assert!(!certain(&no2, c));
+    }
+
+    #[test]
+    fn formula_shape() {
+        let s = Arc::new(parse_schema(SCHEMA).unwrap());
+        let db = parse_instance(&s, "N(i,c,1) N(i,d,2) O(1)").unwrap();
+        let f = build_formula(&db, Cst::new("c"));
+        // One unit clause for O(1), one block clause ¬1 ∨ 2.
+        assert_eq!(f.len(), 2);
+        assert!(f.satisfiable()); // choose the d-fact, O(2) inserted
+    }
+}

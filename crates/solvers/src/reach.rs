@@ -1,0 +1,182 @@
+//! Directed graphs and reachability (the canonical NL-complete problem).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed graph over `usize` vertices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    adj: BTreeMap<usize, BTreeSet<usize>>,
+    vertices: BTreeSet<usize>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> DiGraph {
+        DiGraph::default()
+    }
+
+    /// Adds a vertex.
+    pub fn add_vertex(&mut self, v: usize) {
+        self.vertices.insert(v);
+    }
+
+    /// Adds an edge (vertices are added implicitly).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        self.vertices.insert(u);
+        self.vertices.insert(v);
+        self.adj.entry(u).or_default().insert(v);
+    }
+
+    /// The vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.vertices.iter().copied()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .flat_map(|(&u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Successors of `u`.
+    pub fn successors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj.get(&u).into_iter().flatten().copied()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether `t` is reachable from `s` (BFS; includes the trivial path).
+    pub fn reachable(&self, s: usize, t: usize) -> bool {
+        if s == t {
+            return self.vertices.contains(&s);
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![s];
+        seen.insert(s);
+        while let Some(u) = queue.pop() {
+            for v in self.successors(u) {
+                if v == t {
+                    return true;
+                }
+                if seen.insert(v) {
+                    queue.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// All vertices reachable from `s` (including `s` itself if present).
+    pub fn reachable_set(&self, s: usize) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        if !self.vertices.contains(&s) {
+            return seen;
+        }
+        let mut queue = vec![s];
+        seen.insert(s);
+        while let Some(u) = queue.pop() {
+            for v in self.successors(u) {
+                if seen.insert(v) {
+                    queue.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        // DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<usize, Color> =
+            self.vertices.iter().map(|&v| (v, Color::White)).collect();
+        fn dfs(
+            g: &DiGraph,
+            u: usize,
+            color: &mut BTreeMap<usize, Color>,
+        ) -> bool {
+            color.insert(u, Color::Gray);
+            for v in g.successors(u) {
+                match color[&v] {
+                    Color::Gray => return false,
+                    Color::White => {
+                        if !dfs(g, v, color) {
+                            return false;
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+            color.insert(u, Color::Black);
+            true
+        }
+        let vs: Vec<usize> = self.vertices.iter().copied().collect();
+        for v in vs {
+            if color[&v] == Color::White && !dfs(self, v, &mut color) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn reachability_on_path() {
+        let g = path_graph(5);
+        assert!(g.reachable(0, 4));
+        assert!(!g.reachable(4, 0));
+        assert!(g.reachable(2, 2));
+        assert!(!g.reachable(0, 99));
+    }
+
+    #[test]
+    fn reachable_set() {
+        let mut g = path_graph(4);
+        g.add_vertex(77);
+        let r = g.reachable_set(1);
+        assert_eq!(r, [1, 2, 3].into_iter().collect());
+        assert!(g.reachable_set(99).is_empty());
+    }
+
+    #[test]
+    fn acyclicity() {
+        let mut g = path_graph(4);
+        assert!(g.is_acyclic());
+        g.add_edge(3, 0);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn counts() {
+        let g = path_graph(4);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edges().count(), 3);
+    }
+}

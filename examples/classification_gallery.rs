@@ -1,0 +1,93 @@
+//! A gallery of classifications (Theorem 12), centred on the paper's
+//! Example 13: replacing a variable by a constant can move a problem across
+//! the FO boundary in either direction — behaviour foreign keys exhibit and
+//! primary keys alone do not.
+//!
+//! Run with: `cargo run --example classification_gallery`
+
+use cqa::core::fk_types::type_table;
+use cqa::prelude::*;
+use cqa_attack::classify_pk;
+use std::sync::Arc;
+
+fn main() {
+    let cases: Vec<(&str, &str, &str, &str)> = vec![
+        (
+            "Example 13, q1 (variable at (N,2))",
+            "N[3,1] O[2,1]",
+            "N(x,u,y), O(y,w)",
+            "N[3] -> O",
+        ),
+        (
+            "Example 13, q2 = q1[u→c]",
+            "N[3,1] O[2,1]",
+            "N(x,'c',y), O(y,w)",
+            "N[3] -> O",
+        ),
+        (
+            "Example 13, q3 = q1[u,w→c,c]",
+            "N[3,1] O[2,1]",
+            "N(x,'c',y), O(y,'c')",
+            "N[3] -> O",
+        ),
+        (
+            "§4 block-chain query",
+            "N[3,1] O[1,1]",
+            "N(x,'c',y), O(y)",
+            "N[3] -> O",
+        ),
+        (
+            "Proposition 16 (NL-complete)",
+            "N[2,1] O[1,1]",
+            "N(x,x), O(x)",
+            "N[2] -> O",
+        ),
+        (
+            "Example 11 (interference via (3b))",
+            "Np[2,1] O[1,1] T[2,1]",
+            "Np(x,y), O(y), T(x,y)",
+            "Np[2] -> O",
+        ),
+        (
+            "§6 cyclic attack graph (L-hard)",
+            "R[2,1] S[2,1]",
+            "R(x,y), S(y,x)",
+            "R[2] -> S",
+        ),
+        (
+            "§8 worked rewriting (Lemma 45)",
+            "N[2,1] O[1,1] P[1,1]",
+            "N('c',y), O(y), P(y)",
+            "N[2] -> O",
+        ),
+    ];
+
+    for (name, schema_text, query_text, fks_text) in cases {
+        let schema = Arc::new(parse_schema(schema_text).unwrap());
+        let q = parse_query(&schema, query_text).unwrap();
+        let fks = parse_fks(&schema, fks_text).unwrap();
+        let problem = Problem::new(q, fks).expect("about the query");
+
+        println!("━━━ {name}");
+        println!("    {problem}");
+        println!("    primary keys only     : CERTAINTY(q) is {}", classify_pk(problem.query()));
+        print!("    foreign-key types     :");
+        for (fk, ty) in type_table(problem.query(), problem.fks()) {
+            print!("  {fk} is {ty};");
+        }
+        println!();
+        match problem.classify() {
+            Classification::Fo(plan) => {
+                println!("    with foreign keys     : in FO");
+                match cqa::core::flatten::flatten(&plan) {
+                    Ok(f) => println!("    rewriting             : {f}"),
+                    Err(e) => println!("    rewriting             : (plan only: {e})"),
+                }
+            }
+            Classification::NotFo(reason) => {
+                println!("    with foreign keys     : NOT in FO — {reason}");
+            }
+        }
+        println!();
+    }
+}

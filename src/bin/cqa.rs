@@ -1,0 +1,151 @@
+//! `cqa` — command-line front end for consistent query answering with
+//! primary keys and unary foreign keys.
+//!
+//! ```text
+//! cqa classify --schema "N[3,1] O[2,1]" --query "N(x,'c',y), O(y,w)" --fks "N[3] -> O"
+//! cqa rewrite  --schema … --query … --fks …            # print plan + formula
+//! cqa sql      --schema … --query … --fks …            # rewriting as SQL
+//! cqa answer   --schema … --query … --fks … --db db.txt  # certain answer
+//! cqa oracle   --schema … --query … --fks … --db db.txt  # exhaustive check
+//! ```
+//!
+//! Databases are text files of facts (`R(a,1); S(1,x)` — see
+//! `cqa_model::parser`). Exit code 0 = yes/FO, 1 = no/not-FO, 2 = usage or
+//! input error.
+
+use cqa::core::flatten::flatten;
+use cqa::prelude::*;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    command: String,
+    schema: Option<String>,
+    query: Option<String>,
+    fks: String,
+    db: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        schema: None,
+        query: None,
+        fks: String::new(),
+        db: None,
+    };
+    while let Some(flag) = argv.next() {
+        let value = argv
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--schema" => args.schema = Some(value),
+            "--query" => args.query = Some(value),
+            "--fks" => args.fks = value,
+            "--db" => args.db = Some(value),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: cqa <classify|rewrite|sql|answer|oracle> \
+     --schema \"R[2,1] …\" --query \"R(x,y), …\" [--fks \"R[2] -> S, …\"] [--db facts.txt]"
+        .to_string()
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let schema_text = args.schema.ok_or("missing --schema")?;
+    let query_text = args.query.ok_or("missing --query")?;
+    let schema = Arc::new(parse_schema(&schema_text).map_err(|e| e.to_string())?);
+    let query = parse_query(&schema, &query_text).map_err(|e| e.to_string())?;
+    let fks = parse_fks(&schema, &args.fks).map_err(|e| e.to_string())?;
+    let problem = Problem::new(query, fks).map_err(|e| e.to_string())?;
+
+    let load_db = || -> Result<Instance, String> {
+        let path = args.db.clone().ok_or("missing --db")?;
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        parse_instance(&schema, &text).map_err(|e| e.to_string())
+    };
+
+    match args.command.as_str() {
+        "classify" => match problem.classify() {
+            Classification::Fo(plan) => {
+                println!("in FO — consistent first-order rewriting constructed");
+                println!("{plan}");
+                Ok(true)
+            }
+            Classification::NotFo(reason) => {
+                println!("not in FO — {reason}");
+                Ok(false)
+            }
+        },
+        "rewrite" => match problem.classify() {
+            Classification::Fo(plan) => {
+                println!("{plan}");
+                let f = flatten(&plan).map_err(|e| e.to_string())?;
+                println!("\nflattened: {f}");
+                println!("ascii    : {}", f.ascii());
+                Ok(true)
+            }
+            Classification::NotFo(reason) => {
+                println!("not in FO — {reason}");
+                Ok(false)
+            }
+        },
+        "sql" => {
+            let engine = CertainEngine::try_new(problem).map_err(|r| r.to_string())?;
+            let (ddl, expr) = engine.sql().map_err(|e| e.to_string())?;
+            println!("{ddl}");
+            println!("SELECT CASE WHEN {expr} THEN 1 ELSE 0 END AS certain;");
+            Ok(true)
+        }
+        "answer" => {
+            let engine = CertainEngine::try_new(problem).map_err(|r| {
+                format!("not FO-rewritable ({r}); use `cqa oracle` for small instances")
+            })?;
+            let db = load_db()?;
+            let ans = engine.answer(&db);
+            println!(
+                "{}",
+                if ans {
+                    "certain: the query holds in every ⊕-repair"
+                } else {
+                    "not certain: some ⊕-repair falsifies the query"
+                }
+            );
+            Ok(ans)
+        }
+        "oracle" => {
+            let db = load_db()?;
+            let oracle = CertaintyOracle::new();
+            match oracle.is_certain(&db, problem.query(), problem.fks()) {
+                OracleOutcome::Certain => {
+                    println!("certain (exhaustive search)");
+                    Ok(true)
+                }
+                OracleOutcome::NotCertain(witness) => {
+                    println!("not certain; falsifying ⊕-repair: {witness}");
+                    Ok(false)
+                }
+                OracleOutcome::Inconclusive(why) => Err(format!("inconclusive: {why}")),
+            }
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

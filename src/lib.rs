@@ -1,0 +1,54 @@
+//! # cqa — Consistent Query Answering for Primary Keys and Unary Foreign Keys
+//!
+//! Facade crate re-exporting the whole workspace: a faithful, executable
+//! implementation of *"A Dichotomy in Consistent Query Answering for Primary
+//! Keys and Unary Foreign Keys"* (Hannula & Wijsen, PODS 2022).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cqa::prelude::*;
+//!
+//! // Schema in the paper's signature notation: N has arity 3 with a unary key.
+//! let schema = std::sync::Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+//! let q = parse_query(&schema, "N(x, 'c', y), O(y)").unwrap();
+//! let fks = parse_fks(&schema, "N[3] -> O").unwrap();
+//! let problem = Problem::new(q, fks).unwrap();
+//!
+//! // Theorem 12: this pair has block-interference, hence is NL-hard (not FO).
+//! match problem.classify() {
+//!     Classification::NotFo(why) => assert!(why.nl_hard()),
+//!     Classification::Fo(_) => unreachable!(),
+//! }
+//! ```
+//!
+//! See `examples/` for richer scenarios and `DESIGN.md` for the module map.
+
+#![forbid(unsafe_code)]
+
+pub use cqa_attack as attack;
+pub use cqa_core as core;
+pub use cqa_fo as fo;
+pub use cqa_gen as gen;
+pub use cqa_model as model;
+pub use cqa_repair as repair;
+pub use cqa_solvers as solvers;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use cqa_attack::{attack_graph::AttackGraph, classify::PkClass, rewrite::kw_rewrite};
+    pub use cqa_core::{
+        classify::{Classification, NotFoReason},
+        engine::CertainEngine,
+        pipeline::RewritePlan,
+        problem::Problem,
+    };
+    pub use cqa_fo::{ast::Formula, eval::eval_closed};
+    pub use cqa_model::parser::{
+        parse_fact, parse_fks, parse_instance, parse_query, parse_schema,
+    };
+    pub use cqa_model::{
+        Atom, Cst, Fact, FkSet, ForeignKey, Instance, Query, RelName, Schema, Term, Var,
+    };
+    pub use cqa_repair::oracle::{CertaintyOracle, OracleOutcome};
+}

@@ -1,0 +1,96 @@
+//! Cross-crate exercise of the Appendix D pre-repair machinery with the
+//! *real* obedience test from `cqa-core` (the unit tests inside `cqa-repair`
+//! use an emulated verdict to avoid a crate cycle).
+
+use cqa::core::obedience::is_obedient_set;
+use cqa::prelude::*;
+use cqa_repair::pre_repair::{cap_closer, is_irrelevantly_dangling};
+use std::sync::Arc;
+
+/// The §4 / Lemma 15 shape: a falsifying candidate whose dangling facts all
+/// have fresh (orphan) values at the disobedient position set — exactly the
+/// Definition 29 situation that Lemma 24 closes off.
+#[test]
+fn section4_falsifying_candidate_is_irrelevantly_dangling() {
+    let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+    let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+    let fks = parse_fks(&s, "N[3] -> O").unwrap();
+
+    // db: one block {N(b1,c,1), N(b1,d,f)} where f is an orphan value, plus
+    // O(1). The candidate r keeps the d-fact (dangling at position 3 with
+    // the orphan value f).
+    let db = parse_instance(&s, "N(b1,c,1) N(b1,d,f) O(1)").unwrap();
+    let r = parse_instance(&s, "N(b1,d,f) O(1)").unwrap();
+
+    // P = {(N,3)}? No: the value at (N,2) is 'd' (not orphan: occurs once…
+    // actually orphan too) — P collects every non-key orphan position. The
+    // set must be DISOBEDIENT and contain the dangling position (N,3).
+    // For q = {N(x,'c',y), O(y)}, {(N,2),(N,3)} is disobedient (constant c
+    // at (N,2)'s closure), so the candidate qualifies.
+    assert!(is_irrelevantly_dangling(&r, &db, &fks, &q, &|q, fks, p| {
+        is_obedient_set(q, fks, p)
+    }));
+}
+
+/// If the dangling value is shared (non-orphan), Definition 29 fails: the
+/// insertion needed to close the fact could interact with the query.
+#[test]
+fn shared_dangling_value_disqualifies() {
+    let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+    let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+    let fks = parse_fks(&s, "N[3] -> O").unwrap();
+
+    // The dangling value 2 also appears in another fact of r ∪ db.
+    let db = parse_instance(&s, "N(b1,c,1) N(b1,d,2) N(b2,c,2) O(1)").unwrap();
+    let r = parse_instance(&s, "N(b1,d,2) N(b2,c,2) O(1)").unwrap();
+    assert!(!is_irrelevantly_dangling(&r, &db, &fks, &q, &|q, fks, p| {
+        is_obedient_set(q, fks, p)
+    }));
+}
+
+/// A consistent instance is trivially irrelevantly dangling (no dangling
+/// facts at all).
+#[test]
+fn consistent_instances_are_trivially_ok() {
+    let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+    let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+    let fks = parse_fks(&s, "N[3] -> O").unwrap();
+    let db = parse_instance(&s, "N(b1,c,1) O(1)").unwrap();
+    assert!(is_irrelevantly_dangling(&db, &db, &fks, &q, &|q, fks, p| {
+        is_obedient_set(q, fks, p)
+    }));
+}
+
+/// The ≺^∩_db order prefers keeping more of db; it is the minimality notion
+/// for pre-repairs (Definition 30).
+#[test]
+fn cap_closer_prefers_keeping_db_facts() {
+    let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+    let db = parse_instance(&s, "N(b1,c,1) N(b2,c,2) O(1)").unwrap();
+    let more = parse_instance(&s, "N(b1,c,1) N(b2,c,2) O(1)").unwrap();
+    let less = parse_instance(&s, "N(b1,c,1) O(1)").unwrap();
+    assert!(cap_closer(&db, &more, &less));
+    assert!(!cap_closer(&db, &less, &more));
+}
+
+/// Theorem 32 on a small §4 instance: certainty decided through repairs
+/// (the oracle) coincides with examining falsifying candidates that satisfy
+/// the pre-repair *conditions* — here the candidate from the first test
+/// witnesses non-certainty, matching the oracle.
+#[test]
+fn theorem_32_direction_on_section4_instance() {
+    let s = Arc::new(parse_schema("N[3,1] O[1,1]").unwrap());
+    let q = parse_query(&s, "N(x,'c',y), O(y)").unwrap();
+    let fks = parse_fks(&s, "N[3] -> O").unwrap();
+    let db = parse_instance(&s, "N(b1,c,1) N(b1,d,f) O(1)").unwrap();
+
+    // A falsifying pre-repair-shaped candidate exists (previous test), so
+    // Theorem 32 predicts db is a no-instance; the oracle confirms.
+    let oracle = CertaintyOracle::new();
+    assert_eq!(oracle.is_certain(&db, &q, &fks).as_bool(), Some(false));
+
+    // And where no such candidate exists — the block closed by O-support on
+    // the c-side only — the oracle says certain.
+    let db2 = parse_instance(&s, "N(b1,c,1) O(1)").unwrap();
+    assert_eq!(oracle.is_certain(&db2, &q, &fks).as_bool(), Some(true));
+}

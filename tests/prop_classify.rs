@@ -1,0 +1,138 @@
+//! Property-based tests for the classification machinery: attack graphs,
+//! Corollary 8, invariance of the Theorem 12 decision under constant
+//! renaming, and structural properties of built plans.
+
+use cqa::core::obedience::{is_obedient_position, is_obedient_set, nonkey_positions};
+use cqa::prelude::*;
+use cqa_attack::AttackGraph;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const TERMS: [&str; 5] = ["x", "y", "z", "'c'", "'d'"];
+
+fn term_text(i: usize) -> &'static str {
+    TERMS[i]
+}
+
+prop_compose! {
+    /// A random 3-atom query N(t,t,t), O(t), T(t,t) over a small term pool.
+    fn arb_query_text()(idx in proptest::collection::vec(0..TERMS.len(), 6)) -> String {
+        format!(
+            "N({}, {}, {}), O({}), T({}, {})",
+            term_text(idx[0]), term_text(idx[1]), term_text(idx[2]),
+            term_text(idx[3]), term_text(idx[4]), term_text(idx[5]),
+        )
+    }
+}
+
+fn schema() -> Arc<Schema> {
+    Arc::new(cqa::model::parser::parse_schema("N[3,1] O[1,1] T[2,1]").unwrap())
+}
+
+/// Foreign keys about the query, derived from term coincidences.
+fn about_fks(q: &Query) -> FkSet {
+    let mut fks = Vec::new();
+    for from in q.atoms() {
+        for to in q.atoms() {
+            if q.sig(to.rel).key_len != 1 {
+                continue;
+            }
+            for (i, t) in from.terms.iter().enumerate() {
+                if *t == to.terms[0] && !(from.rel == to.rel && i == 0) {
+                    fks.push(ForeignKey::new(from.rel, i + 1, to.rel));
+                }
+            }
+        }
+    }
+    FkSet::new(q.schema().clone(), fks).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn single_atom_queries_are_always_fo(idx in proptest::collection::vec(0..TERMS.len(), 3)) {
+        let s = schema();
+        let text = format!("N({}, {}, {})", term_text(idx[0]), term_text(idx[1]), term_text(idx[2]));
+        let q = cqa::model::parser::parse_query(&s, &text).unwrap();
+        let ag = AttackGraph::of(&q);
+        prop_assert!(ag.is_acyclic());
+        prop_assert!(ag.all_attacks().is_empty());
+        prop_assert!(Problem::pk_only(q).classify().is_fo());
+    }
+
+    #[test]
+    fn removing_unattacked_atom_preserves_acyclicity(text in arb_query_text()) {
+        let s = schema();
+        let q = cqa::model::parser::parse_query(&s, &text).unwrap();
+        let ag = AttackGraph::of(&q);
+        if ag.is_acyclic() {
+            for rel in ag.unattacked() {
+                // Freeze the removed atom's variables (as the KW recursion
+                // does) and check acyclicity is preserved.
+                let vars = q.atom(rel).unwrap().vars();
+                let rest = q.without(rel).freeze(&vars);
+                prop_assert!(
+                    AttackGraph::of(&rest).is_acyclic(),
+                    "removing {} from {} broke acyclicity", rel, q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_8_sets_vs_singletons(text in arb_query_text()) {
+        let s = schema();
+        let q = cqa::model::parser::parse_query(&s, &text).unwrap();
+        let fks = about_fks(&q);
+        for rel in q.relations() {
+            let p = nonkey_positions(&q, rel);
+            let whole = is_obedient_set(&q, &fks, &p);
+            let each = p.iter().all(|&pos| is_obedient_position(&q, &fks, pos));
+            prop_assert_eq!(whole, each, "Corollary 8 on {} with {}", q, fks);
+        }
+    }
+
+    #[test]
+    fn classification_invariant_under_constant_renaming(text in arb_query_text()) {
+        let s = schema();
+        let q = cqa::model::parser::parse_query(&s, &text).unwrap();
+        let fks = about_fks(&q);
+        let Ok(p) = Problem::new(q.clone(), fks.clone()) else { return Ok(()); };
+        let before = p.classify().is_fo();
+
+        // Rename 'c' ↦ 'e' (injective on this pool).
+        let renamed_text = text.replace("'c'", "'e'");
+        let q2 = cqa::model::parser::parse_query(&s, &renamed_text).unwrap();
+        let fks2 = about_fks(&q2);
+        let Ok(p2) = Problem::new(q2, fks2) else { return Ok(()); };
+        prop_assert_eq!(before, p2.classify().is_fo(), "renaming changed the class of {}", text);
+    }
+
+    #[test]
+    fn built_plans_terminate_with_empty_fk_residue(text in arb_query_text()) {
+        let s = schema();
+        let q = cqa::model::parser::parse_query(&s, &text).unwrap();
+        let fks = about_fks(&q);
+        let Ok(p) = Problem::new(q, fks) else { return Ok(()); };
+        if let Classification::Fo(plan) = p.classify() {
+            // Every step removes keys; the tail sees none (Kw) or branches
+            // (Lemma 45, recursively the same).
+            fn check(plan: &cqa::core::RewritePlan) -> bool {
+                match &plan.tail {
+                    cqa::core::pipeline::Tail::Kw { .. } => plan
+                        .steps
+                        .last()
+                        .map(|s| s.fks_after.is_empty())
+                        .unwrap_or(true),
+                    cqa::core::pipeline::Tail::Lemma45(l) => check(&l.sub_plan),
+                }
+            }
+            prop_assert!(check(&plan));
+            // And the plan answers something on the empty database without
+            // panicking.
+            let db = Instance::new(schema());
+            let _ = plan.answer(&db);
+        }
+    }
+}

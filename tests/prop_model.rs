@@ -1,0 +1,168 @@
+//! Property-based tests for the data-model substrate: interning, instances,
+//! blocks, the ⊕-preorder and primary-key repairs.
+
+use cqa::prelude::*;
+use cqa_repair::{closer_eq, count_pk_repairs, pk_repairs, strictly_closer};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(cqa::model::parser::parse_schema("R[2,1] S[3,2]").unwrap())
+}
+
+prop_compose! {
+    /// A random fact over R[2,1] or S[3,2] with a small value pool.
+    fn arb_fact()(which in 0..2usize, vals in proptest::collection::vec(0..5u8, 3)) -> Fact {
+        let name = |v: u8| format!("v{v}");
+        if which == 0 {
+            Fact::from_names("R", &[&name(vals[0]), &name(vals[1])])
+        } else {
+            Fact::from_names("S", &[&name(vals[0]), &name(vals[1]), &name(vals[2])])
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_instance(max: usize)(facts in proptest::collection::vec(arb_fact(), 0..max)) -> Instance {
+        let mut db = Instance::new(schema());
+        for f in facts {
+            db.insert(f).unwrap();
+        }
+        db
+    }
+}
+
+proptest! {
+    #[test]
+    fn interning_round_trips(s in "[a-z][a-z0-9_]{0,12}") {
+        let sym = cqa::model::intern::Sym::intern(&s);
+        prop_assert_eq!(&*sym.resolve(), s.as_str());
+        prop_assert_eq!(sym, cqa::model::intern::Sym::intern(&s));
+    }
+
+    #[test]
+    fn insert_remove_round_trip(db in arb_instance(12), extra in arb_fact()) {
+        let mut work = db.clone();
+        let was_present = work.contains(&extra);
+        let inserted = work.insert(extra.clone()).unwrap();
+        prop_assert_eq!(inserted, !was_present);
+        prop_assert!(work.contains(&extra));
+        prop_assert!(work.remove(&extra));
+        if was_present {
+            // removing once leaves the original count minus one
+            prop_assert_eq!(work.len(), db.len() - 1);
+        } else {
+            prop_assert_eq!(work, db);
+        }
+    }
+
+    #[test]
+    fn blocks_partition_the_relation(db in arb_instance(16)) {
+        for rel in db.populated_relations() {
+            let from_blocks: usize = db.blocks(rel).iter().map(|(_, fs)| fs.len()).sum();
+            prop_assert_eq!(from_blocks, db.count_of(rel));
+            // every block member is key-equal to every other
+            let sig = db.sig(rel);
+            for (_, facts) in db.blocks(rel) {
+                for a in &facts {
+                    for b in &facts {
+                        prop_assert!(a.key_equal(b, sig));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_difference_laws(a in arb_instance(10), b in arb_instance(10)) {
+        let ab = a.symmetric_difference(&b);
+        let ba = b.symmetric_difference(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(a.symmetric_difference(&a).is_empty());
+        // |A ⊕ B| = |A| + |B| - 2|A ∩ B|
+        let inter = a.intersection(&b);
+        prop_assert_eq!(ab.len(), a.len() + b.len() - 2 * inter.len());
+    }
+
+    #[test]
+    fn closer_eq_is_a_partial_order(db in arb_instance(8), r in arb_instance(6), s in arb_instance(6)) {
+        // reflexivity
+        prop_assert!(closer_eq(&db, &r, &r));
+        // antisymmetry of the strict part
+        prop_assert!(!(strictly_closer(&db, &r, &s) && strictly_closer(&db, &s, &r)));
+        // db itself is the unique minimum
+        prop_assert!(closer_eq(&db, &db, &r));
+    }
+
+    #[test]
+    fn transitivity_of_closer_eq(db in arb_instance(6), r in arb_instance(5), s in arb_instance(5), t in arb_instance(5)) {
+        if closer_eq(&db, &r, &s) && closer_eq(&db, &s, &t) {
+            prop_assert!(closer_eq(&db, &r, &t));
+        }
+    }
+
+    #[test]
+    fn pk_repairs_are_exactly_block_choices(db in arb_instance(8)) {
+        let repairs = pk_repairs(&db);
+        prop_assert_eq!(repairs.len() as u128, count_pk_repairs(&db));
+        for r in &repairs {
+            prop_assert!(r.satisfies_pk());
+            prop_assert!(r.subset_of(&db));
+            // maximality: one fact from every block
+            for rel in db.populated_relations() {
+                prop_assert_eq!(r.blocks(rel).len(), db.blocks(rel).len());
+            }
+        }
+        // pairwise distinct
+        for i in 0..repairs.len() {
+            for j in (i + 1)..repairs.len() {
+                prop_assert!(repairs[i] != repairs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn pk_repairs_are_delta_repairs(db in arb_instance(6)) {
+        let fks = FkSet::empty(schema());
+        let limits = cqa_repair::SearchLimits::default();
+        for r in pk_repairs(&db) {
+            prop_assert_eq!(cqa_repair::is_delta_repair(&db, &r, &fks, &limits), Some(true));
+        }
+    }
+
+    #[test]
+    fn fact_display_parse_round_trip(f in arb_fact()) {
+        let text = f.to_string();
+        let parsed = cqa::model::parser::parse_fact(&text).unwrap();
+        prop_assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn instance_display_parse_round_trip(db in arb_instance(10)) {
+        // Instance Display is `{fact, fact, …}`; strip the braces and commas
+        // become separators the parser accepts.
+        let text = db.to_string();
+        let inner = text.trim_start_matches('{').trim_end_matches('}');
+        let parsed = cqa::model::parser::parse_instance(&schema(), inner).unwrap();
+        prop_assert_eq!(parsed, db);
+    }
+
+    #[test]
+    fn adom_contains_all_values(db in arb_instance(12)) {
+        let adom = db.adom();
+        for f in db.facts() {
+            for a in f.args.iter() {
+                prop_assert!(adom.contains(a));
+            }
+        }
+        prop_assert!(db.key_consts().is_subset(&adom));
+    }
+
+    #[test]
+    fn restriction_and_union(db in arb_instance(12)) {
+        let r_only = db.restrict(&[RelName::new("R")].into_iter().collect());
+        let s_only = db.restrict(&[RelName::new("S")].into_iter().collect());
+        prop_assert_eq!(r_only.union(&s_only), db.clone());
+        prop_assert_eq!(r_only.intersection(&s_only).len(), 0);
+    }
+}

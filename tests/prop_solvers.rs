@@ -1,0 +1,78 @@
+//! Property-based tests for the combinatorial solvers: dual-Horn / Horn
+//! unit propagation against brute-force SAT, and the Figure 3 reduction
+//! against ground-truth reachability on random DAGs.
+
+use cqa::solvers::horn::{DualHornFormula, HornFormula};
+use cqa::solvers::reach::DiGraph;
+use cqa::solvers::{fig3, prop17};
+use cqa_gen::graphs::random_dag;
+use proptest::prelude::*;
+
+prop_compose! {
+    /// A random Horn clause over `n` variables: up to 3 negatives, ≤1
+    /// positive.
+    fn arb_horn_clause(n: usize)(neg in proptest::collection::vec(0..n, 0..3),
+                                 pos in proptest::option::of(0..n)) -> (Vec<usize>, Vec<usize>) {
+        (neg, pos.into_iter().collect())
+    }
+}
+
+prop_compose! {
+    fn arb_dual_clause(n: usize)(pos in proptest::collection::vec(0..n, 0..3),
+                                 neg in proptest::option::of(0..n)) -> (Vec<usize>, Vec<usize>) {
+        (neg.into_iter().collect(), pos)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn horn_solver_matches_brute_force(clauses in proptest::collection::vec(arb_horn_clause(6), 0..8)) {
+        let mut f = HornFormula::new();
+        for (neg, pos) in &clauses {
+            f.add_clause(neg.clone(), pos.clone());
+        }
+        prop_assert_eq!(f.solve().is_some(), f.brute_force_sat());
+    }
+
+    #[test]
+    fn horn_minimal_model_is_a_model(clauses in proptest::collection::vec(arb_horn_clause(6), 0..8)) {
+        let mut f = HornFormula::new();
+        for (neg, pos) in &clauses {
+            f.add_clause(neg.clone(), pos.clone());
+        }
+        if let Some(model) = f.solve() {
+            for (neg, pos) in &clauses {
+                let sat = pos.iter().any(|v| model.contains(v))
+                    || neg.iter().any(|v| !model.contains(v));
+                prop_assert!(sat, "clause (¬{neg:?} ∨ {pos:?}) unsatisfied by {model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_horn_solver_matches_brute_force(clauses in proptest::collection::vec(arb_dual_clause(6), 0..8)) {
+        let mut f = DualHornFormula::new();
+        for (neg, pos) in &clauses {
+            f.add_clause(neg.clone(), pos.clone());
+        }
+        prop_assert_eq!(f.satisfiable(), f.brute_force_sat());
+    }
+
+    #[test]
+    fn fig3_reduction_matches_reachability(n in 2usize..10, p in 0.0f64..0.5, seed in 0u64..500) {
+        let spec = random_dag(n, p, seed);
+        let mut g = DiGraph::new();
+        for &v in &spec.vertices {
+            g.add_vertex(v);
+        }
+        for &(u, v) in &spec.edges {
+            g.add_edge(u, v);
+        }
+        let inst = fig3::reduce(&g, 0, n - 1);
+        let certain = prop17::certain(&inst.db, cqa_model::Cst::new("c"));
+        prop_assert_eq!(certain, !inst.reachable,
+            "graph edges {:?}: no-instance iff 0 ⇝ {}", spec.edges, n - 1);
+    }
+}
