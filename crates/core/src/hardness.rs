@@ -230,7 +230,8 @@ mod tests {
             .expect("pair must be block-interfering");
 
         // Small DAGs: path, fork, disconnected.
-        let graphs: Vec<(Vec<usize>, Vec<(usize, usize)>, usize, usize)> = vec![
+        type GraphCase = (Vec<usize>, Vec<(usize, usize)>, usize, usize);
+        let graphs: Vec<GraphCase> = vec![
             (vec![0, 1], vec![(0, 1)], 0, 1),
             (vec![0, 1], vec![], 0, 1),
             (vec![0, 1, 2], vec![(0, 1), (1, 2)], 0, 2),
@@ -295,7 +296,8 @@ mod tests {
         let with_fk = parse_fks(&s, "R[2] -> S").unwrap();
         let both_fk = parse_fks(&s, "R[2] -> S, S[2] -> R").unwrap();
 
-        let pair_sets: Vec<(Vec<(usize, usize)>, Vec<(usize, usize)>)> = vec![
+        type PairSet = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+        let pair_sets: Vec<PairSet> = vec![
             (vec![(0, 0)], vec![(0, 0)]),
             (vec![(0, 0), (0, 1)], vec![(0, 0)]),
             (vec![(0, 0)], vec![(0, 0), (1, 0)]),

@@ -239,14 +239,11 @@ impl RewritePlan {
         }
 
         // Lemma 36: remove weak keys, grouped by referenced relation.
-        loop {
-            let Some(weak) = fks
-                .weak()
-                .into_iter()
-                .find(|fk| !fk.is_trivial(fks.schema()))
-            else {
-                break;
-            };
+        while let Some(weak) = fks
+            .weak()
+            .into_iter()
+            .find(|fk| !fk.is_trivial(fks.schema()))
+        {
             let target = weak.to;
             let removed: Vec<ForeignKey> = fks
                 .weak()
@@ -262,14 +259,11 @@ impl RewritePlan {
         }
 
         // Lemma 39: remove d →str d keys.
-        loop {
-            let Some(fk) = fks
-                .strong()
-                .into_iter()
-                .find(|fk| fk_type(&q, &fks, fk) == FkType::DisobedientDisobedient)
-            else {
-                break;
-            };
+        while let Some(fk) = fks
+            .strong()
+            .into_iter()
+            .find(|fk| fk_type(&q, &fks, fk) == FkType::DisobedientDisobedient)
+        {
             fks = fks.without(&fk);
             push(&mut steps, StepAction::RemoveDD { fk }, &q, &fks);
             debug_assert!(check_invariants(&q, &fks).is_ok());

@@ -72,6 +72,7 @@ impl Formula {
     }
 
     /// Smart negation: collapses double negation and constants.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,

@@ -1,0 +1,225 @@
+//! Round-trip tests for the `cqa-model` text syntax: whatever the `Display`
+//! impls print, the parsers must read back to an equal value — and malformed
+//! input must fail with a parse error, not a panic or a silently-wrong value.
+
+use cqa_model::parser::{parse_fact, parse_fks, parse_instance, parse_query, parse_schema};
+use cqa_model::{Fact, ModelError, RelName};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Display → re-parse round trips
+// ---------------------------------------------------------------------------
+
+#[test]
+fn schema_display_reparses() {
+    for text in [
+        "R[1,1]",
+        "R[3,2] S[2,1]",
+        "N[3,1] O[1,1] T[2,1]",
+        "DOCS[3,1] AUTHORS[3,1] R[2,2]",
+    ] {
+        let schema = parse_schema(text).unwrap();
+        let printed = schema.to_string();
+        let reparsed = parse_schema(&printed).unwrap();
+        assert_eq!(
+            reparsed.to_string(),
+            printed,
+            "schema {text:?} did not round-trip via {printed:?}"
+        );
+        for (rel, sig) in schema.relations() {
+            let b = reparsed.signature(rel).unwrap();
+            assert_eq!((sig.arity, sig.key_len), (b.arity, b.key_len));
+        }
+    }
+}
+
+#[test]
+fn query_display_reparses() {
+    let schema = Arc::new(parse_schema("N[3,1] O[1,1] T[2,1]").unwrap());
+    for text in [
+        "N(x, 'c', y), O(y)",
+        "N(x, y, z), O(y), T(z, x)",
+        "N('a', 'b', 'c')",
+        "T(x, x)",
+        "N(x, 2016, y)",
+    ] {
+        let q = parse_query(&schema, text).unwrap();
+        // Query Display is the paper's set notation `{atom, …}`; the braces
+        // are decoration around the parseable atom list.
+        let printed = q.to_string();
+        let inner = printed.trim_start_matches('{').trim_end_matches('}');
+        let reparsed = parse_query(&schema, inner)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(reparsed, q, "query {text:?} did not round-trip via {printed:?}");
+    }
+}
+
+#[test]
+fn fks_display_reparses() {
+    let schema = Arc::new(parse_schema("N[3,1] O[1,1] T[2,1]").unwrap());
+    for text in ["N[3] -> O", "N[3] -> O, T[2] -> O", "N[2] → O, N[3] → O"] {
+        let fks = parse_fks(&schema, text).unwrap();
+        // FkSet Display is `{N[3] → O, …}`; strip the set braces.
+        let printed = fks.to_string();
+        let inner = printed.trim_start_matches('{').trim_end_matches('}');
+        let reparsed = parse_fks(&schema, inner)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(reparsed, fks, "FKs {text:?} did not round-trip via {printed:?}");
+    }
+}
+
+#[test]
+fn empty_fk_set_round_trips() {
+    let schema = Arc::new(parse_schema("R[2,1]").unwrap());
+    let fks = parse_fks(&schema, "").unwrap();
+    assert_eq!(fks.len(), 0);
+    let printed = fks.to_string();
+    let inner = printed.trim_start_matches('{').trim_end_matches('}');
+    let reparsed = parse_fks(&schema, inner).unwrap();
+    assert_eq!(reparsed, fks);
+}
+
+#[test]
+fn fact_display_reparses() {
+    for text in [
+        "R(a, b)",
+        "AUTHORS(o1, 'Jeff', 'Ullman')",
+        "S(1, 2, 3)",
+        "O(v0)",
+    ] {
+        let f = parse_fact(text).unwrap();
+        let printed = f.to_string();
+        let reparsed = parse_fact(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(reparsed, f, "fact {text:?} did not round-trip via {printed:?}");
+    }
+}
+
+#[test]
+fn instance_display_reparses() {
+    let schema = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+    let db = parse_instance(&schema, "R(a,1); R(a,2); S(1,x); S(2,y)").unwrap();
+    // Instance Display is `{fact, fact, …}`; the braces are decoration.
+    let printed = db.to_string();
+    let inner = printed.trim_start_matches('{').trim_end_matches('}');
+    let reparsed = parse_instance(&schema, inner).unwrap();
+    assert_eq!(reparsed, db);
+}
+
+// ---------------------------------------------------------------------------
+// Error paths: malformed input is an Err, never a panic
+// ---------------------------------------------------------------------------
+
+fn is_parse_err(e: &ModelError) -> bool {
+    matches!(e, ModelError::Parse { .. })
+}
+
+#[test]
+fn malformed_schema_signatures() {
+    // Lexical/grammatical breakage → ModelError::Parse.
+    for text in [
+        "R[",          // truncated signature
+        "R[2",         // unclosed bracket
+        "R[2,]",       // missing key length
+        "R[a,1]",      // non-numeric arity
+        "R[2,1",       // unclosed bracket after both numbers
+        "R(2,1)",      // wrong bracket kind
+        "[2,1]",       // missing relation name
+        "R[2,1] !",    // trailing garbage
+        "R#x[2,1]",    // reserved character in name
+    ] {
+        let e = parse_schema(text).unwrap_err();
+        assert!(
+            is_parse_err(&e),
+            "schema {text:?}: expected a parse error, got {e:?}"
+        );
+    }
+    // Well-formed text, ill-formed signature → a (non-parse) model error.
+    for text in ["R[0,0]", "R[2,3]", "R[2,0]", "R[1,1] R[2,2]"] {
+        assert!(parse_schema(text).is_err(), "schema {text:?} must be rejected");
+    }
+}
+
+#[test]
+fn malformed_queries() {
+    let schema = Arc::new(parse_schema("R[2,1] S[1,1]").unwrap());
+    for text in [
+        "R(x",          // unclosed atom
+        "R(x,)",        // dangling comma
+        "R x,y)",       // missing '('
+        "R(x y)",       // missing separator
+        "R(x, 'c)",     // unterminated quote
+        "R(x,y) -> S",  // arrow does not belong in a query
+    ] {
+        let e = parse_query(&schema, text).unwrap_err();
+        assert!(
+            is_parse_err(&e),
+            "query {text:?}: expected a parse error, got {e:?}"
+        );
+    }
+    // Grammar-valid but semantically invalid.
+    assert!(parse_query(&schema, "Unknown(x)").is_err(), "unknown relation");
+    assert!(parse_query(&schema, "R(x)").is_err(), "arity mismatch");
+    assert!(parse_query(&schema, "R(x,y), R(y,x)").is_err(), "self-join");
+}
+
+#[test]
+fn malformed_fks() {
+    let schema = Arc::new(parse_schema("N[3,1] O[1,1] P[2,2]").unwrap());
+    for text in ["N[3] ->", "N[3] O", "N -> O", "N[] -> O", "N[3] -> [1]"] {
+        let e = parse_fks(&schema, text).unwrap_err();
+        assert!(
+            is_parse_err(&e),
+            "FKs {text:?}: expected a parse error, got {e:?}"
+        );
+    }
+    // Composite-key target and out-of-range position are semantic errors.
+    assert!(parse_fks(&schema, "N[3] -> P").is_err(), "composite-key target");
+    assert!(parse_fks(&schema, "N[9] -> O").is_err(), "position out of range");
+}
+
+#[test]
+fn malformed_facts_and_instances() {
+    let schema = Arc::new(parse_schema("R[2,1]").unwrap());
+    assert!(parse_fact("R(a").is_err());
+    assert!(parse_fact("(a, b)").is_err());
+    assert!(parse_instance(&schema, "R(a)").is_err(), "arity mismatch");
+    assert!(parse_instance(&schema, "Q(a, b)").is_err(), "unknown relation");
+    assert!(parse_instance(&schema, "R(a#0, b)").is_err(), "reserved char");
+}
+
+// ---------------------------------------------------------------------------
+// Property: random identifier pools survive the full print/parse cycle
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_facts_round_trip(
+        rel in 0..2usize,
+        args in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 2),
+    ) {
+        let name = if rel == 0 { "R" } else { "S" };
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let f = Fact::from_names(name, &refs);
+        let printed = f.to_string();
+        let reparsed = parse_fact(&printed).unwrap();
+        prop_assert_eq!(reparsed, f);
+    }
+
+    #[test]
+    fn random_schemas_round_trip(arity in 1..6usize, key_len_off in 0..5usize) {
+        let key_len = 1 + key_len_off.min(arity - 1);
+        let text = format!("R[{arity},{key_len}]");
+        let schema = parse_schema(&text).unwrap();
+        let reparsed = parse_schema(&schema.to_string()).unwrap();
+        let sig = reparsed.signature(RelName::new("R")).unwrap();
+        prop_assert_eq!((sig.arity, sig.key_len), (arity, key_len));
+    }
+}

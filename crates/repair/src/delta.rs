@@ -70,7 +70,6 @@ pub fn is_delta_repair(
     // drops some inserted fact — i.e. s ≠ r.
     let mut dominated = false;
     enumerate(
-        db,
         &kept,
         &open_blocks,
         0,
@@ -82,9 +81,7 @@ pub fn is_delta_repair(
     Some(!dominated)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn enumerate(
-    db: &Instance,
     kept: &Instance,
     open_blocks: &[Vec<Fact>],
     block_idx: usize,
@@ -125,7 +122,6 @@ fn enumerate(
     }
     // Option 1: keep skipping this block.
     enumerate(
-        db,
         kept,
         open_blocks,
         block_idx + 1,
@@ -138,7 +134,6 @@ fn enumerate(
     for f in &open_blocks[block_idx] {
         extra_db_facts.push(f.clone());
         enumerate(
-            db,
             kept,
             open_blocks,
             block_idx + 1,

@@ -12,7 +12,7 @@
 //!     the block cannot be dropped (the member would be re-addable), so a
 //!     falsifying repair must keep some **non-diagonal** member `N(u, wᵢ)`
 //!     (`wᵢ ≠ u`), which requires `x_{wᵢ}`: clause `¬x_w ∨ ⋁ x_{wᵢ}`.
-//!   `db` is a no-instance iff the formula is satisfiable.
+//!     `db` is a no-instance iff the formula is satisfiable.
 //!
 //! * [`certain_via_reachability`] — the paper's proof-sketch graph, refined:
 //!   vertices `V = {c | N(c,c) ∈ db} ∪ {⊥}`; block edges to in-`V` seconds,

@@ -25,6 +25,7 @@
 //! See `examples/` for richer scenarios and `DESIGN.md` for the module map.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use cqa_attack as attack;
 pub use cqa_core as core;

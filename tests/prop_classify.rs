@@ -48,7 +48,11 @@ fn about_fks(q: &Query) -> FkSet {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn single_atom_queries_are_always_fo(idx in proptest::collection::vec(0..TERMS.len(), 3)) {

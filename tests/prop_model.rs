@@ -33,6 +33,12 @@ prop_compose! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
     #[test]
     fn interning_round_trips(s in "[a-z][a-z0-9_]{0,12}") {
         let sym = cqa::model::intern::Sym::intern(&s);

@@ -25,7 +25,11 @@ prop_compose! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn horn_solver_matches_brute_force(clauses in proptest::collection::vec(arb_horn_clause(6), 0..8)) {

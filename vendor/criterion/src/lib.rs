@@ -1,0 +1,252 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Measurement is a simple calibrated wall-clock loop (median of a few
+//! batches) printed as `bench: <group>/<id> ... <time>/iter` — no statistics
+//! machinery, no HTML reports, but enough to compare hot paths locally and
+//! to keep `cargo bench` targets compiling and runnable offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time to spend measuring a single benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// An identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Best observed per-iteration time, set by [`Bencher::iter`].
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` in a calibrated loop and records its per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: run once to size the batches.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let batch = (TARGET_MEASURE.as_nanos() / 5 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per = start.elapsed() / u32::try_from(batch).expect("batch fits in u32");
+            best = best.min(per);
+        }
+        self.per_iter = Some(best);
+    }
+}
+
+fn fmt_per_iter(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(group: Option<&str>, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { per_iter: None };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match b.per_iter {
+        Some(t) => println!("bench: {label:<60} {:>12}/iter", fmt_per_iter(t)),
+        None => println!("bench: {label:<60} (no measurement)"),
+    }
+}
+
+/// The benchmark manager (shim for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (the shim accepts and ignores the
+    /// `--bench`/filter arguments cargo passes).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut f = f;
+        run_one(None, &id.into(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks a function with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Criterion {
+        run_one(None, &id, |b| f(b, input));
+        self
+    }
+
+    /// Prints the final summary (a no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks (shim for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted and ignored by the shim's loop).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted and ignored by the shim's loop).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks a function with an input value within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (shim for `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (shim for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut b = Bencher { per_iter: None };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.per_iter.is_some());
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_per_iter(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_per_iter(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_per_iter(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_per_iter(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

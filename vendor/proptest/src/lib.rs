@@ -1,0 +1,177 @@
+//! Offline shim for the subset of `proptest` 1.x this workspace uses.
+//!
+//! Implements the [`strategy::Strategy`] combinator surface (`prop_map`,
+//! `prop_recursive`, `boxed`, ranges, tuples, regex-derived strings,
+//! [`collection::vec`], [`option::of`]), the [`proptest!`], [`prop_compose!`],
+//! [`prop_oneof!`] and `prop_assert*` macros, and a deterministic
+//! [`test_runner`] with failure-seed persistence compatible in spirit with
+//! upstream's `proptest-regressions/` files.
+//!
+//! Deliberate divergences from upstream (documented in `vendor/README.md`):
+//! no shrinking (the persisted seed replays the exact failing case instead),
+//! and the RNG stream is the workspace's deterministic xoshiro, so a given
+//! (test, case index) pair always sees the same inputs across runs and
+//! machines.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{FileFailurePersistence, ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof, proptest};
+}
+
+/// Defines property tests (shim for `proptest::proptest!`).
+///
+/// Supports the upstream form used in this workspace: an optional leading
+/// `#![proptest_config(expr)]`, then one or more `#[test] fn name(var in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($var:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run(
+                    __config,
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                    |__rng| {
+                    $(let $var = $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                    #[allow(unreachable_code)]
+                    {
+                        $body
+                        ::std::result::Result::Ok(())
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Composes strategies into a named generator function (shim for
+/// `proptest::prop_compose!`).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+     ($($var:ident in $strat:expr),+ $(,)?) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*)
+            -> impl $crate::strategy::Strategy<Value = $out>
+        {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($var,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Picks uniformly between strategies of a common value type (shim for
+/// `proptest::prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// whole process) so the runner can report the persisted seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case unless the precondition holds; the runner
+/// generates a replacement case instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}

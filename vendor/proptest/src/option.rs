@@ -1,0 +1,46 @@
+//! Option strategies (shim for `proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A strategy for `Option<T>` producing `Some` half the time.
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        rng.0.gen_bool(0.5).then(|| self.inner.new_value(rng))
+    }
+}
+
+/// Generates `Option` values over `inner` (`Some` with probability 1/2).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_occur() {
+        let mut rng = TestRng::from_seed(9);
+        let s = of(0..3usize);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..200 {
+            match s.new_value(&mut rng) {
+                Some(v) => {
+                    assert!(v < 3);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 50 && none > 50, "skewed: {some} Some / {none} None");
+    }
+}

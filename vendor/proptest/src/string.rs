@@ -1,0 +1,253 @@
+//! Regex-derived string generation for `&str` strategies.
+//!
+//! Supports the subset of regex syntax the workspace's tests use, plus the
+//! obvious neighbors: literal characters, `.`, character classes
+//! (`[a-z0-9_]`, ranges and singletons, negation unsupported), groups with
+//! alternation (`(ab|cd)`), escapes (`\d`, `\w`, `\s`, `\\` and escaped
+//! metacharacters), and the quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`
+//! (unbounded repetition is capped at 8).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Cap for `*` / `+` / `{m,}` repetition counts.
+const UNBOUNDED_CAP: usize = 8;
+
+/// Generates a string matching `pattern`. Panics on unsupported syntax —
+/// a test-authoring error, not a runtime condition.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (node, consumed) = parse_alternation(&chars, 0);
+    assert!(
+        consumed == chars.len(),
+        "regex strategy: trailing input at {consumed} in {pattern:?}"
+    );
+    let mut out = String::new();
+    node.generate(rng, &mut out);
+    out
+}
+
+enum Node {
+    /// A sequence of pieces.
+    Seq(Vec<Node>),
+    /// One of several alternatives.
+    Alt(Vec<Node>),
+    /// A set of candidate characters.
+    Class(Vec<char>),
+    /// A repeated piece with an inclusive count range.
+    Repeat(Box<Node>, usize, usize),
+}
+
+impl Node {
+    fn generate(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Node::Seq(parts) => {
+                for p in parts {
+                    p.generate(rng, out);
+                }
+            }
+            Node::Alt(options) => {
+                options[rng.0.gen_range(0..options.len())].generate(rng, out)
+            }
+            Node::Class(chars) => out.push(chars[rng.0.gen_range(0..chars.len())]),
+            Node::Repeat(inner, lo, hi) => {
+                let n = rng.0.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    inner.generate(rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Parses alternatives separated by `|` until end-of-input or `)`.
+fn parse_alternation(chars: &[char], mut i: usize) -> (Node, usize) {
+    let mut options = Vec::new();
+    loop {
+        let (seq, next) = parse_sequence(chars, i);
+        options.push(seq);
+        i = next;
+        if i < chars.len() && chars[i] == '|' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let node = if options.len() == 1 {
+        options.pop().expect("one option")
+    } else {
+        Node::Alt(options)
+    };
+    (node, i)
+}
+
+/// Parses a concatenation of quantified pieces.
+fn parse_sequence(chars: &[char], mut i: usize) -> (Node, usize) {
+    let mut parts = Vec::new();
+    while i < chars.len() && chars[i] != '|' && chars[i] != ')' {
+        let (piece, next) = parse_piece(chars, i);
+        i = next;
+        let (piece, next) = parse_quantifier(chars, i, piece);
+        i = next;
+        parts.push(piece);
+    }
+    (Node::Seq(parts), i)
+}
+
+/// Parses a single unquantified piece.
+fn parse_piece(chars: &[char], i: usize) -> (Node, usize) {
+    match chars[i] {
+        '[' => parse_class(chars, i + 1),
+        '(' => {
+            let (inner, next) = parse_alternation(chars, i + 1);
+            assert!(
+                next < chars.len() && chars[next] == ')',
+                "regex strategy: unclosed group"
+            );
+            (inner, next + 1)
+        }
+        '.' => (Node::Class(printable_ascii()), i + 1),
+        '\\' => {
+            let (set, next) = parse_escape(chars, i + 1);
+            (Node::Class(set), next)
+        }
+        c => {
+            assert!(
+                !"?*+{".contains(c),
+                "regex strategy: dangling quantifier {c:?}"
+            );
+            (Node::Class(vec![c]), i + 1)
+        }
+    }
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..0x7f).map(char::from).collect()
+}
+
+/// Parses the body of a `[...]` class; `i` points after the `[`.
+fn parse_class(chars: &[char], mut i: usize) -> (Node, usize) {
+    assert!(
+        i < chars.len() && chars[i] != '^',
+        "regex strategy: negated classes are unsupported"
+    );
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '\\' {
+            let (sub, next) = parse_escape(chars, i + 1);
+            set.extend(sub);
+            i = next;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "regex strategy: inverted range {lo}-{hi}");
+            set.extend((lo..=hi).filter(char::is_ascii));
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "regex strategy: unclosed class");
+    assert!(!set.is_empty(), "regex strategy: empty class");
+    (Node::Class(set), i + 1)
+}
+
+/// Parses an escape; `i` points after the backslash.
+fn parse_escape(chars: &[char], i: usize) -> (Vec<char>, usize) {
+    assert!(i < chars.len(), "regex strategy: trailing backslash");
+    let set = match chars[i] {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(['_'])
+            .collect(),
+        's' => vec![' ', '\t', '\n'],
+        'n' => vec!['\n'],
+        't' => vec!['\t'],
+        c if !c.is_alphanumeric() => vec![c],
+        c => panic!("regex strategy: unsupported escape \\{c}"),
+    };
+    (set, i + 1)
+}
+
+/// Wraps `piece` in a repeat node if a quantifier follows.
+fn parse_quantifier(chars: &[char], i: usize, piece: Node) -> (Node, usize) {
+    if i >= chars.len() {
+        return (piece, i);
+    }
+    match chars[i] {
+        '?' => (Node::Repeat(Box::new(piece), 0, 1), i + 1),
+        '*' => (Node::Repeat(Box::new(piece), 0, UNBOUNDED_CAP), i + 1),
+        '+' => (Node::Repeat(Box::new(piece), 1, UNBOUNDED_CAP), i + 1),
+        '{' => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .expect("regex strategy: unclosed {} quantifier");
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                None => {
+                    let n = body.trim().parse().expect("regex strategy: bad {n}");
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let lo = lo.trim().parse().expect("regex strategy: bad {m,}");
+                    (lo, lo + UNBOUNDED_CAP)
+                }
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("regex strategy: bad {m,n}"),
+                    hi.trim().parse().expect("regex strategy: bad {m,n}"),
+                ),
+            };
+            assert!(lo <= hi, "regex strategy: inverted {{m,n}}");
+            (Node::Repeat(Box::new(piece), lo, hi), close + 1)
+        }
+        _ => (piece, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::from_seed(0xF00D);
+        (0..200).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in gen_many("[a-z][a-z0-9_]{0,12}") {
+            assert!(!s.is_empty() && s.len() <= 13, "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().expect("nonempty").is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn alternation_and_literals() {
+        for s in gen_many("(ab|cd)x?") {
+            assert!(["ab", "cd", "abx", "cdx"].contains(&s.as_str()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_and_counts() {
+        for s in gen_many(r"\d{3}") {
+            assert_eq!(s.len(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn plus_is_capped_but_nonempty() {
+        for s in gen_many("z+") {
+            assert!(!s.is_empty() && s.len() <= UNBOUNDED_CAP);
+            assert!(s.chars().all(|c| c == 'z'));
+        }
+    }
+}

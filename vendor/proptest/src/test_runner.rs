@@ -1,0 +1,380 @@
+//! The deterministic test runner and failure-seed persistence.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The RNG handed to strategies. Deterministic: a given seed always yields
+/// the same value stream, so persisted failure seeds replay exactly.
+pub struct TestRng(pub(crate) StdRng);
+
+impl TestRng {
+    /// Creates an RNG from a case seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be replaced.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsification with a message.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with a message.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Where to persist seeds of failing cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileFailurePersistence {
+    /// In `<dir-of-source-file>/<given-dir>/<source-stem>.txt`, the upstream
+    /// layout (e.g. `tests/proptest-regressions/prop_model.txt`).
+    WithSource(&'static str),
+    /// Do not persist.
+    Off,
+}
+
+/// Runner configuration (shim for `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    /// Overridable at run time via the `PROPTEST_CASES` env var.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+    /// Failure-seed persistence; `None` disables it.
+    pub failure_persistence: Option<FileFailurePersistence>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 1024,
+            failure_persistence: Some(FileFailurePersistence::WithSource(
+                "proptest-regressions",
+            )),
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration with the given case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from the test name.
+fn fnv1a(data: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in data.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Resolves the regression file for a test source.
+///
+/// `source_file` comes from `file!()`, which is *workspace-root*-relative,
+/// while the test binary runs with the *package* directory as cwd. Anchoring
+/// at `manifest_dir` (the test crate's `CARGO_MANIFEST_DIR`) and stripping
+/// the package's own path prefix from the source path keeps the file next to
+/// the source for root and nested packages alike.
+fn regression_path(manifest_dir: &str, source_file: &str, dir: &str) -> PathBuf {
+    let manifest = Path::new(manifest_dir);
+    let source = Path::new(source_file);
+    let mut rel = source;
+    if source.is_absolute() {
+        // e.g. --remap-path-prefix builds: trust the absolute path.
+        return source
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(dir)
+            .join(Path::new(source.file_stem().unwrap_or_default()).with_extension("txt"));
+    }
+    // Longest suffix of manifest_dir that prefixes the source path is the
+    // package's location inside the workspace (empty for the root package).
+    let comps: Vec<_> = manifest.components().collect();
+    for start in 0..comps.len() {
+        let suffix: PathBuf = comps[start..].iter().collect();
+        if let Ok(stripped) = source.strip_prefix(&suffix) {
+            rel = stripped;
+            break;
+        }
+    }
+    let stem = rel.file_stem().unwrap_or_default();
+    manifest
+        .join(rel.parent().unwrap_or_else(|| Path::new(".")))
+        .join(dir)
+        .join(Path::new(stem).with_extension("txt"))
+}
+
+/// Loads persisted failure seeds for `test_name` from `path`.
+fn load_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let mut fields = line.split_whitespace();
+            if fields.next() != Some("xs") {
+                return None;
+            }
+            let seed = u64::from_str_radix(fields.next()?, 16).ok()?;
+            (fields.next() == Some(test_name)).then_some(seed)
+        })
+        .collect()
+}
+
+/// Appends a failure seed for `test_name` to `path`.
+fn save_seed(path: &Path, test_name: &str, seed: u64) {
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let mut text = fs::read_to_string(path).unwrap_or_else(|_| {
+        "# Seeds for failure cases persisted by the proptest shim.\n\
+         # Each line is `xs <seed-hex> <test-name>`; the runner replays these\n\
+         # before generating new cases. Check this file into git.\n"
+            .to_string()
+    });
+    let line = format!("xs {seed:016x} {test_name}");
+    if !text.lines().any(|l| l == line) {
+        text.push_str(&line);
+        text.push('\n');
+        let _ = fs::write(path, text);
+    }
+}
+
+/// Runs a property: replays persisted failure seeds, then `config.cases`
+/// freshly generated cases. `case` generates its inputs from the given RNG
+/// and returns `Err(TestCaseError::Fail)` to falsify the property.
+///
+/// `manifest_dir` must be the **test crate's** `CARGO_MANIFEST_DIR` (the
+/// `proptest!` macro passes it) so regression files resolve correctly for
+/// packages nested inside a workspace.
+///
+/// Panics (failing the enclosing `#[test]`) on the first falsified case,
+/// after persisting its seed.
+pub fn run<F>(
+    config: ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    mut case: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let regressions = match config.failure_persistence {
+        Some(FileFailurePersistence::WithSource(dir)) => {
+            Some(regression_path(manifest_dir, source_file, dir))
+        }
+        Some(FileFailurePersistence::Off) | None => None,
+    };
+
+    // Phase 1: replay persisted failures.
+    if let Some(path) = &regressions {
+        for seed in load_seeds(path, test_name) {
+            let mut rng = TestRng::from_seed(seed);
+            match case(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "[{test_name}] persisted regression still fails \
+                     (seed 0x{seed:016x} from {}): {msg}",
+                    path.display()
+                ),
+            }
+        }
+    }
+
+    // Phase 2: fresh cases, deterministically derived from the test name.
+    let base = fnv1a(test_name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while passed < config.cases {
+        let seed = base ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        case_index += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "[{test_name}] too many prop_assume! rejections \
+                         ({rejected}; last: {why})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                if let Some(path) = &regressions {
+                    save_seed(path, test_name, seed);
+                }
+                let saved = regressions
+                    .as_ref()
+                    .map(|p| format!("; seed persisted to {}", p.display()))
+                    .unwrap_or_default();
+                panic!(
+                    "[{test_name}] falsified after {passed} passing case(s) \
+                     (seed 0x{seed:016x}{saved}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run(
+            ProptestConfig {
+                cases: 50,
+                failure_persistence: None,
+                ..ProptestConfig::default()
+            },
+            env!("CARGO_MANIFEST_DIR"),
+            file!(),
+            "passing_property_runs_all_cases",
+            |rng| {
+                count += 1;
+                let v = (0..10usize).new_value(rng);
+                if v < 10 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("out of range"))
+                }
+            },
+        );
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        run(
+            ProptestConfig {
+                cases: 50,
+                failure_persistence: None,
+                ..ProptestConfig::default()
+            },
+            env!("CARGO_MANIFEST_DIR"),
+            file!(),
+            "failing_property_panics",
+            |rng| {
+                let v = (0..10usize).new_value(rng);
+                if v < 5 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail(format!("{v} too big")))
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn rejects_are_replaced() {
+        let mut passed = 0;
+        run(
+            ProptestConfig {
+                cases: 20,
+                failure_persistence: None,
+                ..ProptestConfig::default()
+            },
+            env!("CARGO_MANIFEST_DIR"),
+            file!(),
+            "rejects_are_replaced",
+            |rng| {
+                let v = (0..10usize).new_value(rng);
+                if v % 2 == 0 {
+                    passed += 1;
+                    Ok(())
+                } else {
+                    Err(TestCaseError::reject("odd"))
+                }
+            },
+        );
+        assert_eq!(passed, 20);
+    }
+
+    #[test]
+    fn regression_paths_for_root_and_nested_packages() {
+        // Root package: manifest dir has no overlap with the source path.
+        assert_eq!(
+            regression_path("/ws", "tests/prop_model.rs", "proptest-regressions"),
+            Path::new("/ws/tests/proptest-regressions/prop_model.txt")
+        );
+        // Nested package: file!() repeats the package's workspace-relative
+        // path, which must not be doubled.
+        assert_eq!(
+            regression_path(
+                "/ws/crates/model",
+                "crates/model/tests/parser_roundtrip.rs",
+                "proptest-regressions"
+            ),
+            Path::new("/ws/crates/model/tests/proptest-regressions/parser_roundtrip.txt")
+        );
+    }
+
+    #[test]
+    fn seed_file_round_trip() {
+        let dir = std::env::temp_dir().join("cqa-proptest-shim-test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("regress.txt");
+        save_seed(&path, "t1", 0xDEAD);
+        save_seed(&path, "t2", 0xBEEF);
+        save_seed(&path, "t1", 0xDEAD); // dedup
+        assert_eq!(load_seeds(&path, "t1"), vec![0xDEAD]);
+        assert_eq!(load_seeds(&path, "t2"), vec![0xBEEF]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for sink in [&mut first, &mut second] {
+            run(
+                ProptestConfig {
+                    cases: 10,
+                    failure_persistence: None,
+                    ..ProptestConfig::default()
+                },
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                "deterministic_across_runs",
+                |rng| {
+                    sink.push((0..1000usize).new_value(rng));
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Only serialization, and only to JSON: [`Serialize`] writes a compact JSON
+//! fragment into a `String`; the companion `serde_json` shim wraps and
+//! pretty-prints it. The derive macro (from the sibling `serde_derive` shim)
+//! supports plain non-generic structs with named fields, which is all the
+//! workspace derives on.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// A type that can be serialized to JSON.
+pub trait Serialize {
+    /// Appends `self` as a compact JSON fragment to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Appends `s` as a JSON string literal (with escaping) to `out`.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut out = String::new();
+        v.serialize_json(&mut out);
+        out
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json("a\"b".to_string()), r#""a\"b""#);
+        assert_eq!(json(true), "true");
+        assert_eq!(json(42u64), "42");
+        assert_eq!(json(None::<u8>), "null");
+        assert_eq!(json(vec![1u8, 2]), "[1,2]");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!(json("a\nb\u{1}".to_string()), "\"a\\nb\\u0001\"");
+    }
+}

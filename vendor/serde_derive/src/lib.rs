@@ -1,0 +1,126 @@
+//! Offline shim for `serde_derive`: a hand-rolled `#[derive(Serialize)]`.
+//!
+//! Supports exactly what the workspace derives on — non-generic structs with
+//! named fields (unit structs degenerate to `{}`) — and emits an impl of the
+//! JSON-only `serde::Serialize` shim trait. No `syn`/`quote`: the struct
+//! header and field names are recovered by a direct walk of the token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and the visibility qualifier.
+    let mut name: Option<String> = None;
+    let mut body: Option<proc_macro::Group> = None;
+    let mut saw_struct = false;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Consume a possible `(crate)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => saw_struct = true,
+            TokenTree::Ident(id) if saw_struct && name.is_none() => {
+                name = Some(id.to_string());
+            }
+            TokenTree::Punct(p) if name.is_some() && p.as_char() == '<' => {
+                panic!("shim #[derive(Serialize)] does not support generic types");
+            }
+            TokenTree::Group(g)
+                if name.is_some() && g.delimiter() == Delimiter::Brace =>
+            {
+                body = Some(g);
+                break;
+            }
+            TokenTree::Punct(p) if name.is_some() && p.as_char() == ';' => break,
+            _ => {
+                if !saw_struct {
+                    panic!("shim #[derive(Serialize)] only supports structs");
+                }
+            }
+        }
+    }
+    let name = name.expect("shim #[derive(Serialize)]: no struct name found");
+    let fields = body.map(|g| named_fields(g.stream())).unwrap_or_default();
+
+    let mut writes = String::new();
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            writes.push_str("__out.push(',');\n");
+        }
+        writes.push_str(&format!(
+            "::serde::write_json_str(__out, \"{field}\");\n\
+             __out.push(':');\n\
+             ::serde::Serialize::serialize_json(&self.{field}, __out);\n"
+        ));
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, __out: &mut ::std::string::String) {{\n\
+                 __out.push('{{');\n\
+                 {writes}\
+                 __out.push('}}');\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("shim #[derive(Serialize)]: generated impl parses")
+}
+
+/// Extracts the field names from the token stream of a `{ ... }` struct body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Field prelude: attributes, then visibility.
+        let mut field_name: Option<String> = None;
+        while let Some(tt) = tokens.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    field_name = Some(id.to_string());
+                    break;
+                }
+                other => panic!(
+                    "shim #[derive(Serialize)]: unexpected token {other} in struct body \
+                     (tuple structs and enums are unsupported)"
+                ),
+            }
+        }
+        let Some(field_name) = field_name else { break };
+        fields.push(field_name);
+
+        // Skip `: Type` up to the next top-level comma.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}

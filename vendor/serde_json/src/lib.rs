@@ -1,0 +1,109 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the JSON-only `serde` shim
+//! trait. Pretty printing reformats the compact fragment with 2-space
+//! indentation, string-literal aware.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+use std::fmt;
+
+/// A serialization error. The shim serializer is infallible, so this is
+/// never constructed; it exists to keep the upstream `Result` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(pretty(&compact))
+}
+
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let push_indent = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if chars.peek() == Some(&'}') || chars.peek() == Some(&']') {
+                    out.push(chars.next().expect("peeked"));
+                } else {
+                    indent += 1;
+                    push_indent(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_indent(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                push_indent(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested() {
+        let got = pretty(r#"{"a":[1,2],"b":{},"c":"x:,y"}"#);
+        let want = "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {},\n  \"c\": \"x:,y\"\n}";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn to_string_compact() {
+        assert_eq!(to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+    }
+}
