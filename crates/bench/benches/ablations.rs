@@ -2,12 +2,18 @@
 //!
 //! * `guarded_vs_naive_fo` — the guarded top-down FO evaluator vs. plain
 //!   active-domain evaluation of the same rewriting formula;
+//! * `compiled_vs_interpreted` — the compiled evaluation core
+//!   (slot bindings, pre-split guards, hash-indexed candidates) vs. the
+//!   interpretive reference evaluator, on the same guarded formula; the
+//!   `compile+eval` row includes the one-time compile step, the `eval`
+//!   row reuses a precompiled formula;
 //! * `block_index` — conjunctive-query matching with the primary-key block
 //!   index vs. a relation-scan emulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_attack::kw_rewrite;
 use cqa_fo::eval::{eval_with, Strategy};
+use cqa_fo::{interp, CompiledFormula};
 use cqa_model::parser::{parse_query, parse_schema};
 use cqa_model::{satisfies, Instance, Schema, Valuation};
 use std::sync::Arc;
@@ -34,6 +40,29 @@ fn bench_guarded_vs_naive(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &db, |b, db| {
             b.iter(|| eval_with(db, &f, &Valuation::new(), Strategy::Naive))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiled_vs_interpreted(c: &mut Criterion) {
+    let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
+    let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();
+    let f = kw_rewrite(&q).unwrap();
+    let compiled = CompiledFormula::compile(&f, Strategy::Guarded);
+    let mut group = c.benchmark_group("compiled_vs_interpreted");
+    group.sample_size(10);
+    for n in [8usize, 64, 512] {
+        let db = chain_db(&s, n);
+        db.index(); // warm the instance index outside the timed loops
+        group.bench_with_input(BenchmarkId::new("eval", n), &db, |b, db| {
+            b.iter(|| compiled.eval_closed(db))
+        });
+        group.bench_with_input(BenchmarkId::new("compile+eval", n), &db, |b, db| {
+            b.iter(|| CompiledFormula::compile(&f, Strategy::Guarded).eval_closed(db))
+        });
+        group.bench_with_input(BenchmarkId::new("interpreted", n), &db, |b, db| {
+            b.iter(|| interp::eval_closed(db, &f))
         });
     }
     group.finish();
@@ -79,5 +108,10 @@ fn bench_block_index(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_guarded_vs_naive, bench_block_index);
+criterion_group!(
+    benches,
+    bench_guarded_vs_naive,
+    bench_compiled_vs_interpreted,
+    bench_block_index
+);
 criterion_main!(benches);

@@ -9,7 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_core::classify::Classification;
 use cqa_core::flatten::flatten;
 use cqa_core::Problem;
-use cqa_fo::eval::eval_closed;
+use cqa_fo::eval::{eval_closed, Strategy};
+use cqa_fo::{interp, CompiledFormula};
 use cqa_model::parser::{parse_fks, parse_query, parse_schema};
 use cqa_model::{Instance, Schema};
 use cqa_repair::CertaintyOracle;
@@ -20,7 +21,7 @@ fn setup() -> (Arc<Schema>, cqa_core::RewritePlan, cqa_fo::Formula) {
     let q = parse_query(&s, "N(x,u,y), O(y,w)").unwrap();
     let fks = parse_fks(&s, "N[3] -> O").unwrap();
     let plan = match Problem::new(q, fks).unwrap().classify() {
-        Classification::Fo(p) => p,
+        Classification::Fo(p) => *p,
         Classification::NotFo(r) => panic!("{r}"),
     };
     let formula = flatten(&plan).unwrap();
@@ -39,6 +40,7 @@ fn instance(s: &Arc<Schema>, n: usize) -> Instance {
 
 fn bench_rewriting(c: &mut Criterion) {
     let (s, plan, formula) = setup();
+    let compiled = CompiledFormula::compile(&formula, Strategy::Guarded);
     let mut group = c.benchmark_group("fo_rewriting");
     group.sample_size(20);
     for n in [8usize, 64, 512] {
@@ -49,6 +51,17 @@ fn bench_rewriting(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("flat_formula", n), &db, |b, db| {
             b.iter(|| eval_closed(db, &formula))
         });
+        group.bench_with_input(
+            BenchmarkId::new("flat_formula_precompiled", n),
+            &db,
+            |b, db| b.iter(|| compiled.eval_closed(db)),
+        );
+        // The pre-PR hot path, kept as the ablation baseline.
+        group.bench_with_input(
+            BenchmarkId::new("flat_formula_interpreted", n),
+            &db,
+            |b, db| b.iter(|| interp::eval_closed(db, &formula)),
+        );
     }
     group.finish();
 }

@@ -1,6 +1,8 @@
 //! `paper-eval` — regenerates every figure, worked example and proposition
 //! of the paper and prints a paper-vs-measured table (experiments E1–E16 of
-//! DESIGN.md §3). Writes `experiments.json` next to the table.
+//! DESIGN.md §3). Writes `experiments.json` next to the table, then runs
+//! the compiled-vs-interpreted evaluation benchmark and snapshots it to
+//! `BENCH_eval.json` (the perf-trajectory baseline; uploaded by CI).
 //!
 //! Run with: `cargo run -p cqa-bench --bin paper-eval --release`
 
@@ -49,7 +51,40 @@ fn main() {
     let path = "experiments.json";
     std::fs::write(path, &json).expect("write experiments.json");
     println!("wrote {path}");
+    // Fail before touching the perf baseline: a build whose experiments do
+    // not reproduce must not overwrite BENCH_eval.json.
     assert!(report.all_ok(), "some experiments failed to reproduce");
+
+    bench_eval_snapshot();
+}
+
+/// Measures the interpreted-vs-compiled formula evaluators on the
+/// `fo_vs_naive` guarded workload and snapshots `BENCH_eval.json`.
+fn bench_eval_snapshot() {
+    println!("━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━");
+    println!("evaluation core: interpreted vs compiled (guarded strategy)");
+    let bench = cqa_bench::run_eval_bench(&[8, 64, 512], std::time::Duration::from_millis(200));
+    for row in &bench.rows {
+        println!(
+            "  n={:<4} ({:>4} facts): interpreted {:>10} — compiled {:>10} — {:.1}×",
+            row.n_blocks,
+            row.facts,
+            fmt_duration(std::time::Duration::from_nanos(
+                row.interpreted_guarded_ns as u64
+            )),
+            fmt_duration(std::time::Duration::from_nanos(
+                row.compiled_guarded_ns as u64
+            )),
+            row.speedup,
+        );
+    }
+    println!(
+        "  speedup at the largest size: {:.1}×",
+        bench.largest_size_speedup
+    );
+    let path = "BENCH_eval.json";
+    std::fs::write(path, bench.to_json()).expect("write BENCH_eval.json");
+    println!("wrote {path}");
 }
 
 fn e1_bibliography(report: &mut Report) {

@@ -1,0 +1,145 @@
+//! The compiled-vs-interpreted evaluation benchmark behind
+//! `BENCH_eval.json`.
+//!
+//! Workload: the guarded path of `benches/fo_vs_naive` — the flattened
+//! consistent rewriting of Example 13's `q1 = {N(x,u,y), O(y,w)}` with
+//! `FK = {N[3]→O}`, evaluated over instances with `n` two-fact blocks. The
+//! same closed formula is evaluated by
+//!
+//! * the interpretive reference evaluator ([`cqa_fo::interp`], the pre-PR
+//!   hot path: per-candidate valuation clones and re-materialized residual
+//!   conjunctions), and
+//! * the compiled evaluator ([`cqa_fo::CompiledFormula`], compiled once
+//!   outside the timing loop: slot bindings, pre-split guards, hash-indexed
+//!   candidates),
+//!
+//! both with the guarded strategy. `paper-eval` runs this after the E1–E16
+//! table and snapshots the result to `BENCH_eval.json`, which CI uploads as
+//! an artifact — the perf-trajectory baseline for the evaluation core.
+
+use cqa_core::classify::Classification;
+use cqa_core::flatten::flatten;
+use cqa_core::Problem;
+use cqa_fo::{interp, CompiledFormula, Formula, Strategy};
+use cqa_model::parser::{parse_fks, parse_query, parse_schema};
+use cqa_model::{Instance, Schema};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One measured size of the evaluation benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct EvalBenchRow {
+    /// Number of two-fact `N`-blocks in the instance.
+    pub n_blocks: usize,
+    /// Total facts in the instance.
+    pub facts: usize,
+    /// Best per-evaluation time of the interpretive guarded evaluator.
+    pub interpreted_guarded_ns: u128,
+    /// Best per-evaluation time of the compiled guarded evaluator
+    /// (compiled once outside the loop).
+    pub compiled_guarded_ns: u128,
+    /// `interpreted / compiled`.
+    pub speedup: f64,
+}
+
+/// The full `BENCH_eval.json` payload.
+#[derive(Clone, Debug, Serialize)]
+pub struct EvalBench {
+    /// What was measured.
+    pub workload: String,
+    /// Per-size measurements.
+    pub rows: Vec<EvalBenchRow>,
+    /// The speedup at the largest measured size (the acceptance metric).
+    pub largest_size_speedup: f64,
+}
+
+impl EvalBench {
+    /// Renders as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench report serializes")
+    }
+}
+
+fn chain_instance(s: &Arc<Schema>, n: usize) -> Instance {
+    let mut db = Instance::new(s.clone());
+    for i in 0..n {
+        db.insert_named("N", &[&format!("k{i}"), "u", &format!("y{i}")])
+            .unwrap();
+        db.insert_named("N", &[&format!("k{i}"), "v", &format!("z{i}")])
+            .unwrap();
+        db.insert_named("O", &[&format!("y{i}"), "w"]).unwrap();
+    }
+    db
+}
+
+/// Best-of-batches wall-clock measurement of `routine`, targeting roughly
+/// `budget` of total measurement time — the criterion shim's calibrated
+/// loop, so these numbers are comparable with the `ablations` bench rows.
+fn measure(budget: Duration, mut routine: impl FnMut() -> bool) -> Duration {
+    criterion::measure_best(budget, || {
+        std::hint::black_box(routine());
+    })
+}
+
+/// The flattened rewriting of Example 13's q1.
+fn q1_formula() -> (Arc<Schema>, Formula) {
+    let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+    let q = parse_query(&s, "N(x,u,y), O(y,w)").unwrap();
+    let fks = parse_fks(&s, "N[3] -> O").unwrap();
+    let plan = match Problem::new(q, fks).unwrap().classify() {
+        Classification::Fo(p) => p,
+        Classification::NotFo(r) => panic!("q1 must be in FO: {r}"),
+    };
+    (s, flatten(&plan).unwrap())
+}
+
+/// Runs the benchmark at the given sizes (ascending). `budget` bounds the
+/// measurement time per engine per size.
+pub fn run_eval_bench(sizes: &[usize], budget: Duration) -> EvalBench {
+    let (s, formula) = q1_formula();
+    let compiled = CompiledFormula::compile(&formula, Strategy::Guarded);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let db = chain_instance(&s, n);
+        let expected = compiled.eval_closed(&db);
+        assert_eq!(
+            expected,
+            interp::eval_closed(&db, &formula),
+            "engines disagree at n={n}"
+        );
+        db.index(); // warm the index so both engines see a built cache
+        let interp_t = measure(budget, || interp::eval_closed(&db, &formula));
+        let compiled_t = measure(budget, || compiled.eval_closed(&db));
+        rows.push(EvalBenchRow {
+            n_blocks: n,
+            facts: db.len(),
+            interpreted_guarded_ns: interp_t.as_nanos(),
+            compiled_guarded_ns: compiled_t.as_nanos(),
+            speedup: interp_t.as_secs_f64() / compiled_t.as_secs_f64().max(f64::EPSILON),
+        });
+    }
+    let largest_size_speedup = rows.last().map(|r| r.speedup).unwrap_or(0.0);
+    EvalBench {
+        workload: "flattened rewriting of Example 13 q1 (guarded strategy) over n two-fact \
+                   blocks: interpreted (cqa_fo::interp) vs compiled (CompiledFormula), \
+                   compile outside the loop"
+            .to_string(),
+        rows,
+        largest_size_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_bench_smoke() {
+        // Tiny sizes and budget: correctness of the harness, not timings.
+        let report = run_eval_bench(&[2, 4], Duration::from_millis(5));
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.compiled_guarded_ns > 0));
+        assert!(report.to_json().contains("largest_size_speedup"));
+    }
+}

@@ -8,6 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eval_bench;
+
+pub use eval_bench::{run_eval_bench, EvalBench, EvalBenchRow};
+
 use serde::Serialize;
 use std::fmt;
 use std::time::{Duration, Instant};

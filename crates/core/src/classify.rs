@@ -61,8 +61,10 @@ impl fmt::Display for NotFoReason {
 /// The outcome of Theorem 12 on a problem.
 #[derive(Clone, Debug)]
 pub enum Classification {
-    /// In FO; the rewriting plan is attached.
-    Fo(RewritePlan),
+    /// In FO; the rewriting plan is attached (boxed: a plan carries its
+    /// precompiled tail formula and is much larger than the hardness
+    /// witnesses).
+    Fo(Box<RewritePlan>),
     /// Not in FO; hardness witnesses attached.
     NotFo(NotFoReason),
 }
@@ -102,7 +104,7 @@ pub fn classify(problem: &Problem) -> Classification {
         });
     }
     match RewritePlan::build(problem) {
-        Ok(plan) => Classification::Fo(plan),
+        Ok(plan) => Classification::Fo(Box::new(plan)),
         Err(BuildError::CyclicAttackGraph) => Classification::NotFo(NotFoReason {
             cyclic_attack_graph: true,
             interference: Vec::new(),

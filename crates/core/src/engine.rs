@@ -5,7 +5,7 @@ use crate::classify::{classify, Classification, NotFoReason};
 use crate::flatten::{flatten, FlattenError};
 use crate::pipeline::RewritePlan;
 use crate::problem::Problem;
-use cqa_fo::Formula;
+use cqa_fo::{CompiledFormula, Formula, Strategy};
 use cqa_model::Instance;
 use std::fmt;
 
@@ -34,7 +34,7 @@ impl CertainEngine {
     /// Theorem 12 hardness reason otherwise.
     pub fn try_new(problem: Problem) -> Result<CertainEngine, NotFoReason> {
         match classify(&problem) {
-            Classification::Fo(plan) => Ok(CertainEngine { plan }),
+            Classification::Fo(plan) => Ok(CertainEngine { plan: *plan }),
             Classification::NotFo(reason) => Err(reason),
         }
     }
@@ -57,6 +57,16 @@ impl CertainEngine {
     /// The consistent first-order rewriting as one closed formula.
     pub fn formula(&self) -> Result<Formula, FlattenError> {
         flatten(&self.plan)
+    }
+
+    /// The flattened rewriting compiled for repeated evaluation (guarded
+    /// strategy): compile once, then `compiled.eval_closed(db)` per
+    /// database.
+    pub fn compiled(&self) -> Result<CompiledFormula, FlattenError> {
+        Ok(CompiledFormula::compile(
+            &self.formula()?,
+            Strategy::Guarded,
+        ))
     }
 
     /// The rewriting rendered as SQL (active-domain translation).
@@ -92,6 +102,9 @@ mod tests {
 
         let f = engine.formula().unwrap();
         assert!(f.is_closed());
+        let compiled = engine.compiled().unwrap();
+        assert!(compiled.eval_closed(&yes));
+        assert!(!compiled.eval_closed(&no));
         let (ddl, expr) = engine.sql().unwrap();
         assert!(ddl.contains("CREATE VIEW adom"));
         assert!(expr.contains("EXISTS"));

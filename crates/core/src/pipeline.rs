@@ -32,8 +32,8 @@ use crate::interference::{block_interference, InterferenceWitness};
 use crate::obedience::{nonkey_positions, qfk_atoms};
 use crate::problem::Problem;
 use cqa_attack::{kw_rewrite, AttackGraph};
-use cqa_fo::eval::eval_closed;
-use cqa_fo::Formula;
+use cqa_fo::eval::Strategy;
+use cqa_fo::{CompiledFormula, Formula};
 use cqa_model::eval::{block_is_relevant, unify, Valuation};
 use cqa_model::{Atom, Cst, Fact, FkSet, ForeignKey, Instance, Query, RelName, Term, Var};
 use std::collections::{BTreeMap, BTreeSet};
@@ -158,6 +158,10 @@ pub enum Tail {
         query: Query,
         /// Its consistent FO rewriting.
         formula: Formula,
+        /// The rewriting compiled (guarded strategy) at plan-build time, so
+        /// every [`RewritePlan::answer`] call skips straight to slot-based
+        /// evaluation.
+        compiled: CompiledFormula,
     },
     /// Lemma 45: branch over the constant-keyed block of `n_atom`.
     Lemma45(Box<Lemma45Step>),
@@ -319,10 +323,15 @@ impl RewritePlan {
                 let formula = kw_rewrite(&q).map_err(|e| {
                     BuildError::Internal(format!("Koutris–Wijsen base case failed: {e}"))
                 })?;
+                let compiled = CompiledFormula::compile(&formula, Strategy::Guarded);
                 return Ok(RewritePlan {
                     problem: problem.clone(),
                     steps,
-                    tail: Tail::Kw { query: q, formula },
+                    tail: Tail::Kw {
+                        query: q,
+                        formula,
+                        compiled,
+                    },
                 });
             }
 
@@ -390,7 +399,7 @@ impl RewritePlan {
             cur = apply_step(&step.action, &cur);
         }
         match &self.tail {
-            Tail::Kw { formula, .. } => eval_closed(&cur, formula),
+            Tail::Kw { compiled, .. } => compiled.eval_closed(&cur),
             Tail::Lemma45(step) => step.answer(&cur),
         }
     }
@@ -592,7 +601,7 @@ impl fmt::Display for RewritePlan {
             )?;
         }
         match &self.tail {
-            Tail::Kw { query, formula } => {
+            Tail::Kw { query, formula, .. } => {
                 writeln!(f, "  ⊢ Koutris–Wijsen rewriting of {query}:")?;
                 write!(f, "    {formula}")
             }

@@ -3,8 +3,8 @@
 //! Two strategies are provided:
 //!
 //! * [`Strategy::Naive`] — textbook active-domain semantics: every quantifier
-//!   ranges over `adom(db) ∪ const(φ)`. Correct for any formula, but each
-//!   quantifier costs a full domain sweep.
+//!   ranges over `adom(db) ∪ const(φ) ∪ const(θ↾free(φ))`. Correct for any
+//!   formula, but each quantifier costs a full domain sweep.
 //! * [`Strategy::Guarded`] — exploits the guard structure of consistent
 //!   rewritings: `∃⃗x (R(…) ∧ ρ)` iterates only over matching `R`-facts
 //!   (using the primary-key block index when the key prefix is ground), and
@@ -15,10 +15,18 @@
 //!
 //! Both strategies agree on every formula (property-tested); the performance
 //! gap between them is one of the ablation benchmarks (`DESIGN.md` §3).
+//!
+//! The entry points below compile the formula
+//! ([`crate::compile::CompiledFormula`]) and evaluate the compiled form:
+//! variables become dense binding slots, guards are pre-split per
+//! quantifier, and candidate lookups go through the instance's hash
+//! indexes. Callers that evaluate one formula many times should compile
+//! once and reuse; the original tree-walking interpreter survives as
+//! [`crate::interp`] for differential testing and ablation baselines.
 
 use crate::ast::Formula;
-use cqa_model::eval::unify;
-use cqa_model::{Cst, Instance, Term, Valuation, Var};
+use crate::compile::CompiledFormula;
+use cqa_model::{Instance, Valuation};
 
 /// Evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,224 +40,25 @@ pub enum Strategy {
 /// Evaluates a closed formula over `db` with the guarded strategy.
 pub fn eval_closed(db: &Instance, f: &Formula) -> bool {
     debug_assert!(f.is_closed(), "eval_closed requires a sentence: {f}");
-    eval_with(db, f, &Valuation::new(), Strategy::Guarded)
+    CompiledFormula::compile(f, Strategy::Guarded).eval_closed(db)
 }
 
 /// Evaluates `f` under a binding of its free variables.
+///
+/// Quantifiers range over `adom(db) ∪ const(f)` plus every constant the
+/// binding assigns to a free variable of `f` — a constant outside the
+/// database's active domain is still *active* once a free variable is bound
+/// to it.
 pub fn eval_with(db: &Instance, f: &Formula, binding: &Valuation, strategy: Strategy) -> bool {
-    let domain: Vec<Cst> = {
-        let mut d = db.adom();
-        d.extend(f.consts());
-        d.into_iter().collect()
-    };
-    let mut binding = binding.clone();
-    Evaluator {
-        db,
-        domain,
-        strategy,
-    }
-    .eval(f, &mut binding)
-}
-
-struct Evaluator<'a> {
-    db: &'a Instance,
-    domain: Vec<Cst>,
-    strategy: Strategy,
-}
-
-impl Evaluator<'_> {
-    fn resolve(&self, t: Term, binding: &Valuation) -> Option<Cst> {
-        match t {
-            Term::Cst(c) => Some(c),
-            Term::Var(v) => binding.get(&v).copied(),
-        }
-    }
-
-    fn eval(&self, f: &Formula, binding: &mut Valuation) -> bool {
-        match f {
-            Formula::True => true,
-            Formula::False => false,
-            Formula::Atom(a) => {
-                let fact = cqa_model::eval::apply_atom(a, binding)
-                    .expect("atom variables must be bound during evaluation");
-                self.db.contains(&fact)
-            }
-            Formula::Eq(s, t) => {
-                let a = self
-                    .resolve(*s, binding)
-                    .expect("equality term must be bound");
-                let b = self
-                    .resolve(*t, binding)
-                    .expect("equality term must be bound");
-                a == b
-            }
-            Formula::Not(g) => !self.eval(g, binding),
-            Formula::And(gs) => gs.iter().all(|g| self.eval(g, binding)),
-            Formula::Or(gs) => gs.iter().any(|g| self.eval(g, binding)),
-            Formula::Implies(l, r) => !self.eval(l, binding) || self.eval(r, binding),
-            Formula::Exists(vs, g) => {
-                // Quantifiers shadow outer bindings of the same variables.
-                let mut inner = binding.clone();
-                for v in vs {
-                    inner.remove(v);
-                }
-                self.eval_exists(vs, g, &mut inner)
-            }
-            Formula::Forall(vs, g) => {
-                let mut inner = binding.clone();
-                for v in vs {
-                    inner.remove(v);
-                }
-                self.eval_forall(vs, g, &mut inner)
-            }
-        }
-    }
-
-    /// Finds a positive atom conjunct of `g` usable as a guard for the
-    /// quantified variables `vs`: returns `(guard, rest)`.
-    fn split_guard<'f>(&self, vs: &[Var], g: &'f Formula) -> Option<(&'f cqa_model::Atom, Vec<&'f Formula>)> {
-        let parts: Vec<&Formula> = match g {
-            Formula::And(gs) => gs.iter().collect(),
-            other => vec![other],
-        };
-        let idx = parts.iter().position(|p| match p {
-            Formula::Atom(a) => a.vars().iter().any(|v| vs.contains(v)),
-            _ => false,
-        })?;
-        let Formula::Atom(a) = parts[idx] else {
-            unreachable!("position found an Atom");
-        };
-        let rest = parts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != idx)
-            .map(|(_, p)| *p)
-            .collect();
-        Some((a, rest))
-    }
-
-    fn eval_exists(&self, vs: &[Var], g: &Formula, binding: &mut Valuation) -> bool {
-        if self.strategy == Strategy::Guarded {
-            if let Some((guard, rest)) = self.split_guard(vs, g) {
-                // ∃vs (guard ∧ rest): iterate over facts matching the guard.
-                let remaining: Vec<Var> = vs
-                    .iter()
-                    .copied()
-                    .filter(|v| !guard.vars().contains(v))
-                    .collect();
-                for fact in self.candidates(guard, binding) {
-                    if let Some(mut next) = unify(guard, &fact, binding) {
-                        let rest_formula =
-                            Formula::and(rest.iter().map(|p| (*p).clone()));
-                        if self.eval_exists(&remaining, &rest_formula, &mut next) {
-                            return true;
-                        }
-                    }
-                }
-                return false;
-            }
-        }
-        // Active-domain fallback, one variable at a time.
-        match vs.split_first() {
-            None => self.eval(g, binding),
-            Some((&v, rest)) => {
-                for &c in &self.domain {
-                    let prev = binding.insert(v, c);
-                    let ok = self.eval_exists(rest, g, binding);
-                    match prev {
-                        Some(p) => {
-                            binding.insert(v, p);
-                        }
-                        None => {
-                            binding.remove(&v);
-                        }
-                    }
-                    if ok {
-                        return true;
-                    }
-                }
-                false
-            }
-        }
-    }
-
-    fn eval_forall(&self, vs: &[Var], g: &Formula, binding: &mut Valuation) -> bool {
-        if self.strategy == Strategy::Guarded {
-            if let Formula::Implies(lhs, rhs) = g {
-                if let Formula::Atom(guard) = lhs.as_ref() {
-                    let covered: Vec<Var> = vs
-                        .iter()
-                        .copied()
-                        .filter(|v| guard.vars().contains(v))
-                        .collect();
-                    let uncovered: Vec<Var> = vs
-                        .iter()
-                        .copied()
-                        .filter(|v| !guard.vars().contains(v))
-                        .collect();
-                    if uncovered.is_empty() && !covered.is_empty() {
-                        // ∀vs (guard → rhs): values outside the guard hold
-                        // vacuously, so only matching facts matter.
-                        for fact in self.candidates(guard, binding) {
-                            if let Some(mut next) = unify(guard, &fact, binding) {
-                                if !self.eval(rhs, &mut next) {
-                                    return false;
-                                }
-                            }
-                        }
-                        return true;
-                    }
-                }
-            }
-        }
-        match vs.split_first() {
-            None => self.eval(g, binding),
-            Some((&v, rest)) => {
-                for &c in &self.domain {
-                    let prev = binding.insert(v, c);
-                    let ok = self.eval_forall(rest, g, binding);
-                    match prev {
-                        Some(p) => {
-                            binding.insert(v, p);
-                        }
-                        None => {
-                            binding.remove(&v);
-                        }
-                    }
-                    if !ok {
-                        return false;
-                    }
-                }
-                true
-            }
-        }
-    }
-
-    /// Candidate facts for a guard atom: the block when the key prefix is
-    /// ground under `binding`, otherwise a relation scan.
-    fn candidates(&self, atom: &cqa_model::Atom, binding: &Valuation) -> Vec<cqa_model::Fact> {
-        let Some(sig) = self.db.schema().signature(atom.rel) else {
-            return Vec::new();
-        };
-        if sig.arity != atom.arity() {
-            return Vec::new();
-        }
-        let mut key: Vec<Cst> = Vec::with_capacity(sig.key_len);
-        for t in atom.key_terms(sig) {
-            match self.resolve(*t, binding) {
-                Some(c) => key.push(c),
-                None => return self.db.facts_of(atom.rel).collect(),
-            }
-        }
-        self.db.block(atom.rel, &key)
-    }
+    CompiledFormula::compile(f, strategy).eval(db, binding)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interp;
     use cqa_model::parser::{parse_instance, parse_query, parse_schema};
-    use cqa_model::{Atom, RelName, Schema};
+    use cqa_model::{Atom, Cst, RelName, Schema, Term, Var};
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
@@ -265,11 +74,21 @@ mod tests {
         Formula::Atom(q.atoms()[0].clone())
     }
 
+    /// Evaluates with all four engines (compiled/interpreted × both
+    /// strategies) under a binding and asserts they agree.
+    fn all_engines(db: &Instance, f: &Formula, b: &Valuation) -> bool {
+        let compiled_g = eval_with(db, f, b, Strategy::Guarded);
+        let compiled_n = eval_with(db, f, b, Strategy::Naive);
+        let interp_g = interp::eval_with(db, f, b, Strategy::Guarded);
+        let interp_n = interp::eval_with(db, f, b, Strategy::Naive);
+        assert_eq!(compiled_g, compiled_n, "strategies disagree on {f}");
+        assert_eq!(compiled_g, interp_g, "compiled vs interp (guarded) on {f}");
+        assert_eq!(compiled_n, interp_n, "compiled vs interp (naive) on {f}");
+        compiled_g
+    }
+
     fn both(db: &Instance, f: &Formula) -> bool {
-        let naive = eval_with(db, f, &Valuation::new(), Strategy::Naive);
-        let guarded = eval_with(db, f, &Valuation::new(), Strategy::Guarded);
-        assert_eq!(naive, guarded, "strategies disagree on {f}");
-        naive
+        all_engines(db, f, &Valuation::new())
     }
 
     #[test]
@@ -403,5 +222,131 @@ mod tests {
         assert!(eval_with(&db(), &f, &b, Strategy::Guarded));
         b.insert(Var::new("y"), Cst::new("zzz"));
         assert!(!eval_with(&db(), &f, &b, Strategy::Guarded));
+    }
+
+    #[test]
+    fn binding_to_constant_outside_adom_is_active() {
+        // Regression for the active-domain soundness gap: with the free
+        // variable x bound to a constant that occurs in neither the
+        // database nor the formula, ∃y (y = x) must hold — the quantifier
+        // domain includes the constants of the incoming binding. Before
+        // the fix the domain was adom(db) ∪ const(φ) only, so *both*
+        // strategies returned false here.
+        let s = schema();
+        let d = db();
+        let f = Formula::exists(
+            [Var::new("y")],
+            Formula::Eq(Term::var("y"), Term::var("x")),
+        );
+        let mut b = Valuation::new();
+        b.insert(Var::new("x"), Cst::new("outside-adom"));
+        assert!(all_engines(&d, &f, &b), "x's constant must be active");
+
+        // Dually: ∀y (y = x → y = x) stays true, and ∀y (y = x → T(y))
+        // must now be *false* — the domain contains x's constant, which is
+        // not a T-fact.
+        let g = Formula::forall(
+            [Var::new("y")],
+            Formula::implies(
+                Formula::Eq(Term::var("y"), Term::var("x")),
+                fatom(&s, "T(y)"),
+            ),
+        );
+        assert!(!all_engines(&d, &g, &b));
+
+        // A binding inside the active domain is unchanged by the fix.
+        let mut inside = Valuation::new();
+        inside.insert(Var::new("x"), Cst::new("e"));
+        assert!(all_engines(&d, &f, &inside));
+    }
+
+    #[test]
+    fn guard_selection_with_repeated_atoms() {
+        // Duplicate conjuncts under the same ∧: the guard is one copy, the
+        // duplicate stays a membership test in the continuation; guarded
+        // and naive must agree on every such shape.
+        let s = schema();
+        let r = || fatom(&s, "R(x,y)");
+        let dup = Formula::Exists(
+            vec![Var::new("x"), Var::new("y")],
+            Box::new(Formula::And(vec![r(), r()])),
+        );
+        assert!(both(&db(), &dup));
+
+        // Duplicated guard covering only part of the prefix plus a chained
+        // second guard.
+        let chain = Formula::Exists(
+            vec![Var::new("x"), Var::new("y"), Var::new("z")],
+            Box::new(Formula::And(vec![
+                r(),
+                r(),
+                fatom(&s, "S(y,z)"),
+                fatom(&s, "S(y,z)"),
+            ])),
+        );
+        assert!(both(&db(), &chain));
+
+        // Duplicates that cannot be satisfied: still agree.
+        let never = Formula::Exists(
+            vec![Var::new("x")],
+            Box::new(Formula::And(vec![
+                fatom(&s, "T(x)"),
+                fatom(&s, "T(x)"),
+                fatom(&s, "R(x,x)"),
+            ])),
+        );
+        assert!(!both(&db(), &never));
+    }
+
+    #[test]
+    fn guard_selection_skips_constant_only_atoms() {
+        // A conjunct with no variables must never be chosen as the guard —
+        // the quantified variable is guarded by T(x), and the ground atom
+        // R('a','b') is just a conjunct.
+        let s = schema();
+        let f = Formula::Exists(
+            vec![Var::new("x")],
+            Box::new(Formula::And(vec![
+                fatom(&s, "R('a','b')"),
+                fatom(&s, "T(x)"),
+            ])),
+        );
+        assert!(both(&db(), &f));
+
+        // With a false ground conjunct the whole ∃ is false.
+        let g = Formula::Exists(
+            vec![Var::new("x")],
+            Box::new(Formula::And(vec![
+                fatom(&s, "R('a','zzz')"),
+                fatom(&s, "T(x)"),
+            ])),
+        );
+        assert!(!both(&db(), &g));
+
+        // Only constant-only atoms: no guard exists, the quantifier falls
+        // back to the domain (and the body is variable-free).
+        let h = Formula::Exists(
+            vec![Var::new("x")],
+            Box::new(fatom(&s, "R('a','b')")),
+        );
+        assert!(both(&db(), &h));
+    }
+
+    #[test]
+    fn compiled_formula_is_reusable() {
+        use crate::compile::CompiledFormula;
+        let s = schema();
+        let r = fatom(&s, "R(x,y)");
+        let f = Formula::exists([Var::new("x"), Var::new("y")], r);
+        let compiled = CompiledFormula::compile(&f, Strategy::Guarded);
+        assert!(compiled.eval_closed(&db()));
+        let empty = Instance::new(s);
+        assert!(!compiled.eval_closed(&empty));
+        // Same compiled value, instance mutated in between.
+        let mut d = db();
+        for fact in d.facts().collect::<Vec<_>>() {
+            d.remove(&fact);
+        }
+        assert!(!compiled.eval_closed(&d));
     }
 }

@@ -14,12 +14,15 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod eval;
+pub mod interp;
 pub mod simplify;
 pub mod sql;
 pub mod stats;
 
 pub use ast::Formula;
+pub use compile::CompiledFormula;
 pub use eval::{eval_closed, eval_with, Strategy};
 pub use simplify::simplify;
 pub use sql::to_sql;

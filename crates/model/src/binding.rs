@@ -1,0 +1,203 @@
+//! Slot-indexed bindings for compiled evaluation.
+//!
+//! The interpretive evaluators in this workspace historically carried a
+//! [`crate::Valuation`] (`BTreeMap<Var, Cst>`) through every recursion and
+//! cloned it per candidate. Compiled evaluation numbers the variables of a
+//! query or formula into dense *slots* once, so the hot loops work on a
+//! [`Binding`] — a flat slot array with O(1) get/set and explicit undo —
+//! and never touch a map or allocate per candidate.
+//!
+//! Shadowing is resolved at compile time: a quantifier that rebinds an
+//! outer variable gets a *fresh* slot, so the runtime never needs to save
+//! and restore map entries.
+
+use crate::intern::Cst;
+use crate::schema::RelName;
+
+/// A dense variable slot assigned at compile time.
+pub type Slot = u32;
+
+/// A compiled term: either a constant or a reference to a binding slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotTerm {
+    /// A constant.
+    Cst(Cst),
+    /// The value currently held by a slot (if any).
+    Slot(Slot),
+}
+
+/// A relational atom with slot-numbered terms — the compiled form shared by
+/// the conjunctive-query join ([`crate::eval::CompiledQuery`]) and the
+/// formula evaluator (`cqa-fo`).
+#[derive(Clone, Debug)]
+pub struct CompiledAtom {
+    /// The relation.
+    pub rel: RelName,
+    /// The atom's terms, slot-numbered.
+    pub terms: Vec<SlotTerm>,
+}
+
+/// A flat partial assignment of constants to slots.
+#[derive(Clone, Debug, Default)]
+pub struct Binding {
+    slots: Vec<Option<Cst>>,
+}
+
+impl Binding {
+    /// An all-unbound binding with `n` slots.
+    pub fn new(n: usize) -> Binding {
+        Binding {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the binding has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The value of a slot.
+    #[inline]
+    pub fn get(&self, s: Slot) -> Option<Cst> {
+        self.slots[s as usize]
+    }
+
+    /// Binds a slot.
+    #[inline]
+    pub fn set(&mut self, s: Slot, c: Cst) {
+        self.slots[s as usize] = Some(c);
+    }
+
+    /// Unbinds a slot.
+    #[inline]
+    pub fn clear(&mut self, s: Slot) {
+        self.slots[s as usize] = None;
+    }
+
+    /// Resolves a compiled term under this binding.
+    #[inline]
+    pub fn resolve(&self, t: SlotTerm) -> Option<Cst> {
+        match t {
+            SlotTerm::Cst(c) => Some(c),
+            SlotTerm::Slot(s) => self.get(s),
+        }
+    }
+
+    /// Unifies compiled terms against a database row in place, recording
+    /// every slot it binds on `trail`. Fails (and undoes its partial
+    /// progress) on length mismatch, constant mismatch, or an inconsistent
+    /// repeated slot.
+    pub fn unify_row(&mut self, terms: &[SlotTerm], row: &[Cst], trail: &mut Trail) -> bool {
+        if terms.len() != row.len() {
+            return false;
+        }
+        let frame = trail.frame();
+        for (t, &a) in terms.iter().zip(row) {
+            let ok = match *t {
+                SlotTerm::Cst(c) => c == a,
+                SlotTerm::Slot(s) => match self.get(s) {
+                    Some(bound) => bound == a,
+                    None => {
+                        self.set(s, a);
+                        trail.push(s);
+                        true
+                    }
+                },
+            };
+            if !ok {
+                trail.undo_to(frame, self);
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An undo trail: slots bound since a frame marker, cleared in bulk.
+///
+/// Guard unification binds slots as it walks a candidate row; on backtrack
+/// the evaluator truncates the trail back to the frame it opened, unbinding
+/// exactly the slots that unification touched.
+#[derive(Clone, Debug, Default)]
+pub struct Trail {
+    touched: Vec<Slot>,
+}
+
+impl Trail {
+    /// An empty trail.
+    pub fn new() -> Trail {
+        Trail::default()
+    }
+
+    /// Opens a frame: a marker to later [`Trail::undo_to`].
+    #[inline]
+    pub fn frame(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Records that `slot` was bound in the current frame.
+    #[inline]
+    pub fn push(&mut self, slot: Slot) {
+        self.touched.push(slot);
+    }
+
+    /// Unbinds everything recorded since `frame`.
+    #[inline]
+    pub fn undo_to(&mut self, frame: usize, binding: &mut Binding) {
+        for &s in &self.touched[frame..] {
+            binding.clear(s);
+        }
+        self.touched.truncate(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Binding::new(3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(1), None);
+        b.set(1, Cst::new("a"));
+        assert_eq!(b.get(1), Some(Cst::new("a")));
+        b.clear(1);
+        assert_eq!(b.get(1), None);
+    }
+
+    #[test]
+    fn resolve_terms() {
+        let mut b = Binding::new(1);
+        b.set(0, Cst::new("v"));
+        assert_eq!(b.resolve(SlotTerm::Cst(Cst::new("c"))), Some(Cst::new("c")));
+        assert_eq!(b.resolve(SlotTerm::Slot(0)), Some(Cst::new("v")));
+        b.clear(0);
+        assert_eq!(b.resolve(SlotTerm::Slot(0)), None);
+    }
+
+    #[test]
+    fn trail_undoes_frames() {
+        let mut b = Binding::new(4);
+        let mut t = Trail::new();
+        let outer = t.frame();
+        b.set(0, Cst::new("x"));
+        t.push(0);
+        let inner = t.frame();
+        b.set(1, Cst::new("y"));
+        t.push(1);
+        b.set(2, Cst::new("z"));
+        t.push(2);
+        t.undo_to(inner, &mut b);
+        assert_eq!(b.get(0), Some(Cst::new("x")));
+        assert_eq!(b.get(1), None);
+        assert_eq!(b.get(2), None);
+        t.undo_to(outer, &mut b);
+        assert_eq!(b.get(0), None);
+    }
+}

@@ -2,13 +2,24 @@
 //!
 //! A Boolean conjunctive query `q` is satisfied by `db` (`db ⊨ q`) if there
 //! is a valuation `θ` over `vars(q)` with `θ(q) ⊆ db` (paper §3.1). The
-//! search below is a backtracking join that picks, at each step, the atom
-//! with the fewest candidate facts under the current partial valuation,
-//! using the primary-key block index whenever the key prefix is ground.
+//! search is a backtracking join that picks, at each step, the atom with the
+//! fewest candidate facts under the current partial valuation, using the
+//! primary-key block index whenever the key prefix is ground.
+//!
+//! The search runs over a [`CompiledQuery`]: variables are numbered into
+//! dense [`Binding`] slots once per query, candidate rows are borrowed from
+//! the instance's [`crate::InstanceIndex`] (no per-node `Vec<Fact>`
+//! materialization), and backtracking unbinds via a [`Trail`] instead of
+//! cloning `BTreeMap` valuations. The map-based entry points
+//! ([`satisfies`], [`find_valuation_with`], [`all_valuations`], …) are thin
+//! wrappers that compile and run, so callers and tests are unaffected;
+//! hot-loop callers (the repair oracle, the rewrite pipeline) compile once
+//! and reuse.
 
 use crate::atom::Atom;
+use crate::binding::{Binding, CompiledAtom, Slot, SlotTerm, Trail};
 use crate::fact::Fact;
-use crate::instance::Instance;
+use crate::instance::{Candidates, Instance, InstanceIndex};
 use crate::intern::{Cst, Var};
 use crate::query::Query;
 use crate::term::Term;
@@ -60,77 +71,163 @@ pub fn unify(atom: &Atom, fact: &Fact, base: &Valuation) -> Option<Valuation> {
     Some(val)
 }
 
-/// Candidate facts for an atom under a partial valuation. Uses the block
-/// index when all key terms are ground.
-fn candidates(db: &Instance, atom: &Atom, val: &Valuation) -> Vec<Fact> {
-    let sig = db.sig(atom.rel);
-    let mut key: Vec<Cst> = Vec::with_capacity(sig.key_len);
-    for t in atom.key_terms(sig) {
-        match t {
-            Term::Cst(c) => key.push(*c),
-            Term::Var(v) => match val.get(v) {
-                Some(&c) => key.push(c),
-                None => return db.facts_of(atom.rel).collect(),
-            },
-        }
-    }
-    db.block(atom.rel, &key)
+/// A query compiled for slot-based backtracking search.
+///
+/// Compilation numbers `vars(q)` into dense slots (first-occurrence order)
+/// and freezes each atom's key length, so the per-node work of the join is
+/// index probes and slot reads only.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    atoms: Vec<CompiledAtom>,
+    /// slot → variable, for converting bindings back into valuations.
+    vars: Vec<Var>,
 }
 
-fn search(
-    db: &Instance,
-    remaining: &mut Vec<&Atom>,
-    val: &Valuation,
-    on_match: &mut dyn FnMut(&Valuation) -> bool,
-) -> bool {
-    if remaining.is_empty() {
-        return on_match(val);
-    }
-    // Pick the atom with the fewest candidates (fail-first).
-    let mut best_idx = 0;
-    let mut best: Option<Vec<Fact>> = None;
-    for (i, atom) in remaining.iter().enumerate() {
-        let c = candidates(db, atom, val);
-        let better = match &best {
-            None => true,
-            Some(b) => c.len() < b.len(),
+impl CompiledQuery {
+    /// Compiles `q`.
+    pub fn new(q: &Query) -> CompiledQuery {
+        let mut vars: Vec<Var> = Vec::new();
+        let slot_of = |v: Var, vars: &mut Vec<Var>| -> Slot {
+            match vars.iter().position(|&w| w == v) {
+                Some(i) => i as Slot,
+                None => {
+                    vars.push(v);
+                    (vars.len() - 1) as Slot
+                }
+            }
         };
-        if better {
-            best_idx = i;
-            let empty = c.is_empty();
-            best = Some(c);
-            if empty {
-                break;
+        let atoms = q
+            .atoms()
+            .iter()
+            .map(|a| CompiledAtom {
+                rel: a.rel,
+                terms: a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Cst(c) => SlotTerm::Cst(*c),
+                        Term::Var(v) => SlotTerm::Slot(slot_of(*v, &mut vars)),
+                    })
+                    .collect(),
+            })
+            .collect();
+        CompiledQuery { atoms, vars }
+    }
+
+    /// The variables of the query in slot order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// `db ⊨ q`.
+    pub fn satisfies(&self, db: &Instance) -> bool {
+        let mut found = false;
+        self.run(db, &Valuation::new(), &mut |_| {
+            found = true;
+            true
+        });
+        found
+    }
+
+    /// Finds a valuation extending `base` with `θ(q) ⊆ db`.
+    pub fn find_with(&self, db: &Instance, base: &Valuation) -> Option<Valuation> {
+        let mut result = None;
+        self.run(db, base, &mut |b| {
+            result = Some(self.to_valuation(b, base));
+            true
+        });
+        result
+    }
+
+    /// Runs the join, invoking `on_match` per matching binding until it
+    /// returns `true` (stop).
+    fn run(&self, db: &Instance, base: &Valuation, on_match: &mut dyn FnMut(&Binding) -> bool) {
+        let mut binding = Binding::new(self.vars.len());
+        for (i, v) in self.vars.iter().enumerate() {
+            if let Some(&c) = base.get(v) {
+                binding.set(i as Slot, c);
             }
         }
+        let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
+        self.search(
+            db.index(),
+            &mut remaining,
+            &mut binding,
+            &mut Trail::new(),
+            &mut Vec::new(),
+            on_match,
+        );
     }
-    let cands = best.expect("remaining non-empty");
-    let atom = remaining.swap_remove(best_idx);
-    let mut stop = false;
-    for fact in cands {
-        if let Some(next) = unify(atom, &fact, val) {
-            if search(db, remaining, &next, on_match) {
+
+    /// Converts a match back into a map-based valuation, keeping the extra
+    /// entries of `base` (bindings of variables outside `q`), like the
+    /// interpretive search did.
+    fn to_valuation(&self, b: &Binding, base: &Valuation) -> Valuation {
+        let mut out = base.clone();
+        for (i, v) in self.vars.iter().enumerate() {
+            if let Some(c) = b.get(i as Slot) {
+                out.insert(*v, c);
+            }
+        }
+        out
+    }
+
+    fn search(
+        &self,
+        idx: &InstanceIndex,
+        remaining: &mut Vec<usize>,
+        b: &mut Binding,
+        trail: &mut Trail,
+        key_buf: &mut Vec<Cst>,
+        on_match: &mut dyn FnMut(&Binding) -> bool,
+    ) -> bool {
+        if remaining.is_empty() {
+            return on_match(b);
+        }
+        // Pick the atom with the fewest candidates (fail-first).
+        let mut best_idx = 0;
+        let mut best: Option<Candidates<'_>> = None;
+        for (i, &ai) in remaining.iter().enumerate() {
+            let c = idx.guarded_candidates(&self.atoms[ai], b, key_buf);
+            let better = match &best {
+                None => true,
+                Some(bc) => c.len() < bc.len(),
+            };
+            if better {
+                best_idx = i;
+                let empty = c.is_empty();
+                best = Some(c);
+                if empty {
+                    break;
+                }
+            }
+        }
+        let cands = best.expect("remaining non-empty");
+        let ai = remaining.swap_remove(best_idx);
+        let atom = &self.atoms[ai];
+        let mut stop = false;
+        for row in cands {
+            let frame = trail.frame();
+            if b.unify_row(&atom.terms, row, trail)
+                && self.search(idx, remaining, b, trail, key_buf, on_match)
+            {
+                trail.undo_to(frame, b);
                 stop = true;
                 break;
             }
+            trail.undo_to(frame, b);
         }
+        // restore for caller
+        remaining.push(ai);
+        let last = remaining.len() - 1;
+        remaining.swap(best_idx, last);
+        stop
     }
-    // restore for caller
-    remaining.push(atom);
-    let last = remaining.len() - 1;
-    remaining.swap(best_idx, last);
-    stop
 }
 
 /// Finds a valuation extending `base` with `θ(q) ⊆ db`.
 pub fn find_valuation_with(db: &Instance, q: &Query, base: &Valuation) -> Option<Valuation> {
-    let mut result = None;
-    let mut atoms: Vec<&Atom> = q.atoms().iter().collect();
-    search(db, &mut atoms, base, &mut |val| {
-        result = Some(val.clone());
-        true
-    });
-    result
+    CompiledQuery::new(q).find_with(db, base)
 }
 
 /// Finds a valuation with `θ(q) ⊆ db`.
@@ -140,15 +237,15 @@ pub fn find_valuation(db: &Instance, q: &Query) -> Option<Valuation> {
 
 /// `db ⊨ q`.
 pub fn satisfies(db: &Instance, q: &Query) -> bool {
-    find_valuation(db, q).is_some()
+    CompiledQuery::new(q).satisfies(db)
 }
 
 /// All total valuations over `vars(q)` with `θ(q) ⊆ db` (deduplicated).
 pub fn all_valuations(db: &Instance, q: &Query) -> Vec<Valuation> {
+    let cq = CompiledQuery::new(q);
     let mut out: BTreeSet<Valuation> = BTreeSet::new();
-    let mut atoms: Vec<&Atom> = q.atoms().iter().collect();
-    search(db, &mut atoms, &Valuation::new(), &mut |val| {
-        out.insert(val.clone());
+    cq.run(db, &Valuation::new(), &mut |b| {
+        out.insert(cq.to_valuation(b, &Valuation::new()));
         false // keep enumerating
     });
     out.into_iter().collect()
@@ -159,12 +256,15 @@ pub fn all_valuations(db: &Instance, q: &Query) -> Vec<Valuation> {
 pub fn relevant_facts(db: &Instance, q: &Query) -> BTreeSet<Fact> {
     let mut out = BTreeSet::new();
     for atom in q.atoms() {
+        let rest = CompiledQuery::new(&q.without(atom.rel));
         for fact in db.facts_of(atom.rel) {
             if out.contains(&fact) {
                 continue;
             }
-            if is_relevant(db, q, &fact) {
-                out.insert(fact);
+            if let Some(base) = unify(atom, &fact, &Valuation::new()) {
+                if rest.find_with(db, &base).is_some() {
+                    out.insert(fact);
+                }
             }
         }
     }
@@ -185,11 +285,18 @@ pub fn is_relevant(db: &Instance, q: &Query, fact: &Fact) -> bool {
 }
 
 /// Whether a block (given by one of its facts) is relevant for `q` in `db`:
-/// it contains at least one relevant fact (paper Appendix A).
+/// it contains at least one relevant fact (paper Appendix A). The residual
+/// query is compiled once and reused across the block.
 pub fn block_is_relevant(db: &Instance, q: &Query, member: &Fact) -> bool {
-    db.block_of(member)
-        .iter()
-        .any(|fact| is_relevant(db, q, fact))
+    let Some(atom) = q.atom(member.rel) else {
+        return false;
+    };
+    let rest = CompiledQuery::new(&q.without(member.rel));
+    db.block_of(member).iter().any(|fact| {
+        unify(atom, fact, &Valuation::new())
+            .map(|base| rest.find_with(db, &base).is_some())
+            .unwrap_or(false)
+    })
 }
 
 #[cfg(test)]
@@ -246,6 +353,17 @@ mod tests {
     }
 
     #[test]
+    fn compiled_query_reusable_across_instances() {
+        let cq = CompiledQuery::new(&q_rst());
+        assert!(cq.satisfies(&db()));
+        let mut d = db();
+        d.remove(&Fact::from_names("T", &["d"]));
+        assert!(!cq.satisfies(&d));
+        d.insert_named("T", &["d"]).unwrap();
+        assert!(cq.satisfies(&d), "index invalidation after re-insert");
+    }
+
+    #[test]
     fn constants_must_match() {
         let q = Query::new(
             schema(),
@@ -292,6 +410,17 @@ mod tests {
         let mut base2 = Valuation::new();
         base2.insert(Var::new("x"), Cst::new("a"));
         assert!(find_valuation_with(&db(), &q_rst(), &base2).is_some());
+    }
+
+    #[test]
+    fn base_entries_outside_query_are_kept() {
+        // The interpretive search returned base ∪ bindings; the compiled
+        // wrappers must preserve that contract.
+        let mut base = Valuation::new();
+        base.insert(Var::new("unrelated"), Cst::new("k"));
+        let val = find_valuation_with(&db(), &q_rst(), &base).unwrap();
+        assert_eq!(val[&Var::new("unrelated")], Cst::new("k"));
+        assert_eq!(val[&Var::new("x")], Cst::new("a"));
     }
 
     #[test]

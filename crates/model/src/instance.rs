@@ -5,14 +5,15 @@
 //! keeps, per relation, a map from key prefix to the facts of that block, so
 //! block enumeration — the primitive of every CQA algorithm — is direct.
 
+use crate::binding::{Binding, CompiledAtom};
 use crate::error::ModelError;
 use crate::fact::Fact;
 use crate::fk::{FkSet, ForeignKey};
 use crate::intern::Cst;
 use crate::schema::{RelName, Schema, Signature};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Per-relation fact store with a block index.
 #[derive(Clone, Debug, Default)]
@@ -28,6 +29,10 @@ pub struct Instance {
     schema: Arc<Schema>,
     rels: BTreeMap<RelName, RelStore>,
     len: usize,
+    /// Lazily built secondary indexes ([`InstanceIndex`]); reset by every
+    /// successful mutation. Cloning an instance clones the cache — it is a
+    /// pure function of the rows, so a clone's cache is equally valid.
+    cache: OnceLock<InstanceIndex>,
 }
 
 impl Instance {
@@ -37,6 +42,7 @@ impl Instance {
             schema,
             rels: BTreeMap::new(),
             len: 0,
+            cache: OnceLock::new(),
         }
     }
 
@@ -60,6 +66,7 @@ impl Instance {
         if store.rows.insert(fact.args.clone()) {
             store.blocks.entry(key).or_default().insert(fact.args);
             self.len += 1;
+            self.cache = OnceLock::new();
             Ok(true)
         } else {
             Ok(false)
@@ -88,6 +95,7 @@ impl Instance {
                 }
             }
             self.len -= 1;
+            self.cache = OnceLock::new();
             true
         } else {
             false
@@ -177,22 +185,24 @@ impl Instance {
             .map(|(r, _)| *r)
     }
 
-    /// `adom(db)`: the active domain.
-    pub fn adom(&self) -> BTreeSet<Cst> {
-        self.facts().flat_map(|f| f.args.to_vec()).collect()
+    /// The lazily built secondary indexes over this instance: cached active
+    /// domain, key constants, and per-relation hash indexes for block
+    /// lookups and full-fact membership. Built on first use, invalidated by
+    /// every successful [`Instance::insert`]/[`Instance::remove`].
+    pub fn index(&self) -> &InstanceIndex {
+        self.cache.get_or_init(|| InstanceIndex::build(self))
+    }
+
+    /// `adom(db)`: the active domain, as a cached handle (allocation-free
+    /// after the first call on an unchanged instance).
+    pub fn adom(&self) -> &BTreeSet<Cst> {
+        &self.index().adom
     }
 
     /// `keyconst(db)`: constants appearing at some primary-key position
-    /// (paper Appendix B).
-    pub fn key_consts(&self) -> BTreeSet<Cst> {
-        let mut out = BTreeSet::new();
-        for (rel, store) in &self.rels {
-            let sig = self.schema.signature(*rel).expect("validated on insert");
-            for row in &store.rows {
-                out.extend(row[..sig.key_len].iter().copied());
-            }
-        }
-        out
+    /// (paper Appendix B). Cached alongside [`Instance::adom`].
+    pub fn key_consts(&self) -> &BTreeSet<Cst> {
+        &self.index().key_consts
     }
 
     /// A constant is *orphan* in `db` if it occurs exactly once, at a
@@ -341,6 +351,193 @@ impl Instance {
     /// The signature of `rel` (panics if absent; instances validate inserts).
     pub fn sig(&self, rel: RelName) -> Signature {
         self.schema.signature(rel).expect("validated on insert")
+    }
+}
+
+/// Per-relation hash indexes: all rows in canonical order, plus a key-prefix
+/// hash map from block key to row indices.
+#[derive(Clone, Debug)]
+struct RelIndex {
+    key_len: usize,
+    arity: usize,
+    /// All rows of the relation, canonical (sorted) order.
+    all: Vec<Box<[Cst]>>,
+    /// key prefix → indices into `all` (each index list is sorted).
+    blocks: HashMap<Box<[Cst]>, Vec<u32>>,
+}
+
+/// Secondary indexes over an [`Instance`], built lazily by
+/// [`Instance::index`] and shared by the compiled evaluators:
+///
+/// * the active domain and key-constant sets, cached so repeated domain
+///   construction is allocation-free;
+/// * per-relation row tables with hash-indexed key-prefix blocks, so
+///   guarded lookups with a ground key and full-fact membership checks are
+///   O(1) hash probes instead of ordered-map walks that clone rows.
+#[derive(Clone, Debug)]
+pub struct InstanceIndex {
+    adom: BTreeSet<Cst>,
+    key_consts: BTreeSet<Cst>,
+    rels: HashMap<RelName, RelIndex>,
+}
+
+impl InstanceIndex {
+    fn build(db: &Instance) -> InstanceIndex {
+        let mut adom = BTreeSet::new();
+        let mut key_consts = BTreeSet::new();
+        let mut rels = HashMap::with_capacity(db.rels.len());
+        for (rel, store) in &db.rels {
+            let sig = db.schema.signature(*rel).expect("validated on insert");
+            let all: Vec<Box<[Cst]>> = store.rows.iter().cloned().collect();
+            let mut blocks: HashMap<Box<[Cst]>, Vec<u32>> =
+                HashMap::with_capacity(store.blocks.len());
+            for (i, row) in all.iter().enumerate() {
+                adom.extend(row.iter().copied());
+                key_consts.extend(row[..sig.key_len].iter().copied());
+                blocks
+                    .entry(row[..sig.key_len].into())
+                    .or_default()
+                    .push(u32::try_from(i).expect("row count fits in u32"));
+            }
+            rels.insert(
+                *rel,
+                RelIndex {
+                    key_len: sig.key_len,
+                    arity: sig.arity,
+                    all,
+                    blocks,
+                },
+            );
+        }
+        InstanceIndex {
+            adom,
+            key_consts,
+            rels,
+        }
+    }
+
+    /// Candidate rows for a slot-compiled guard atom under `binding`: the
+    /// hash-indexed block when the primary-key prefix is ground, the full
+    /// relation otherwise, and nothing when the relation is unpopulated or
+    /// the arity cannot match. `scratch` is a reusable key buffer (cleared
+    /// here). Shared by the compiled CQ join and the compiled formula
+    /// evaluator — the single place that resolves ground key prefixes.
+    pub fn guarded_candidates(
+        &self,
+        atom: &CompiledAtom,
+        binding: &Binding,
+        scratch: &mut Vec<Cst>,
+    ) -> Candidates<'_> {
+        const NONE: Candidates<'static> = Candidates {
+            all: &[],
+            idxs: Some(&[]),
+        };
+        let Some(r) = self.rels.get(&atom.rel) else {
+            return NONE;
+        };
+        if r.arity != atom.terms.len() {
+            return NONE;
+        }
+        scratch.clear();
+        for &t in &atom.terms[..r.key_len] {
+            match binding.resolve(t) {
+                Some(c) => scratch.push(c),
+                None => {
+                    return Candidates {
+                        all: &r.all,
+                        idxs: None,
+                    }
+                }
+            }
+        }
+        Candidates {
+            all: &r.all,
+            idxs: Some(
+                r.blocks
+                    .get(scratch.as_slice())
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]),
+            ),
+        }
+    }
+
+    /// Hash-indexed full-fact membership: probes the block of the row's key
+    /// prefix, then compares within the (small) block.
+    pub fn contains(&self, rel: RelName, args: &[Cst]) -> bool {
+        let Some(r) = self.rels.get(&rel) else {
+            return false;
+        };
+        if args.len() != r.arity {
+            return false;
+        }
+        match r.blocks.get(&args[..r.key_len]) {
+            Some(idxs) => idxs.iter().any(|&i| &*r.all[i as usize] == args),
+            None => false,
+        }
+    }
+}
+
+/// A candidate row set from [`InstanceIndex::candidates`]: either one block
+/// or a whole relation, borrowed — no rows are cloned.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidates<'a> {
+    all: &'a [Box<[Cst]>],
+    /// `Some(indices into all)` for a block, `None` for the full relation.
+    idxs: Option<&'a [u32]>,
+}
+
+impl<'a> Candidates<'a> {
+    /// Number of candidate rows.
+    pub fn len(&self) -> usize {
+        match self.idxs {
+            Some(ix) => ix.len(),
+            None => self.all.len(),
+        }
+    }
+
+    /// Whether there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the candidate rows.
+    pub fn iter(&self) -> CandidateIter<'a> {
+        CandidateIter {
+            cands: *self,
+            pos: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for Candidates<'a> {
+    type Item = &'a [Cst];
+    type IntoIter = CandidateIter<'a>;
+
+    fn into_iter(self) -> CandidateIter<'a> {
+        CandidateIter {
+            cands: self,
+            pos: 0,
+        }
+    }
+}
+
+/// Iterator over [`Candidates`].
+#[derive(Clone, Debug)]
+pub struct CandidateIter<'a> {
+    cands: Candidates<'a>,
+    pos: usize,
+}
+
+impl<'a> Iterator for CandidateIter<'a> {
+    type Item = &'a [Cst];
+
+    fn next(&mut self) -> Option<&'a [Cst]> {
+        let row = match self.cands.idxs {
+            Some(ix) => &*self.cands.all[*ix.get(self.pos)? as usize],
+            None => &**self.cands.all.get(self.pos)?,
+        };
+        self.pos += 1;
+        Some(row)
     }
 }
 

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod atom;
+pub mod binding;
 pub mod error;
 pub mod eval;
 pub mod fact;
@@ -37,11 +38,14 @@ pub mod schema;
 pub mod term;
 
 pub use atom::Atom;
+pub use binding::{Binding, CompiledAtom, Slot, SlotTerm, Trail};
 pub use error::ModelError;
-pub use eval::{all_valuations, find_valuation, find_valuation_with, satisfies, Valuation};
+pub use eval::{
+    all_valuations, find_valuation, find_valuation_with, satisfies, CompiledQuery, Valuation,
+};
 pub use fact::Fact;
 pub use fk::{FkSet, ForeignKey};
-pub use instance::Instance;
+pub use instance::{Candidates, Instance, InstanceIndex};
 pub use intern::{Cst, Sym, Var};
 pub use query::Query;
 pub use schema::{Position, RelName, Schema, Signature};

@@ -8,7 +8,7 @@
 //! uniformly (choose one fact per block, independently and uniformly) and
 //! report the satisfaction ratio.
 
-use cqa_model::{satisfies, Fact, Instance, Query};
+use cqa_model::{CompiledQuery, Fact, Instance, Query};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,12 +22,13 @@ pub fn count_satisfying_pk_repairs(db: &Instance, q: &Query) -> u128 {
         }
     }
     let mut current: Vec<Fact> = Vec::new();
-    count_rec(db, q, &blocks, 0, &mut current)
+    let cq = CompiledQuery::new(q);
+    count_rec(db, &cq, &blocks, 0, &mut current)
 }
 
 fn count_rec(
     db: &Instance,
-    q: &Query,
+    q: &CompiledQuery,
     blocks: &[Vec<Fact>],
     idx: usize,
     current: &mut Vec<Fact>,
@@ -37,7 +38,7 @@ fn count_rec(
         for f in current.iter() {
             r.insert(f.clone()).expect("db fact");
         }
-        return u128::from(satisfies(&r, q));
+        return u128::from(q.satisfies(&r));
     }
     let mut total = 0u128;
     for f in &blocks[idx] {
@@ -72,6 +73,7 @@ pub fn sampled_satisfaction_ratio(db: &Instance, q: &Query, samples: usize, seed
     if samples == 0 {
         return 0.0;
     }
+    let cq = CompiledQuery::new(q);
     let mut hits = 0usize;
     for _ in 0..samples {
         let mut r = Instance::new(db.schema().clone());
@@ -79,7 +81,7 @@ pub fn sampled_satisfaction_ratio(db: &Instance, q: &Query, samples: usize, seed
             let pick = &facts[rng.gen_range(0..facts.len())];
             r.insert(pick.clone()).expect("db fact");
         }
-        if satisfies(&r, q) {
+        if cq.satisfies(&r) {
             hits += 1;
         }
     }

@@ -20,7 +20,7 @@ use crate::chase::chase_fresh;
 use crate::delta::is_delta_repair;
 use crate::limits::SearchLimits;
 use crate::pk_repairs::count_pk_repairs;
-use cqa_model::{satisfies, Fact, FkSet, Instance, Query};
+use cqa_model::{CompiledQuery, Fact, FkSet, Instance, Query};
 use std::fmt;
 
 /// The oracle's verdict.
@@ -79,9 +79,13 @@ impl CertaintyOracle {
     }
 
     /// Decides `CERTAINTY(q, FK)` on `db` by exhaustive search.
+    ///
+    /// The query is compiled once; the (exponentially many) candidate
+    /// repairs reuse the compiled join for their `⊨ q` checks.
     pub fn is_certain(&self, db: &Instance, q: &Query, fks: &FkSet) -> OracleOutcome {
+        let cq = CompiledQuery::new(q);
         if fks.is_empty() {
-            return self.pk_only(db, q);
+            return self.pk_only(db, &cq);
         }
         let mut blocks: Vec<Vec<Fact>> = Vec::new();
         for rel in db.populated_relations() {
@@ -102,7 +106,7 @@ impl CertaintyOracle {
 
         let mut inconclusive: Option<String> = None;
         let mut chosen: Vec<Fact> = Vec::new();
-        let outcome = self.search(db, q, fks, &blocks, 0, &mut chosen, &mut inconclusive);
+        let outcome = self.search(db, &cq, fks, &blocks, 0, &mut chosen, &mut inconclusive);
         match outcome {
             Some(witness) => OracleOutcome::NotCertain(witness),
             None => match inconclusive {
@@ -112,7 +116,7 @@ impl CertaintyOracle {
         }
     }
 
-    fn pk_only(&self, db: &Instance, q: &Query) -> OracleOutcome {
+    fn pk_only(&self, db: &Instance, q: &CompiledQuery) -> OracleOutcome {
         if count_pk_repairs(db) > self.limits.max_candidates as u128 {
             return OracleOutcome::Inconclusive(format!(
                 "{} primary-key repairs exceed limit {}",
@@ -121,7 +125,7 @@ impl CertaintyOracle {
             ));
         }
         for r in crate::pk_repairs::pk_repairs(db) {
-            if !satisfies(&r, q) {
+            if !q.satisfies(&r) {
                 return OracleOutcome::NotCertain(r);
             }
         }
@@ -132,7 +136,7 @@ impl CertaintyOracle {
     fn search(
         &self,
         db: &Instance,
-        q: &Query,
+        q: &CompiledQuery,
         fks: &FkSet,
         blocks: &[Vec<Fact>],
         idx: usize,
@@ -151,7 +155,7 @@ impl CertaintyOracle {
                     return None;
                 }
             };
-            if satisfies(&candidate, q) {
+            if q.satisfies(&candidate) {
                 return None;
             }
             match is_delta_repair(db, &candidate, fks, &self.limits) {
@@ -212,7 +216,7 @@ mod tests {
         let oracle = CertaintyOracle::new();
         match oracle.is_certain(&db, &q, &fks) {
             OracleOutcome::NotCertain(witness) => {
-                assert!(!satisfies(&witness, &q));
+                assert!(!cqa_model::satisfies(&witness, &q));
             }
             other => panic!("expected NotCertain, got {other}"),
         }
@@ -298,6 +302,59 @@ mod tests {
             oracle.is_certain(&db, &q, &fks),
             OracleOutcome::Inconclusive(_)
         ));
+    }
+
+    #[test]
+    fn hitting_max_candidates_is_inconclusive_never_certain() {
+        // Example 4's dangling-chain pattern, widened: no T-fact exists, so
+        // every consistent subset is ∅ — a ⊕-repair falsifying q. Ground
+        // truth is therefore NotCertain; with max_candidates below the
+        // candidate space (3·3·2 = 18: each R-block drops or keeps one of
+        // two facts, the S-block drops or keeps its fact) the oracle must
+        // answer Inconclusive — a false Certain here would poison every
+        // downstream cross-validation.
+        let s = Arc::new(parse_schema("R[2,1] S[2,1] T[1,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y,z), T(z)").unwrap();
+        let fks = parse_fks(&s, "R[2] -> S, S[2] -> T").unwrap();
+        let db =
+            parse_instance(&s, "R(k0,b0) R(k0,b1) R(k1,b0) R(k1,b1) S(b0,c)").unwrap();
+
+        let unlimited = CertaintyOracle::new().is_certain(&db, &q, &fks);
+        assert_eq!(unlimited.as_bool(), Some(false), "ground truth: not certain");
+
+        for max in [1u64, 2, 5, 17] {
+            let tight = CertaintyOracle::with_limits(SearchLimits {
+                max_candidates: max,
+                ..SearchLimits::default()
+            })
+            .is_certain(&db, &q, &fks);
+            assert!(
+                matches!(tight, OracleOutcome::Inconclusive(_)),
+                "limit {max} must be inconclusive, got {tight}"
+            );
+            assert_eq!(tight.as_bool(), None, "inconclusive must be skippable");
+        }
+    }
+
+    #[test]
+    fn pk_only_limit_is_inconclusive_never_certain() {
+        // Same invariant on the FK-free path: ground truth NotCertain, and
+        // a repair-count limit must yield Inconclusive, not Certain.
+        let s = Arc::new(parse_schema("R[2,1] S[1,1]").unwrap());
+        let q = parse_query(&s, "R(x,y), S(y)").unwrap();
+        let fks = cqa_model::FkSet::empty(s.clone());
+        let db = parse_instance(&s, "R(k0,a) R(k0,b) R(k1,a) R(k1,b) S(a)").unwrap();
+        assert_eq!(
+            CertaintyOracle::new().is_certain(&db, &q, &fks).as_bool(),
+            Some(false)
+        );
+        let tight = CertaintyOracle::with_limits(SearchLimits {
+            max_candidates: 3, // 2·2 = 4 pk-repairs exceed this
+            ..SearchLimits::default()
+        })
+        .is_certain(&db, &q, &fks);
+        assert!(matches!(tight, OracleOutcome::Inconclusive(_)), "{tight}");
+        assert_eq!(tight.as_bool(), None, "inconclusive must be skippable");
     }
 
     #[test]

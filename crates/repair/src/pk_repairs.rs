@@ -5,7 +5,7 @@
 //! block. Insertions never occur (dropping an inserted fact always yields a
 //! strictly ⊕-closer consistent instance), so enumeration is direct.
 
-use cqa_model::{Fact, Instance, Query};
+use cqa_model::{CompiledQuery, Fact, Instance, Query};
 
 /// Enumerates all primary-key repairs of `db`.
 ///
@@ -67,12 +67,14 @@ pub fn pk_certain(db: &Instance, q: &Query) -> bool {
         }
     }
     let mut current: Vec<Fact> = Vec::new();
-    all_satisfy(db, q, &blocks, 0, &mut current)
+    // Compile once; every enumerated repair reuses the compiled join.
+    let cq = CompiledQuery::new(q);
+    all_satisfy(db, &cq, &blocks, 0, &mut current)
 }
 
 fn all_satisfy(
     db: &Instance,
-    q: &Query,
+    q: &CompiledQuery,
     blocks: &[Vec<Fact>],
     idx: usize,
     current: &mut Vec<Fact>,
@@ -82,7 +84,7 @@ fn all_satisfy(
         for f in current.iter() {
             r.insert(f.clone()).expect("db fact");
         }
-        return cqa_model::satisfies(&r, q);
+        return q.satisfies(&r);
     }
     for f in &blocks[idx] {
         current.push(f.clone());

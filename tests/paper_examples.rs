@@ -170,7 +170,7 @@ fn e5_example_13() {
 fn RewritePlanOf(s: &Arc<Schema>, q: &str) -> cqa::core::RewritePlan {
     let p = Problem::pk_only(parse_query(s, q).unwrap());
     match p.classify() {
-        Classification::Fo(plan) => plan,
+        Classification::Fo(plan) => *plan,
         Classification::NotFo(r) => panic!("{r}"),
     }
 }
@@ -261,7 +261,7 @@ fn e11_example_27_lemma_24() {
     // (2) adom(db) ∩ adom(db_{A,P}) ⊆ C = {c}.
     let inter: Vec<_> = db
         .adom()
-        .intersection(&db_ap.adom())
+        .intersection(db_ap.adom())
         .copied()
         .collect();
     assert_eq!(inter, vec![Cst::new("c")]);

@@ -212,6 +212,56 @@ fn rewriting_matches_oracle_on_random_instances() {
 }
 
 #[test]
+fn inconclusive_oracle_outcomes_are_skipped_not_passed() {
+    // The cross-validation above SKIPS inconclusive oracle outcomes. This
+    // test pins that contract under deliberately tiny limits: on instances
+    // whose candidate space exceeds the limit the oracle must return
+    // `Inconclusive` (`as_bool() == None`, so the harness cannot count it
+    // as agreement), and every verdict that IS conclusive must still match
+    // the rewriting plan. A limit that never bites would silently weaken
+    // the suite, so we also require that some instances were skipped.
+    let tight = CertaintyOracle::with_limits(cqa_repair::SearchLimits {
+        max_candidates: 6,
+        ..cqa_repair::SearchLimits::default()
+    });
+    let mut rng = StdRng::seed_from_u64(45);
+    let mut skipped = 0usize;
+    let mut conclusive = 0usize;
+    for case in CASES.iter().take(6) {
+        let schema = Arc::new(parse_schema(case.schema).unwrap());
+        let q = parse_query(&schema, case.query).unwrap();
+        let fks = parse_fks(&schema, case.fks).unwrap();
+        let problem = Problem::new(q, fks).unwrap();
+        let plan = match problem.classify() {
+            Classification::Fo(plan) => plan,
+            Classification::NotFo(r) => panic!("{}: expected FO, got {r}", case.name),
+        };
+        for _ in 0..40 {
+            let db = random_instance(&schema, case.rels, &mut rng, 8);
+            match tight.is_certain(&db, problem.query(), problem.fks()) {
+                OracleOutcome::Inconclusive(why) => {
+                    // Skipped — but never silently: the reason is real.
+                    assert!(!why.is_empty());
+                    skipped += 1;
+                }
+                outcome => {
+                    let truth = outcome.as_bool().expect("conclusive outcome");
+                    assert_eq!(
+                        truth,
+                        plan.answer(&db),
+                        "{}: conclusive oracle verdict disagrees with plan on {db}",
+                        case.name
+                    );
+                    conclusive += 1;
+                }
+            }
+        }
+    }
+    assert!(skipped > 0, "the tiny limit never applied — test is vacuous");
+    assert!(conclusive > 0, "everything skipped — test is vacuous");
+}
+
+#[test]
 fn nl_p_solvers_match_oracle_on_random_instances() {
     let oracle = CertaintyOracle::new();
     let mut rng = StdRng::seed_from_u64(16);

@@ -1,9 +1,11 @@
 //! Property-based tests for the FO engine: the guarded evaluator agrees
-//! with naive active-domain evaluation on arbitrary formulas, and
-//! simplification preserves semantics.
+//! with naive active-domain evaluation on arbitrary formulas (closed, and
+//! open under arbitrary bindings — including constants outside the active
+//! domain), the compiled evaluator agrees with the interpretive reference,
+//! and simplification preserves semantics.
 
 use cqa::fo::eval::{eval_with, Strategy as EvalStrategy};
-use cqa::fo::{simplify, Formula};
+use cqa::fo::{interp, simplify, Formula};
 use cqa::prelude::*;
 use cqa_model::Valuation;
 use proptest::prelude::*;
@@ -38,6 +40,11 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
         prop_oneof![
             inner.clone().prop_map(Formula::not),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and([a, b])),
+            // Duplicate conjuncts under one ∧ (raw, bypassing the smart
+            // constructor): exercises guard selection with repeated atoms.
+            inner
+                .clone()
+                .prop_map(|f| Formula::And(vec![f.clone(), f])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or([a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
             (0..VARS.len(), inner.clone())
@@ -45,6 +52,22 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
             (0..VARS.len(), inner).prop_map(|(i, f)| Formula::forall([Var::new(VARS[i])], f)),
         ]
     })
+}
+
+/// Constants a free variable may be bound to: the instance pool *plus*
+/// constants that never occur in any generated instance or formula
+/// (`out1`, `out2`) — the shapes behind the `eval_with` active-domain
+/// soundness fix.
+const BINDING_CSTS: [&str; 5] = ["a", "b", "c", "out1", "out2"];
+
+/// Binds every free variable of `f`, drawing constants by the picks.
+fn bind_free(f: &Formula, picks: &[usize]) -> Valuation {
+    let mut b = Valuation::new();
+    for (k, v) in f.free_vars().into_iter().enumerate() {
+        let pick = picks.get(k % picks.len().max(1)).copied().unwrap_or(0);
+        b.insert(v, Cst::new(BINDING_CSTS[pick % BINDING_CSTS.len()]));
+    }
+    b
 }
 
 /// Closes a formula by existentially quantifying its free variables.
@@ -81,6 +104,46 @@ proptest! {
         let guarded = eval_with(&db, &f, &Valuation::new(), EvalStrategy::Guarded);
         let naive = eval_with(&db, &f, &Valuation::new(), EvalStrategy::Naive);
         prop_assert_eq!(guarded, naive, "formula {} on {}", f, db);
+    }
+
+    #[test]
+    fn engines_agree_on_open_formulas_under_any_binding(
+        f in arb_formula(),
+        db in arb_instance(),
+        picks in proptest::collection::vec(0..BINDING_CSTS.len(), 1..4),
+    ) {
+        // Open formula, free variables bound to constants that may lie
+        // outside adom(db) ∪ const(f): all four engines (compiled and
+        // interpretive reference, guarded and naive) must agree.
+        let binding = bind_free(&f, &picks);
+        let compiled_g = eval_with(&db, &f, &binding, EvalStrategy::Guarded);
+        let compiled_n = eval_with(&db, &f, &binding, EvalStrategy::Naive);
+        let interp_g = interp::eval_with(&db, &f, &binding, EvalStrategy::Guarded);
+        let interp_n = interp::eval_with(&db, &f, &binding, EvalStrategy::Naive);
+        prop_assert_eq!(
+            compiled_g, compiled_n,
+            "strategies disagree: {} under {:?} on {}", f, binding, db
+        );
+        prop_assert_eq!(
+            compiled_g, interp_g,
+            "compiled vs interp (guarded): {} under {:?} on {}", f, binding, db
+        );
+        prop_assert_eq!(
+            compiled_n, interp_n,
+            "compiled vs interp (naive): {} under {:?} on {}", f, binding, db
+        );
+    }
+
+    #[test]
+    fn compiled_agrees_with_interp_on_sentences(f in arb_formula(), db in arb_instance()) {
+        let f = close(f);
+        for strategy in [EvalStrategy::Guarded, EvalStrategy::Naive] {
+            prop_assert_eq!(
+                eval_with(&db, &f, &Valuation::new(), strategy),
+                interp::eval_with(&db, &f, &Valuation::new(), strategy),
+                "compiled vs interp ({:?}): {} on {}", strategy, f, db
+            );
+        }
     }
 
     #[test]

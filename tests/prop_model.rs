@@ -161,7 +161,7 @@ proptest! {
                 prop_assert!(adom.contains(a));
             }
         }
-        prop_assert!(db.key_consts().is_subset(&adom));
+        prop_assert!(db.key_consts().is_subset(adom));
     }
 
     #[test]

@@ -61,28 +61,47 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     /// Best observed per-iteration time, set by [`Bencher::iter`].
     per_iter: Option<Duration>,
+    /// Test mode (`-- --test`): run the routine once, skip measurement.
+    quick: bool,
 }
 
 impl Bencher {
     /// Runs `routine` in a calibrated loop and records its per-iteration time.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Calibrate: run once to size the batches.
-        let start = Instant::now();
-        black_box(routine());
-        let once = start.elapsed().max(Duration::from_nanos(1));
-
-        let batch = (TARGET_MEASURE.as_nanos() / 5 / once.as_nanos()).clamp(1, 1_000_000) as u64;
-        let mut best = Duration::MAX;
-        for _ in 0..5 {
+        if self.quick {
+            // Test mode: run exactly once, skip the measurement loops.
             let start = Instant::now();
-            for _ in 0..batch {
-                black_box(routine());
-            }
-            let per = start.elapsed() / u32::try_from(batch).expect("batch fits in u32");
-            best = best.min(per);
+            black_box(routine());
+            self.per_iter = Some(start.elapsed().max(Duration::from_nanos(1)));
+            return;
         }
-        self.per_iter = Some(best);
+        self.per_iter = Some(measure_best(TARGET_MEASURE, || {
+            black_box(routine());
+        }));
     }
+}
+
+/// Calibrated best-of-batches measurement: runs `routine` once to size the
+/// batches, then reports the best per-iteration time over 5 batches
+/// targeting roughly `target` of total measurement time. This is the one
+/// measurement loop of the workspace — [`Bencher::iter`] and external
+/// harnesses (e.g. the `BENCH_eval.json` snapshot in `cqa-bench`) share it
+/// so their numbers stay comparable.
+pub fn measure_best(target: Duration, mut routine: impl FnMut()) -> Duration {
+    let start = Instant::now();
+    routine();
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let batch = (target.as_nanos() / 5 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            routine();
+        }
+        let per = start.elapsed() / u32::try_from(batch).expect("batch fits in u32");
+        best = best.min(per);
+    }
+    best
 }
 
 fn fmt_per_iter(d: Duration) -> String {
@@ -98,35 +117,46 @@ fn fmt_per_iter(d: Duration) -> String {
     }
 }
 
-fn run_one(group: Option<&str>, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
-    let mut b = Bencher { per_iter: None };
+fn run_one(group: Option<&str>, id: &BenchmarkId, quick: bool, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        per_iter: None,
+        quick,
+    };
     f(&mut b);
     let label = match group {
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
     };
+    let mode = if quick { " (test mode)" } else { "" };
     match b.per_iter {
-        Some(t) => println!("bench: {label:<60} {:>12}/iter", fmt_per_iter(t)),
+        Some(t) => println!("bench: {label:<60} {:>12}/iter{mode}", fmt_per_iter(t)),
         None => println!("bench: {label:<60} (no measurement)"),
     }
 }
 
 /// The benchmark manager (shim for `criterion::Criterion`).
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    quick: bool,
+}
 
 impl Criterion {
-    /// Applies command-line configuration (the shim accepts and ignores the
-    /// `--bench`/filter arguments cargo passes).
-    pub fn configure_from_args(self) -> Criterion {
+    /// Applies command-line configuration. The shim understands `--test`
+    /// (run every routine exactly once, like upstream criterion's test
+    /// mode — used by the CI bench-smoke step) and accepts/ignores the
+    /// `--bench`/filter arguments cargo passes.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.quick = std::env::args().any(|a| a == "--test");
         self
     }
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
         BenchmarkGroup {
             _criterion: self,
             name: group_name.into(),
+            quick,
         }
     }
 
@@ -137,7 +167,7 @@ impl Criterion {
         f: impl FnMut(&mut Bencher),
     ) -> &mut Criterion {
         let mut f = f;
-        run_one(None, &id.into(), |b| f(b));
+        run_one(None, &id.into(), self.quick, |b| f(b));
         self
     }
 
@@ -148,7 +178,7 @@ impl Criterion {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Criterion {
-        run_one(None, &id, |b| f(b, input));
+        run_one(None, &id, self.quick, |b| f(b, input));
         self
     }
 
@@ -160,6 +190,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
+    quick: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -179,7 +210,7 @@ impl BenchmarkGroup<'_> {
         id: impl Into<BenchmarkId>,
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        run_one(Some(&self.name), &id.into(), |b| f(b));
+        run_one(Some(&self.name), &id.into(), self.quick, |b| f(b));
         self
     }
 
@@ -190,7 +221,7 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(Some(&self.name), &id, |b| f(b, input));
+        run_one(Some(&self.name), &id, self.quick, |b| f(b, input));
         self
     }
 
@@ -231,8 +262,23 @@ mod tests {
 
     #[test]
     fn bencher_records_time() {
-        let mut b = Bencher { per_iter: None };
+        let mut b = Bencher {
+            per_iter: None,
+            quick: false,
+        };
         b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.per_iter.is_some());
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut b = Bencher {
+            per_iter: None,
+            quick: true,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1, "test mode must run the routine exactly once");
         assert!(b.per_iter.is_some());
     }
 
