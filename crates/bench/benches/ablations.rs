@@ -7,11 +7,17 @@
 //!   interpretive reference evaluator, on the same guarded formula; the
 //!   `compile+eval` row includes the one-time compile step, the `eval`
 //!   row reuses a precompiled formula;
+//! * `plan_compiled_vs_materialized` — the view-backed `CompiledPlan`
+//!   executor vs. the materializing `RewritePlan::answer` on the depth-2
+//!   nested Lemma 45 workload (the interpreter renames and materializes a
+//!   database per block fact per level; the compiled plan rebinds
+//!   parameter slots over one lazy view stack);
 //! * `block_index` — conjunctive-query matching with the primary-key block
 //!   index vs. a relation-scan emulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_attack::kw_rewrite;
+use cqa_bench::{nested_l45_instance, nested_l45_plan};
 use cqa_fo::eval::{eval_with, Strategy};
 use cqa_fo::{interp, CompiledFormula};
 use cqa_model::parser::{parse_query, parse_schema};
@@ -68,6 +74,24 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_plan_compiled_vs_materialized(c: &mut Criterion) {
+    let (s, plan, compiled) = nested_l45_plan();
+    let mut group = c.benchmark_group("plan_compiled_vs_materialized");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let db = nested_l45_instance(&s, n);
+        assert_eq!(plan.answer(&db), compiled.answer(&db), "executors agree");
+        db.index(); // warm the base index outside the timed loops
+        group.bench_with_input(BenchmarkId::new("compiled", n), &db, |b, db| {
+            b.iter(|| compiled.answer(db))
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", n), &db, |b, db| {
+            b.iter(|| plan.answer(db))
+        });
+    }
+    group.finish();
+}
+
 /// Emulates CQ matching without the block index: join the atoms by scanning
 /// full relations and filtering, the way an index-free engine would.
 fn scan_join(db: &Instance, _q: &cqa_model::Query) -> bool {
@@ -112,6 +136,7 @@ criterion_group!(
     benches,
     bench_guarded_vs_naive,
     bench_compiled_vs_interpreted,
+    bench_plan_compiled_vs_materialized,
     bench_block_index
 );
 criterion_main!(benches);

@@ -59,11 +59,17 @@ fn main() {
 }
 
 /// Measures the interpreted-vs-compiled formula evaluators on the
-/// `fo_vs_naive` guarded workload and snapshots `BENCH_eval.json`.
+/// `fo_vs_naive` guarded workload, the materializing-vs-compiled plan
+/// executors on the nested Lemma 45 workload, and snapshots both to
+/// `BENCH_eval.json`.
 fn bench_eval_snapshot() {
     println!("━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━");
     println!("evaluation core: interpreted vs compiled (guarded strategy)");
-    let bench = cqa_bench::run_eval_bench(&[8, 64, 512], std::time::Duration::from_millis(200));
+    let bench = cqa_bench::run_eval_bench(
+        &[8, 64, 512],
+        &[8, 64, 256],
+        std::time::Duration::from_millis(200),
+    );
     for row in &bench.rows {
         println!(
             "  n={:<4} ({:>4} facts): interpreted {:>10} — compiled {:>10} — {:.1}×",
@@ -81,6 +87,21 @@ fn bench_eval_snapshot() {
     println!(
         "  speedup at the largest size: {:.1}×",
         bench.largest_size_speedup
+    );
+    println!("reduction pipeline: materializing plan vs compiled plan (nested Lemma 45)");
+    for row in &bench.plan_rows {
+        println!(
+            "  n={:<4} ({:>4} facts): materialized {:>10} — compiled {:>10} — {:.1}×",
+            row.n_blocks,
+            row.facts,
+            fmt_duration(std::time::Duration::from_nanos(row.materialized_ns as u64)),
+            fmt_duration(std::time::Duration::from_nanos(row.compiled_ns as u64)),
+            row.speedup,
+        );
+    }
+    println!(
+        "  plan speedup at the largest size: {:.1}×",
+        bench.plan_largest_size_speedup
     );
     let path = "BENCH_eval.json";
     std::fs::write(path, bench.to_json()).expect("write BENCH_eval.json");

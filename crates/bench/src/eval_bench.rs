@@ -13,13 +13,24 @@
 //!   outside the timing loop: slot bindings, pre-split guards, hash-indexed
 //!   candidates),
 //!
-//! both with the guarded strategy. `paper-eval` runs this after the E1–E16
-//! table and snapshots the result to `BENCH_eval.json`, which CI uploads as
-//! an artifact — the perf-trajectory baseline for the evaluation core.
+//! both with the guarded strategy.
+//!
+//! A second workload measures the **reduction pipeline** end to end: the
+//! depth-2 nested Lemma 45 problem
+//! `q = {N('c',y), M(y,w), Q(w), P(w), O(y)}`,
+//! `FK = {N[2]→O, M[2]→Q}`, whose interpretive evaluator
+//! ([`cqa_core::RewritePlan::answer`]) renames and materializes a database
+//! per block fact per nesting level, against the view-backed
+//! [`cqa_core::CompiledPlan`] (compiled once outside the loop, zero
+//! intermediate instances).
+//!
+//! `paper-eval` runs both after the E1–E16 table and snapshots the result
+//! to `BENCH_eval.json`, which CI uploads as an artifact — the
+//! perf-trajectory baseline for the evaluation core.
 
 use cqa_core::classify::Classification;
 use cqa_core::flatten::flatten;
-use cqa_core::Problem;
+use cqa_core::{CompiledPlan, Problem, RewritePlan};
 use cqa_fo::{interp, CompiledFormula, Formula, Strategy};
 use cqa_model::parser::{parse_fks, parse_query, parse_schema};
 use cqa_model::{Instance, Schema};
@@ -43,15 +54,38 @@ pub struct EvalBenchRow {
     pub speedup: f64,
 }
 
+/// One measured size of the plan-level benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlanBenchRow {
+    /// Number of facts in the outer Lemma 45 block.
+    pub n_blocks: usize,
+    /// Total facts in the instance.
+    pub facts: usize,
+    /// Best per-evaluation time of the materializing `RewritePlan::answer`.
+    pub materialized_ns: u128,
+    /// Best per-evaluation time of the view-backed `CompiledPlan::answer`
+    /// (compiled once outside the loop).
+    pub compiled_ns: u128,
+    /// `materialized / compiled`.
+    pub speedup: f64,
+}
+
 /// The full `BENCH_eval.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct EvalBench {
-    /// What was measured.
+    /// What was measured (formula-evaluation workload).
     pub workload: String,
-    /// Per-size measurements.
+    /// Per-size measurements of the formula evaluators.
     pub rows: Vec<EvalBenchRow>,
-    /// The speedup at the largest measured size (the acceptance metric).
+    /// The formula-level speedup at the largest measured size.
     pub largest_size_speedup: f64,
+    /// What was measured (plan-level workload).
+    pub plan_workload: String,
+    /// Per-size measurements of the reduction-pipeline executors.
+    pub plan_rows: Vec<PlanBenchRow>,
+    /// The plan-level speedup at the largest measured size (the
+    /// compiled-plan acceptance metric).
+    pub plan_largest_size_speedup: f64,
 }
 
 impl EvalBench {
@@ -94,9 +128,49 @@ fn q1_formula() -> (Arc<Schema>, Formula) {
     (s, flatten(&plan).unwrap())
 }
 
-/// Runs the benchmark at the given sizes (ascending). `budget` bounds the
-/// measurement time per engine per size.
-pub fn run_eval_bench(sizes: &[usize], budget: Duration) -> EvalBench {
+/// The nested-Lemma-45 plan workload: schema, query and keys (shared with
+/// `benches/ablations.rs`).
+pub const NESTED_L45_SCHEMA: &str = "N[2,1] M[2,1] Q[1,1] P[1,1] O[1,1]";
+/// The depth-2 query: `N('c',y)` branches on its block, the residual
+/// `M(y,w)` branches again, the tail is the KW rewriting of `P`.
+pub const NESTED_L45_QUERY: &str = "N('c',y), M(y,w), Q(w), P(w), O(y)";
+/// Its foreign keys.
+pub const NESTED_L45_FKS: &str = "N[2] -> O, M[2] -> Q";
+
+/// The nested-Lemma-45 plan pair (interpretive + compiled).
+pub fn nested_l45_plan() -> (Arc<Schema>, RewritePlan, CompiledPlan) {
+    let s = Arc::new(parse_schema(NESTED_L45_SCHEMA).unwrap());
+    let q = parse_query(&s, NESTED_L45_QUERY).unwrap();
+    let fks = parse_fks(&s, NESTED_L45_FKS).unwrap();
+    let plan = match Problem::new(q, fks).unwrap().classify() {
+        Classification::Fo(p) => *p,
+        Classification::NotFo(r) => panic!("nested workload must be in FO: {r}"),
+    };
+    let compiled = CompiledPlan::compile(&plan).expect("nested workload compiles");
+    (s, plan, compiled)
+}
+
+/// A yes-instance with `n` facts in the outer `N('c', ∗)` block, each
+/// chained through its own `M`/`Q`/`P` witness (5n facts total) — every
+/// block fact forces a full residual evaluation on both executors.
+pub fn nested_l45_instance(s: &Arc<Schema>, n: usize) -> Instance {
+    let mut db = Instance::new(s.clone());
+    for i in 0..n {
+        let y = format!("y{i}");
+        let w = format!("w{i}");
+        db.insert_named("N", &["c", &y]).unwrap();
+        db.insert_named("O", &[&y]).unwrap();
+        db.insert_named("M", &[&y, &w]).unwrap();
+        db.insert_named("Q", &[&w]).unwrap();
+        db.insert_named("P", &[&w]).unwrap();
+    }
+    db
+}
+
+/// Runs the benchmark at the given sizes (ascending): `sizes` for the
+/// formula workload, `plan_sizes` for the plan workload. `budget` bounds
+/// the measurement time per engine per size.
+pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -> EvalBench {
     let (s, formula) = q1_formula();
     let compiled = CompiledFormula::compile(&formula, Strategy::Guarded);
     let mut rows = Vec::new();
@@ -120,6 +194,29 @@ pub fn run_eval_bench(sizes: &[usize], budget: Duration) -> EvalBench {
         });
     }
     let largest_size_speedup = rows.last().map(|r| r.speedup).unwrap_or(0.0);
+
+    let (ps, plan, cplan) = nested_l45_plan();
+    let mut plan_rows = Vec::new();
+    for &n in plan_sizes {
+        let db = nested_l45_instance(&ps, n);
+        assert_eq!(
+            plan.answer(&db),
+            cplan.answer(&db),
+            "plan executors disagree at n={n}"
+        );
+        db.index();
+        let mat_t = measure(budget, || plan.answer(&db));
+        let comp_t = measure(budget, || cplan.answer(&db));
+        plan_rows.push(PlanBenchRow {
+            n_blocks: n,
+            facts: db.len(),
+            materialized_ns: mat_t.as_nanos(),
+            compiled_ns: comp_t.as_nanos(),
+            speedup: mat_t.as_secs_f64() / comp_t.as_secs_f64().max(f64::EPSILON),
+        });
+    }
+    let plan_largest_size_speedup = plan_rows.last().map(|r| r.speedup).unwrap_or(0.0);
+
     EvalBench {
         workload: "flattened rewriting of Example 13 q1 (guarded strategy) over n two-fact \
                    blocks: interpreted (cqa_fo::interp) vs compiled (CompiledFormula), \
@@ -127,6 +224,12 @@ pub fn run_eval_bench(sizes: &[usize], budget: Duration) -> EvalBench {
             .to_string(),
         rows,
         largest_size_speedup,
+        plan_workload: "depth-2 nested Lemma 45 plan over an n-fact outer block (5n facts): \
+                        materializing RewritePlan::answer vs view-backed CompiledPlan, \
+                        compile outside the loop"
+            .to_string(),
+        plan_rows,
+        plan_largest_size_speedup,
     }
 }
 
@@ -137,9 +240,27 @@ mod tests {
     #[test]
     fn eval_bench_smoke() {
         // Tiny sizes and budget: correctness of the harness, not timings.
-        let report = run_eval_bench(&[2, 4], Duration::from_millis(5));
+        let report = run_eval_bench(&[2, 4], &[2, 4], Duration::from_millis(5));
         assert_eq!(report.rows.len(), 2);
         assert!(report.rows.iter().all(|r| r.compiled_guarded_ns > 0));
+        assert_eq!(report.plan_rows.len(), 2);
+        assert!(report.plan_rows.iter().all(|r| r.compiled_ns > 0));
         assert!(report.to_json().contains("largest_size_speedup"));
+        assert!(report.to_json().contains("plan_largest_size_speedup"));
+    }
+
+    #[test]
+    fn nested_workload_is_a_yes_instance_with_depth_two() {
+        let (s, plan, compiled) = nested_l45_plan();
+        assert!(plan.depth() >= 3, "nested Lemma 45 depth: {}", plan.depth());
+        let db = nested_l45_instance(&s, 4);
+        assert_eq!(db.len(), 20);
+        assert!(plan.answer(&db));
+        assert!(compiled.answer(&db));
+        // Breaking one chain flips both executors to "not certain".
+        let mut broken = db.clone();
+        broken.remove(&cqa_model::parser::parse_fact("P(w2)").unwrap());
+        assert!(!plan.answer(&broken));
+        assert!(!compiled.answer(&broken));
     }
 }

@@ -10,7 +10,9 @@
 
 pub mod eval_bench;
 
-pub use eval_bench::{run_eval_bench, EvalBench, EvalBenchRow};
+pub use eval_bench::{
+    nested_l45_instance, nested_l45_plan, run_eval_bench, EvalBench, EvalBenchRow, PlanBenchRow,
+};
 
 use serde::Serialize;
 use std::fmt;

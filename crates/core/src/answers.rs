@@ -7,15 +7,25 @@
 //! answer binding a variable to a value invented by a repair's insertion can
 //! never be certain, because fresh values differ between repairs. Each
 //! candidate grounds `q` to a Boolean problem, which Theorem 12 classifies
-//! and the pipeline answers. Groundings are classified independently —
-//! substituting constants can change the classification (Example 13), so a
-//! query may have some tuples decidable in FO and others not; any non-FO
-//! grounding aborts with its hardness reason.
+//! and the pipeline answers.
+//!
+//! **Classify once, answer per tuple.** Although grounding changes the
+//! classification relative to the *ungrounded* query (Example 13: `q1` is
+//! FO while `q2`, its grounding of `u`, is NL-hard), all groundings of the
+//! same free variables share the constant-vs-variable structure the
+//! Theorem 12 analyses inspect. The fast path therefore freezes the free
+//! variables as distinct parameter constants, classifies that one problem,
+//! and compiles one binding-parameterized [`CompiledPlan`] reused across
+//! every candidate tuple; a non-FO verdict surfaces before any tuple is
+//! evaluated (reported with a representative candidate). When the frozen
+//! skeleton cannot be compiled, the per-tuple grounding loop remains as the
+//! fallback.
 //!
 //! The candidate-space choice is validated against the exhaustive oracle
 //! over the full `adom^k` tuple space in the integration tests.
 
 use crate::classify::{classify, Classification, NotFoReason};
+use crate::compiled_plan::CompiledPlan;
 use crate::problem::Problem;
 use cqa_model::{all_valuations, Cst, FkSet, Instance, ModelError, Query, Term, Var};
 use std::collections::{BTreeMap, BTreeSet};
@@ -72,7 +82,41 @@ pub fn certain_answers(
     for val in all_valuations(db, q) {
         candidates.insert(free.iter().map(|v| val[v]).collect());
     }
+    if candidates.is_empty() {
+        return Ok(BTreeSet::new());
+    }
 
+    // Fast path: freeze the free variables as parameters, classify ONCE,
+    // compile one parameterized plan, and evaluate it per candidate tuple.
+    let distinct = free.iter().collect::<BTreeSet<_>>().len() == free.len();
+    if distinct {
+        let frozen = q.freeze(&free.iter().copied().collect());
+        if let Ok(problem) = Problem::new(frozen, fks.clone()) {
+            match classify(&problem) {
+                Classification::Fo(plan) => {
+                    if let Ok(compiled) = CompiledPlan::compile_parameterized(&plan, free) {
+                        let mut out = BTreeSet::new();
+                        for tuple in candidates {
+                            if compiled.answer_with(db, &tuple) {
+                                out.insert(tuple);
+                            }
+                        }
+                        return Ok(out);
+                    }
+                }
+                Classification::NotFo(reason) => {
+                    // Not FO for the frozen skeleton ⟹ not FO for the
+                    // groundings; surface it before evaluating any tuple,
+                    // with a representative candidate attached.
+                    let tuple = candidates.into_iter().next().expect("checked non-empty");
+                    return Err(AnswerError::NotFo(tuple, reason));
+                }
+            }
+        }
+    }
+
+    // Fallback: the per-tuple grounding loop (repeated free variables, or a
+    // frozen skeleton the pipeline cannot rebuild/compile).
     let mut out = BTreeSet::new();
     for tuple in candidates {
         let subst: BTreeMap<Var, Term> = free

@@ -1,0 +1,610 @@
+//! The compiled, view-backed executor of a [`RewritePlan`]: one
+//! [`CompiledPlan`] is built at classification time and then answers any
+//! number of databases (and, for parameterized residual plans, any number
+//! of bindings) **without materializing a single intermediate
+//! [`Instance`]**.
+//!
+//! The interpretive [`RewritePlan::answer`] realizes each reduction step as
+//! a fresh database: Lemma 37/40 copy the surviving facts, and Lemma 45
+//! builds a fully renamed instance *per block fact* before recursing — a
+//! depth-`d` plan over `b`-fact blocks materializes `O(b^d)` databases and
+//! rebuilds every index from scratch. The compiled form keeps the same
+//! step structure but executes it lazily:
+//!
+//! * reduction steps become [`cqa_model::InstanceView`] transformations —
+//!   relation hiding plus per-relation block filters whose predicates
+//!   (block relevance for Lemma 37, non-danglingness for Lemma 40) are
+//!   evaluated through the view with compiled, parameterized queries;
+//! * the Koutris–Wijsen tail is the precompiled formula evaluated over the
+//!   view through [`CompiledFormula::eval_params`];
+//! * a Lemma 45 tail holds the residual plan compiled **once** with the
+//!   block-fact binding `θ(⃗x)` as *parameter slots*. Where the
+//!   interpretive path renames the database per fact so that the one
+//!   generic residual plan applies, the compiled path uses the same
+//!   construction as [`crate::flatten`]: the residual problem is rebuilt
+//!   with `⃗x` frozen as distinct parameter constants ([`Cst::param`]),
+//!   compiled recursively, and evaluated per fact by rebinding the
+//!   parameter slots — the paper's injective-renaming argument is exactly
+//!   what justifies substituting concrete values for the generic
+//!   parameters (`flatten ≡ answer` pins this equivalence in the test
+//!   suites, and the differential property tests pit `CompiledPlan`
+//!   against the materializing evaluator directly).
+//!
+//! The interpretive `RewritePlan::answer` stays untouched as the
+//! differential-testing oracle, mirroring the `cqa-fo::interp` split of the
+//! formula evaluators.
+//!
+//! Compilation can fail ([`CompileError`]) in the rare case where the
+//! frozen residual problem falls outside the pipeline's invariants (the
+//! same cases where [`crate::flatten`] fails); callers such as
+//! [`crate::CertainEngine`] then fall back to the interpretive evaluator.
+
+use crate::pipeline::{RewritePlan, StepAction, Tail};
+use crate::problem::Problem;
+use cqa_fo::CompiledFormula;
+use cqa_model::{
+    CompiledQuery, Cst, ForeignKey, Instance, InstanceView, RelName, Term, Var,
+};
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// Why a plan could not be compiled into its view-backed executable form.
+#[derive(Clone, Debug)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot compile plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A term of a compiled Lemma 45 atom pattern.
+#[derive(Clone, Copy, Debug)]
+enum PatTerm {
+    /// A literal constant of the (frozen) query.
+    Cst(Cst),
+    /// A parameter of an enclosing Lemma 45 binding: index into the
+    /// argument slice.
+    Param(usize),
+    /// A variable of this step's binding `⃗x`: index into the values
+    /// extracted from the current block fact.
+    X(usize),
+}
+
+/// One non-identity reduction step in compiled form: hide the removed
+/// relation and keep only the source blocks passing the step's predicate.
+#[derive(Clone, Debug)]
+enum CompiledOp {
+    /// Lemma 37: keep the blocks of `filter` relevant for `q^FK_R`.
+    FilterRelevant {
+        drop: RelName,
+        filter: RelName,
+        relevance: CompiledQuery,
+        /// Index of the `filter`-atom inside `relevance`.
+        anchor: usize,
+    },
+    /// Lemma 40: keep the blocks of `filter` containing a fact non-dangling
+    /// w.r.t. `outgoing`.
+    FilterNonDangling {
+        drop: RelName,
+        filter: RelName,
+        outgoing: Vec<ForeignKey>,
+    },
+}
+
+/// The compiled terminal stage.
+#[derive(Clone, Debug)]
+enum CompiledTail {
+    /// The Koutris–Wijsen formula with its free (parameter) variables
+    /// mapped into the argument slice.
+    Kw {
+        formula: CompiledFormula,
+        /// `free_map[i]` = argument index of the formula's `i`-th free var.
+        free_map: Vec<usize>,
+    },
+    /// A Lemma 45 branch.
+    Lemma45(Box<CompiledLemma45>),
+}
+
+/// The compiled Lemma 45 reduction: match the constant-keyed block of
+/// `rel`, extract `θ(⃗x)` per fact, and evaluate the parameter-compiled
+/// residual plan under the extended argument slice.
+#[derive(Clone, Debug)]
+struct CompiledLemma45 {
+    rel: RelName,
+    /// The ground key of the block (constants and enclosing parameters).
+    key: Vec<PatTerm>,
+    /// The full-arity match pattern of `N(⃗c, ⃗t)`.
+    pattern: Vec<PatTerm>,
+    /// Number of binding variables `⃗x` (appended to the arguments, in the
+    /// canonical order of [`crate::pipeline::Lemma45Step::xs`]).
+    n_xs: usize,
+    /// `FK[N→]` for the non-dangling witness test.
+    outgoing: Vec<ForeignKey>,
+    /// The residual plan, compiled with `params ++ ⃗x` as parameters.
+    sub: CompiledPlan,
+}
+
+/// An end-to-end executable form of a [`RewritePlan`]: compile once, then
+/// [`CompiledPlan::answer`] any number of databases through lazy
+/// [`InstanceView`]s. See the module docs.
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    /// The relations of the (possibly frozen) query at this level; the
+    /// initial view restriction.
+    rels: BTreeSet<RelName>,
+    ops: Vec<CompiledOp>,
+    tail: CompiledTail,
+    n_params: usize,
+}
+
+impl CompiledPlan {
+    /// Compiles `plan`. Fails when a frozen residual problem cannot be
+    /// rebuilt (the same cases where [`crate::flatten`] fails).
+    pub fn compile(plan: &RewritePlan) -> Result<CompiledPlan, CompileError> {
+        CompiledPlan::compile_parameterized(plan, &[])
+    }
+
+    /// Compiles `plan` with the given *parameters*: variables frozen as
+    /// [`Cst::param`] constants inside the plan's queries and formulas
+    /// compile to argument-slice positions, so one compiled plan serves
+    /// every binding of the parameters (the `certain_answers` fast path
+    /// compiles the query once with its free variables as parameters).
+    pub fn compile_parameterized(
+        plan: &RewritePlan,
+        params: &[Var],
+    ) -> Result<CompiledPlan, CompileError> {
+        let rels: BTreeSet<RelName> = plan.problem.query().relations().collect();
+        let mut ops = Vec::new();
+        for step in &plan.steps {
+            match &step.action {
+                StepAction::DropTrivial { .. }
+                | StepAction::CloseStar { .. }
+                | StepAction::DropWeak { .. }
+                | StepAction::RemoveDD { .. } => {} // identity reductions
+                StepAction::RemoveOO {
+                    fk,
+                    relevance_query,
+                } => {
+                    let relevance = CompiledQuery::with_params(relevance_query, params);
+                    let anchor = relevance.atom_index(fk.from).ok_or_else(|| {
+                        CompileError(format!("{} missing from its relevance query", fk.from))
+                    })?;
+                    ops.push(CompiledOp::FilterRelevant {
+                        drop: fk.to,
+                        filter: fk.from,
+                        relevance,
+                        anchor,
+                    });
+                }
+                StepAction::RemoveDO { fk, outgoing } => {
+                    ops.push(CompiledOp::FilterNonDangling {
+                        drop: fk.to,
+                        filter: fk.from,
+                        outgoing: outgoing.clone(),
+                    });
+                }
+            }
+        }
+        let tail = match &plan.tail {
+            Tail::Kw { compiled, .. } => {
+                // The precompiled formula's free variables are exactly the
+                // unfrozen parameters (`kw_rewrite` unfreezes on exit); map
+                // each into the argument slice.
+                let mut free_map = Vec::new();
+                for v in compiled.free_vars() {
+                    let i = params.iter().position(|&p| p == v).ok_or_else(|| {
+                        CompileError(format!("free variable {v} is not a parameter"))
+                    })?;
+                    free_map.push(i);
+                }
+                CompiledTail::Kw {
+                    formula: compiled.clone(),
+                    free_map,
+                }
+            }
+            Tail::Lemma45(step) => {
+                // Rebuild the residual problem with ⃗x frozen as distinct
+                // parameter constants (the construction validated by
+                // `flatten ≡ answer`), then compile it with the extended
+                // parameter list.
+                let frozen_q0 = step.q0.freeze(&step.xs.iter().copied().collect());
+                let sub_problem =
+                    Problem::new(frozen_q0, step.fk0.clone()).map_err(|e| {
+                        CompileError(format!("frozen residual problem invalid: {e}"))
+                    })?;
+                let sub_plan = RewritePlan::build(&sub_problem).map_err(|e| {
+                    CompileError(format!("frozen residual plan failed: {e}"))
+                })?;
+                let mut sub_params = params.to_vec();
+                sub_params.extend(step.xs.iter().copied());
+                let sub = CompiledPlan::compile_parameterized(&sub_plan, &sub_params)?;
+
+                let sig = step
+                    .q0
+                    .schema()
+                    .signature(step.n_atom.rel)
+                    .ok_or_else(|| CompileError(format!("unknown relation {}", step.n_atom.rel)))?;
+                let pattern = compile_pattern(&step.n_atom.terms, params, &step.xs)?;
+                let key = pattern[..sig.key_len].to_vec();
+                if key.iter().any(|t| matches!(t, PatTerm::X(_))) {
+                    return Err(CompileError(format!(
+                        "Lemma 45 atom {} has a non-ground key",
+                        step.n_atom
+                    )));
+                }
+                CompiledTail::Lemma45(Box::new(CompiledLemma45 {
+                    rel: step.n_atom.rel,
+                    key,
+                    pattern,
+                    n_xs: step.xs.len(),
+                    outgoing: step.outgoing.clone(),
+                    sub,
+                }))
+            }
+        };
+        Ok(CompiledPlan {
+            rels,
+            ops,
+            tail,
+            n_params: params.len(),
+        })
+    }
+
+    /// Number of parameters this plan expects.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// Total number of compiled levels (this plan plus nested Lemma 45
+    /// residuals).
+    pub fn depth(&self) -> usize {
+        1 + match &self.tail {
+            CompiledTail::Kw { .. } => 0,
+            CompiledTail::Lemma45(l) => l.sub.depth(),
+        }
+    }
+
+    /// Evaluates the plan: is `db` a yes-instance of `CERTAINTY(q, FK)`?
+    /// Requires a parameterless plan.
+    pub fn answer(&self, db: &Instance) -> bool {
+        self.answer_with(db, &[])
+    }
+
+    /// Evaluates a parameterized plan under the given argument values (one
+    /// per parameter, in [`CompiledPlan::compile_parameterized`] order).
+    pub fn answer_with(&self, db: &Instance, args: &[Cst]) -> bool {
+        assert_eq!(args.len(), self.n_params, "one argument per parameter");
+        self.eval(&InstanceView::new(db), args)
+    }
+
+    /// Evaluates over a view (already reduced by enclosing levels).
+    fn eval(&self, base: &InstanceView<'_>, args: &[Cst]) -> bool {
+        let mut view = base.clone().restrict(&self.rels);
+        for op in &self.ops {
+            view = op.apply(view, args);
+        }
+        match &self.tail {
+            CompiledTail::Kw { formula, free_map } => {
+                let bound: Vec<Cst> = free_map.iter().map(|&i| args[i]).collect();
+                formula.eval_params(&view, &bound)
+            }
+            CompiledTail::Lemma45(l) => l.eval(&view, args),
+        }
+    }
+}
+
+/// Compiles the terms of a (frozen) Lemma 45 atom into a match pattern.
+fn compile_pattern(
+    terms: &[Term],
+    params: &[Var],
+    xs: &[Var],
+) -> Result<Vec<PatTerm>, CompileError> {
+    terms
+        .iter()
+        .map(|t| match t {
+            Term::Cst(c) => match c.as_param() {
+                Some(v) => match params.iter().position(|&p| p == v) {
+                    Some(i) => Ok(PatTerm::Param(i)),
+                    None => Ok(PatTerm::Cst(*c)),
+                },
+                None => Ok(PatTerm::Cst(*c)),
+            },
+            Term::Var(v) => match xs.iter().position(|&x| x == *v) {
+                Some(i) => Ok(PatTerm::X(i)),
+                None => Err(CompileError(format!(
+                    "variable {v} of a Lemma 45 atom is not in its binding"
+                ))),
+            },
+        })
+        .collect()
+}
+
+impl CompiledOp {
+    /// Applies the step to the view: evaluates the block predicate over the
+    /// *incoming* view (the reductions read the pre-step database), then
+    /// hides the removed relation and installs the surviving-block filter.
+    fn apply<'a>(&self, view: InstanceView<'a>, args: &[Cst]) -> InstanceView<'a> {
+        match self {
+            CompiledOp::FilterRelevant {
+                drop,
+                filter,
+                relevance,
+                anchor,
+            } => {
+                let mut matcher = relevance.anchored_matcher(*anchor, args);
+                let mut keys: HashSet<Box<[Cst]>> = HashSet::new();
+                for (key, rows) in view.blocks(*filter) {
+                    if rows.iter().any(|row| matcher.matches(&view, row)) {
+                        keys.insert(key.into());
+                    }
+                }
+                view.hide(*drop).with_block_filter(*filter, keys)
+            }
+            CompiledOp::FilterNonDangling {
+                drop,
+                filter,
+                outgoing,
+            } => {
+                let mut keys: HashSet<Box<[Cst]>> = HashSet::new();
+                for (key, rows) in view.blocks(*filter) {
+                    if rows.iter().any(|row| non_dangling(&view, row, outgoing)) {
+                        keys.insert(key.into());
+                    }
+                }
+                view.hide(*drop).with_block_filter(*filter, keys)
+            }
+        }
+    }
+}
+
+/// Whether the row is non-dangling w.r.t. every key of `outgoing` in the
+/// view (the referenced block is visible and non-empty).
+fn non_dangling(view: &InstanceView<'_>, row: &[Cst], outgoing: &[ForeignKey]) -> bool {
+    outgoing.iter().all(|fk| match row.get(fk.pos - 1) {
+        Some(&v) => view.block_nonempty(fk.to, &[v]),
+        None => false,
+    })
+}
+
+impl CompiledLemma45 {
+    fn eval(&self, view: &InstanceView<'_>, args: &[Cst]) -> bool {
+        let key: Vec<Cst> = self
+            .key
+            .iter()
+            .map(|t| match t {
+                PatTerm::Cst(c) => *c,
+                PatTerm::Param(i) => args[*i],
+                PatTerm::X(_) => unreachable!("checked ground at compile time"),
+            })
+            .collect();
+        let block = view.block_rows(self.rel, &key);
+        if block.is_empty() {
+            return false;
+        }
+        if !block
+            .iter()
+            .any(|row| non_dangling(view, row, &self.outgoing))
+        {
+            return false;
+        }
+        let mut sub_args: Vec<Cst> = Vec::with_capacity(args.len() + self.n_xs);
+        let mut xs_vals: Vec<Option<Cst>> = vec![None; self.n_xs];
+        for row in block {
+            // Match the fact against N(⃗c, ⃗t); a repair may keep a
+            // non-matching fact of the block, falsifying q.
+            xs_vals.iter_mut().for_each(|v| *v = None);
+            let mut ok = true;
+            for (i, t) in self.pattern.iter().enumerate() {
+                let cell = row[i];
+                ok = match t {
+                    PatTerm::Cst(c) => cell == *c,
+                    PatTerm::Param(p) => cell == args[*p],
+                    PatTerm::X(k) => match xs_vals[*k] {
+                        None => {
+                            xs_vals[*k] = Some(cell);
+                            true
+                        }
+                        Some(prev) => prev == cell,
+                    },
+                };
+                if !ok {
+                    break;
+                }
+            }
+            if !ok {
+                return false;
+            }
+            sub_args.clear();
+            sub_args.extend_from_slice(args);
+            sub_args.extend(xs_vals.iter().map(|v| v.expect("⃗x covers the atom")));
+            if !self.sub.eval(view, &sub_args) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for CompiledPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compiled plan over {:?}: {} filter op(s), ",
+            self.rels,
+            self.ops.len()
+        )?;
+        match &self.tail {
+            CompiledTail::Kw { formula, .. } => {
+                write!(f, "KW tail ({} params)", formula.free_vars().count())
+            }
+            CompiledTail::Lemma45(l) => {
+                write!(f, "Lemma 45 on {} ⊳ [{}]", l.rel, l.sub)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    fn compiled(schema: &str, query: &str, fks: &str) -> (RewritePlan, CompiledPlan) {
+        let s = Arc::new(parse_schema(schema).unwrap());
+        let q = parse_query(&s, query).unwrap();
+        let k = parse_fks(&s, fks).unwrap();
+        let plan = RewritePlan::build(&Problem::new(q, k).unwrap()).unwrap();
+        let compiled = CompiledPlan::compile(&plan).unwrap();
+        (plan, compiled)
+    }
+
+    fn agree_on(schema: &str, query: &str, fks: &str, instances: &[&str]) {
+        let (plan, compiled) = compiled(schema, query, fks);
+        let s = Arc::new(parse_schema(schema).unwrap());
+        for text in instances {
+            let db = parse_instance(&s, text).unwrap();
+            assert_eq!(
+                plan.answer(&db),
+                compiled.answer(&db),
+                "query {query}, fks {fks}, instance {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn section8_example_matches_interpreter() {
+        agree_on(
+            "N[2,1] O[1,1] P[1,1]",
+            "N('c',y), O(y), P(y)",
+            "N[2] -> O",
+            &[
+                "N(c,a) N(c,b) O(a) P(a) P(b)",
+                "N(c,a) N(c,b) O(a) P(b)",
+                "N(c,a) N(c,b) O(a) P(a)",
+                "N(c,a) N(c,b) P(a) P(b)",
+                "O(a) P(a)",
+                "",
+            ],
+        );
+    }
+
+    #[test]
+    fn lemma37_block_filtering_matches_interpreter() {
+        agree_on(
+            "N[3,1] O[2,1]",
+            "N(x,u,y), O(y,w)",
+            "N[3] -> O",
+            &[
+                "N(c,1,a) N(c,2,b) O(a,3)",
+                "N(c,1,a) O(a,3)",
+                "N(c,1,a)",
+                "O(a,3)",
+                "N(k,1,a) N(k,2,a) N(j,1,b) O(a,1) O(b,2)",
+                "",
+            ],
+        );
+    }
+
+    #[test]
+    fn lemma40_filtering_matches_interpreter() {
+        agree_on(
+            "N[2,1] O[1,1] T[2,1] U[2,1]",
+            "N(x,y), O(y), T(z,y), U(z,y)",
+            "N[2] -> O",
+            &[
+                "N(a,b) O(b) T(t,b) U(t,b)",
+                "N(a,b) T(t,b) U(t,b)",
+                "N(a,b) O(b) T(t,b) U(t,zz)",
+                "N(a,b) N(a,c) O(b) O(c) T(t,b) U(t,b) T(s,c) U(s,c)",
+                "",
+            ],
+        );
+    }
+
+    #[test]
+    fn nested_lemma45_depth_two() {
+        // N('c',y) binds y; the frozen residual M(§y,w) binds w; the final
+        // tail is the KW rewriting of P(§w). Exercises parameters in key
+        // position at the second level.
+        let (plan, compiled) = compiled(
+            "N[2,1] M[2,1] Q[1,1] P[1,1] O[1,1]",
+            "N('c',y), M(y,w), Q(w), P(w), O(y)",
+            "N[2] -> O, M[2] -> Q",
+        );
+        assert_eq!(compiled.depth(), 3);
+        assert_eq!(compiled.to_string().matches("Lemma 45").count(), 2);
+        let s =
+            Arc::new(parse_schema("N[2,1] M[2,1] Q[1,1] P[1,1] O[1,1]").unwrap());
+        for text in [
+            "N(c,y0) O(y0) M(y0,w0) Q(w0) P(w0)",
+            "N(c,y0) O(y0) M(y0,w0) Q(w0)",
+            "N(c,y0) O(y0) M(y0,w0) P(w0)",
+            "N(c,y0) N(c,y1) O(y0) M(y0,w0) Q(w0) P(w0) M(y1,w1) Q(w1) P(w1)",
+            "N(c,y0) N(c,y1) O(y0) M(y0,w0) Q(w0) P(w0) M(y1,w1) Q(w1)",
+            "N(c,y0) M(y0,w0) Q(w0) P(w0)",
+            "N(c,y0) O(y0) M(y0,w0) M(y0,w1) Q(w0) Q(w1) P(w0) P(w1)",
+            "N(c,y0) O(y0) M(y0,w0) M(y0,w1) Q(w0) P(w0) P(w1)",
+            "",
+        ] {
+            let db = parse_instance(&s, text).unwrap();
+            assert_eq!(
+                plan.answer(&db),
+                compiled.answer(&db),
+                "instance {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameterized_compile_matches_grounded_plans() {
+        // Compile q = {R(x,u), S(x)} (weak key R[1]→S) with u as a
+        // parameter; the parameterized plan under u := v must agree with
+        // the plan built for each grounded query.
+        let s = Arc::new(parse_schema("R[2,1] S[1,1]").unwrap());
+        let q = parse_query(&s, "R(x,u), S(x)").unwrap();
+        let fks = parse_fks(&s, "R[1] -> S").unwrap();
+        let u = Var::new("u");
+        let frozen = q.freeze(&[u].into_iter().collect());
+        let plan = RewritePlan::build(&Problem::new(frozen, fks.clone()).unwrap()).unwrap();
+        let compiled = CompiledPlan::compile_parameterized(&plan, &[u]).unwrap();
+        assert_eq!(compiled.n_params(), 1);
+
+        for val in ["1", "k", "zzz"] {
+            let grounded = parse_query(&s, &format!("R(x,'{val}'), S(x)")).unwrap();
+            let gplan =
+                RewritePlan::build(&Problem::new(grounded, fks.clone()).unwrap()).unwrap();
+            for text in [
+                "R(a,1) S(a)",
+                "R(a,k) S(a)",
+                "R(a,1) R(a,k) S(a)",
+                "R(a,1) R(b,k) S(a) S(b)",
+                "R(a,zzz)",
+                "",
+            ] {
+                let db = parse_instance(&s, text).unwrap();
+                assert_eq!(
+                    gplan.answer(&db),
+                    compiled.answer_with(&db, &[Cst::new(val)]),
+                    "u := {val}, instance {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_query_relations_are_ignored() {
+        // Facts over relations outside q must not influence the answer.
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] Z[1,1]").unwrap());
+        let q = parse_query(&s, "N(x,y), O(y)").unwrap();
+        let fks = parse_fks(&s, "N[2] -> O").unwrap();
+        let plan = RewritePlan::build(&Problem::new(q, fks).unwrap()).unwrap();
+        let compiled = CompiledPlan::compile(&plan).unwrap();
+        let db = parse_instance(&s, "N(a,b) O(b) Z(junk)").unwrap();
+        assert_eq!(plan.answer(&db), compiled.answer(&db));
+        assert!(compiled.answer(&db));
+    }
+}

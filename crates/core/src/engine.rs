@@ -2,6 +2,7 @@
 //! `CERTAINTY(q, FK)` on concrete databases when the problem is in FO.
 
 use crate::classify::{classify, Classification, NotFoReason};
+use crate::compiled_plan::{CompileError, CompiledPlan};
 use crate::flatten::{flatten, FlattenError};
 use crate::pipeline::RewritePlan;
 use crate::problem::Problem;
@@ -10,6 +11,13 @@ use cqa_model::Instance;
 use std::fmt;
 
 /// An engine wrapping a constructed rewriting plan.
+///
+/// At construction the plan is also compiled into its view-backed
+/// executable form ([`CompiledPlan`]): [`CertainEngine::answer`] and
+/// [`CertainEngine::answer_many`] evaluate through lazy instance views with
+/// zero intermediate database materializations, falling back to the
+/// interpretive [`RewritePlan::answer`] only when compilation is not
+/// possible (see [`CertainEngine::compile_plan`]).
 ///
 /// ```
 /// use cqa_core::{CertainEngine, Problem};
@@ -27,14 +35,22 @@ use std::fmt;
 #[derive(Clone, Debug)]
 pub struct CertainEngine {
     plan: RewritePlan,
+    compiled: Option<CompiledPlan>,
 }
 
 impl CertainEngine {
     /// Classifies the problem; returns the engine when it is in FO, or the
-    /// Theorem 12 hardness reason otherwise.
+    /// Theorem 12 hardness reason otherwise. The plan is compiled once here
+    /// and reused by every subsequent `answer` call.
     pub fn try_new(problem: Problem) -> Result<CertainEngine, NotFoReason> {
         match classify(&problem) {
-            Classification::Fo(plan) => Ok(CertainEngine { plan: *plan }),
+            Classification::Fo(plan) => {
+                let compiled = CompiledPlan::compile(&plan).ok();
+                Ok(CertainEngine {
+                    plan: *plan,
+                    compiled,
+                })
+            }
             Classification::NotFo(reason) => Err(reason),
         }
     }
@@ -44,14 +60,47 @@ impl CertainEngine {
         &self.plan
     }
 
+    /// The plan's compiled executable form, when compilation succeeded at
+    /// construction time.
+    pub fn compiled_plan(&self) -> Option<&CompiledPlan> {
+        self.compiled.as_ref()
+    }
+
+    /// Compiles the plan afresh (exposing the failure reason that
+    /// [`CertainEngine::try_new`] swallows when it falls back to the
+    /// interpretive evaluator).
+    pub fn compile_plan(&self) -> Result<CompiledPlan, CompileError> {
+        CompiledPlan::compile(&self.plan)
+    }
+
     /// The problem.
     pub fn problem(&self) -> &Problem {
         &self.plan.problem
     }
 
     /// Is `db` a yes-instance of `CERTAINTY(q, FK)`?
+    ///
+    /// Evaluates through the compiled plan when available (the common
+    /// case), otherwise through the interpretive pipeline.
     pub fn answer(&self, db: &Instance) -> bool {
+        match &self.compiled {
+            Some(c) => c.answer(db),
+            None => self.plan.answer(db),
+        }
+    }
+
+    /// Interpretive evaluation through the materializing pipeline — the
+    /// differential-testing oracle for [`CertainEngine::answer`].
+    pub fn answer_materialized(&self, db: &Instance) -> bool {
         self.plan.answer(db)
+    }
+
+    /// Answers a batch of databases over the one compiled plan, amortizing
+    /// the classification and compilation across the stream — the
+    /// server-loop surface: classify + compile once, then evaluate per
+    /// instance with only per-call slot arrays.
+    pub fn answer_many(&self, dbs: &[Instance]) -> Vec<bool> {
+        dbs.iter().map(|db| self.answer(db)).collect()
     }
 
     /// The consistent first-order rewriting as one closed formula.

@@ -12,6 +12,9 @@
 //! * [`classify::classify`] — Theorem 12: FO (with a constructed
 //!   [`pipeline::RewritePlan`]) vs. L-hard / NL-hard with witnesses;
 //! * [`engine::CertainEngine`] — evaluates certain answers through the plan;
+//! * [`compiled_plan::CompiledPlan`] — the plan compiled once into a lazy,
+//!   view-backed executor (zero intermediate database materializations;
+//!   the engine's hot path);
 //! * [`flatten`] — folds a plan into one closed first-order sentence.
 //!
 //! Internal machinery, each mapped to its definition in the paper:
@@ -29,6 +32,7 @@
 
 pub mod answers;
 pub mod classify;
+pub mod compiled_plan;
 pub mod depgraph;
 pub mod engine;
 pub mod fk_types;
@@ -41,6 +45,7 @@ pub mod problem;
 
 pub use answers::{certain_answers, AnswerError};
 pub use classify::{classify, Classification, NotFoReason};
+pub use compiled_plan::{CompileError, CompiledPlan};
 pub use depgraph::{fk_star, DepGraph};
 pub use engine::CertainEngine;
 pub use hardness::{lemma14_instance, lemma15_reduction};

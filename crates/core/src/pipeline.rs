@@ -35,8 +35,11 @@ use cqa_attack::{kw_rewrite, AttackGraph};
 use cqa_fo::eval::Strategy;
 use cqa_fo::{CompiledFormula, Formula};
 use cqa_model::eval::{block_is_relevant, unify, Valuation};
-use cqa_model::{Atom, Cst, Fact, FkSet, ForeignKey, Instance, Query, RelName, Term, Var};
-use std::collections::{BTreeMap, BTreeSet};
+use cqa_model::{
+    Atom, Cst, Fact, FkSet, ForeignKey, Instance, InstanceView, Query, RelName, RenameTable, Term,
+    Var,
+};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Why a plan could not be built (the problem is not in FO, or an internal
@@ -192,6 +195,10 @@ pub struct Lemma45Step {
     pub b: Cst,
     /// The residual plan for `(q₀[⃗x→⃗b, consts→b], FK₀)`.
     pub sub_plan: Box<RewritePlan>,
+    /// The injective renaming's invented constants, memoized so repeated
+    /// `answer()` calls on a long-lived plan *recycle* them instead of
+    /// growing the global interner without bound. Clones share the table.
+    pub rename_table: RenameTable,
 }
 
 /// A consistent-first-order-rewriting plan: the executable composition of
@@ -368,6 +375,7 @@ impl RewritePlan {
                         fk0,
                         b,
                         sub_plan: Box::new(sub_plan),
+                        rename_table: RenameTable::new(b),
                     })),
                 });
             }
@@ -535,14 +543,12 @@ impl Lemma45Step {
         if !non_dangling_exists {
             return false;
         }
-        let q0_rels: BTreeSet<RelName> = self.q0.relations().collect();
-        let restricted = cur.restrict(&q0_rels);
         for fact in &block {
             let Some(theta) = unify(&self.n_atom, fact, &Valuation::new()) else {
                 // A repair may keep this non-matching fact, falsifying q.
                 return false;
             };
-            let renamed = self.rename(&restricted, &theta);
+            let renamed = self.rename(cur, &theta);
             if !self.sub_plan.answer(&renamed) {
                 return false;
             }
@@ -552,34 +558,29 @@ impl Lemma45Step {
 
     /// The injective renaming `f` of the paper: each database value is
     /// renamed per position according to the term of `q₀[⃗x→θ(⃗x)]` at that
-    /// position; a value equal to the expected constant becomes `b`.
+    /// position; a value equal to the expected constant becomes `b`. The
+    /// renamed row stream comes lazily from an [`InstanceView`] (restricted
+    /// to `q₀`'s relations by construction), and the invented constants are
+    /// recycled through the step's [`RenameTable`] across calls; only this
+    /// interpretive oracle path still materializes the result, because the
+    /// generic residual plan needs a database to recurse on.
     fn rename(&self, db: &Instance, theta: &Valuation) -> Instance {
-        let mut fresh: BTreeMap<(Cst, Term), Cst> = BTreeMap::new();
+        let view = InstanceView::new(db);
         let mut out = Instance::new(db.schema().clone());
         for rel in self.q0.relations() {
             let atom = self.q0.atom(rel).expect("relation of q0");
-            for fact in db.facts_of(rel) {
-                let args: Vec<Cst> = fact
-                    .args
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &a)| {
-                        let term = atom.terms[i];
-                        let expected = match term {
-                            Term::Var(x) => match theta.get(&x) {
-                                Some(&c) => Term::Cst(c),
-                                None => Term::Var(x),
-                            },
-                            t => t,
-                        };
-                        match expected {
-                            Term::Cst(c) if a == c => self.b,
-                            key_term => *fresh
-                                .entry((a, key_term))
-                                .or_insert_with(|| Cst::fresh("r")),
-                        }
-                    })
-                    .collect();
+            let spec: Vec<Term> = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(x) => match theta.get(x) {
+                        Some(&c) => Term::Cst(c),
+                        None => Term::Var(*x),
+                    },
+                    t => *t,
+                })
+                .collect();
+            for args in view.renamed_rows(rel, &spec, &self.rename_table) {
                 out.insert(Fact::new(rel, args)).expect("same schema");
             }
         }

@@ -21,6 +21,15 @@
 //! [`Strategy`] at compile time; [`crate::eval::eval_with`] stays the
 //! convenience entry point that compiles and runs in one call.
 //!
+//! **Parameter slots and views.** Evaluation is generic over a
+//! [`cqa_model::FactSource`], so one compiled tree runs against a full
+//! database index or a lazy [`cqa_model::InstanceView`] of the reduction
+//! pipeline. The free variables double as *parameter slots*:
+//! [`CompiledFormula::eval_params`] rebinds them from a plain argument
+//! slice — the Lemma 45 residual rewriting is compiled once with `θ(⃗x)` as
+//! parameters and re-evaluated per block fact by slot rebinding, no
+//! `Valuation` maps and no re-compilation.
+//!
 //! **Quantifier domain.** Evaluation uses active-domain semantics over
 //! `adom(db) ∪ const(φ) ∪ const(θ↾free(φ))` where `θ` is the caller's
 //! binding of free variables. The last term is deliberate: a free variable
@@ -34,7 +43,7 @@ use crate::eval::Strategy;
 use cqa_model::binding::CompiledAtom;
 use cqa_model::instance::Candidates;
 use cqa_model::{
-    Atom, Binding, Cst, Instance, InstanceIndex, Slot, SlotTerm, Term, Trail, Valuation, Var,
+    Atom, Binding, Cst, FactSource, Instance, Slot, SlotTerm, Term, Trail, Valuation, Var,
 };
 use std::collections::BTreeSet;
 
@@ -121,30 +130,60 @@ impl CompiledFormula {
     /// Evaluates the formula over `db` under a binding of its free
     /// variables.
     pub fn eval(&self, db: &Instance, binding: &Valuation) -> bool {
-        let idx = db.index();
         let mut b = Binding::new(self.n_slots);
-        let domain: Vec<Cst> = if self.uses_domain {
-            let mut dom: BTreeSet<Cst> = db.adom().clone();
-            dom.extend(self.consts.iter().copied());
-            for &(v, s) in &self.free {
-                if let Some(&c) = binding.get(&v) {
-                    b.set(s, c);
-                    // The soundness fix: bound-to constants join the domain.
-                    dom.insert(c);
-                }
+        let mut bound: Vec<Cst> = Vec::new();
+        for &(v, s) in &self.free {
+            if let Some(&c) = binding.get(&v) {
+                b.set(s, c);
+                bound.push(c);
             }
+        }
+        self.run(db.index(), b, &bound)
+    }
+
+    /// Evaluates a closed formula over `db`.
+    pub fn eval_closed(&self, db: &Instance) -> bool {
+        debug_assert!(self.free.is_empty(), "eval_closed requires a sentence");
+        self.eval(db, &Valuation::new())
+    }
+
+    /// Evaluates over an arbitrary [`FactSource`] (a full
+    /// [`cqa_model::InstanceIndex`] or a lazy [`cqa_model::InstanceView`])
+    /// with the free variables used as **parameter slots**: `args[i]` binds
+    /// the `i`-th free variable in canonical ([`CompiledFormula::free_vars`])
+    /// order. This is the per-block-fact rebinding entry point of the
+    /// compiled reduction pipeline: no `Valuation` map, no per-call
+    /// allocation beyond the slot array (and the quantifier domain when the
+    /// tree is not fully guard-directed).
+    pub fn eval_params<S: FactSource + ?Sized>(&self, src: &S, args: &[Cst]) -> bool {
+        assert_eq!(
+            args.len(),
+            self.free.len(),
+            "one argument per parameter slot"
+        );
+        let mut b = Binding::new(self.n_slots);
+        for (&(_, s), &c) in self.free.iter().zip(args) {
+            b.set(s, c);
+        }
+        self.run(src, b, args)
+    }
+
+    /// Shared evaluation core: `bound` are the constants already placed in
+    /// parameter slots (they join the quantifier domain — the soundness rule
+    /// for out-of-domain bindings, see the module docs).
+    fn run<S: FactSource + ?Sized>(&self, src: &S, b: Binding, bound: &[Cst]) -> bool {
+        let domain: Vec<Cst> = if self.uses_domain {
+            let mut dom: BTreeSet<Cst> = BTreeSet::new();
+            src.extend_adom(&mut dom);
+            dom.extend(self.consts.iter().copied());
+            dom.extend(bound.iter().copied());
             dom.into_iter().collect()
         } else {
             // Fully guard-directed tree: no quantifier reads the domain.
-            for &(v, s) in &self.free {
-                if let Some(&c) = binding.get(&v) {
-                    b.set(s, c);
-                }
-            }
             Vec::new()
         };
         let ctx = EvalCtx {
-            idx,
+            src,
             domain: &domain,
         };
         let mut st = EvalState {
@@ -153,12 +192,6 @@ impl CompiledFormula {
             scratch: Vec::new(),
         };
         ctx.eval(&self.root, &mut st)
-    }
-
-    /// Evaluates a closed formula over `db`.
-    pub fn eval_closed(&self, db: &Instance) -> bool {
-        debug_assert!(self.free.is_empty(), "eval_closed requires a sentence");
-        self.eval(db, &Valuation::new())
     }
 }
 
@@ -350,8 +383,8 @@ fn flatten_and<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
 // Evaluation
 // ---------------------------------------------------------------------------
 
-struct EvalCtx<'a> {
-    idx: &'a InstanceIndex,
+struct EvalCtx<'a, S: FactSource + ?Sized> {
+    src: &'a S,
     domain: &'a [Cst],
 }
 
@@ -362,7 +395,7 @@ struct EvalState {
     scratch: Vec<Cst>,
 }
 
-impl<'a> EvalCtx<'a> {
+impl<'a, S: FactSource + ?Sized> EvalCtx<'a, S> {
     fn eval(&self, node: &Node, st: &mut EvalState) -> bool {
         match node {
             Node::True => true,
@@ -376,7 +409,7 @@ impl<'a> EvalCtx<'a> {
                         .expect("atom variables must be bound during evaluation");
                     st.scratch.push(c);
                 }
-                self.idx.contains(a.rel, &st.scratch)
+                self.src.contains_row(a.rel, &st.scratch)
             }
             Node::Eq(s, t) => {
                 let a = st.b.resolve(*s).expect("equality term must be bound");
@@ -455,8 +488,8 @@ impl<'a> EvalCtx<'a> {
     }
 
     /// Candidate rows for a guard atom: the shared ground-key-prefix
-    /// resolution of [`InstanceIndex::guarded_candidates`].
+    /// resolution of [`FactSource::guarded_candidates`].
     fn guard_candidates(&self, guard: &CompiledAtom, st: &mut EvalState) -> Candidates<'a> {
-        self.idx.guarded_candidates(guard, &st.b, &mut st.scratch)
+        self.src.guarded_candidates(guard, &st.b, &mut st.scratch)
     }
 }

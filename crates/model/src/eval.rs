@@ -19,10 +19,11 @@
 use crate::atom::Atom;
 use crate::binding::{Binding, CompiledAtom, Slot, SlotTerm, Trail};
 use crate::fact::Fact;
-use crate::instance::{Candidates, Instance, InstanceIndex};
+use crate::instance::{Candidates, Instance};
 use crate::intern::{Cst, Var};
 use crate::query::Query;
 use crate::term::Term;
+use crate::view::FactSource;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A (partial) valuation: a mapping from variables to constants.
@@ -81,12 +82,25 @@ pub struct CompiledQuery {
     atoms: Vec<CompiledAtom>,
     /// slot → variable, for converting bindings back into valuations.
     vars: Vec<Var>,
+    /// Leading slots that are *parameters*: bound from an argument slice
+    /// before the search starts (see [`CompiledQuery::with_params`]).
+    n_params: usize,
 }
 
 impl CompiledQuery {
     /// Compiles `q`.
     pub fn new(q: &Query) -> CompiledQuery {
-        let mut vars: Vec<Var> = Vec::new();
+        CompiledQuery::with_params(q, &[])
+    }
+
+    /// Compiles `q` with *parameter slots*: the variables of `params` get
+    /// the leading slots `0..params.len()`, and any constant of `q` that is
+    /// a frozen parameter ([`Cst::param`]) of one of them compiles to that
+    /// slot instead of a constant. The query is compiled once; each
+    /// evaluation binds the parameter slots from an argument slice — the
+    /// Lemma 45 residual evaluation's per-block-fact rebinding.
+    pub fn with_params(q: &Query, params: &[Var]) -> CompiledQuery {
+        let mut vars: Vec<Var> = params.to_vec();
         let slot_of = |v: Var, vars: &mut Vec<Var>| -> Slot {
             match vars.iter().position(|&w| w == v) {
                 Some(i) => i as Slot,
@@ -105,18 +119,33 @@ impl CompiledQuery {
                     .terms
                     .iter()
                     .map(|t| match t {
-                        Term::Cst(c) => SlotTerm::Cst(*c),
+                        Term::Cst(c) => match c.as_param() {
+                            Some(v) if params.contains(&v) => {
+                                SlotTerm::Slot(slot_of(v, &mut vars))
+                            }
+                            _ => SlotTerm::Cst(*c),
+                        },
                         Term::Var(v) => SlotTerm::Slot(slot_of(*v, &mut vars)),
                     })
                     .collect(),
             })
             .collect();
-        CompiledQuery { atoms, vars }
+        CompiledQuery {
+            atoms,
+            vars,
+            n_params: params.len(),
+        }
     }
 
-    /// The variables of the query in slot order.
+    /// The variables of the query in slot order (parameters first).
     pub fn vars(&self) -> &[Var] {
         &self.vars
+    }
+
+    /// The index of the (unique, queries being self-join-free) atom over
+    /// `rel`, if any.
+    pub fn atom_index(&self, rel: crate::schema::RelName) -> Option<usize> {
+        self.atoms.iter().position(|a| a.rel == rel)
     }
 
     /// `db ⊨ q`.
@@ -159,6 +188,28 @@ impl CompiledQuery {
         );
     }
 
+    /// A reusable matcher asking, per row: does some valuation match the
+    /// whole query with the anchor atom mapped to exactly that row and the
+    /// parameter slots bound to `params`? This is the block-relevance
+    /// primitive of the compiled reduction pipeline; the binding, trail and
+    /// work list are allocated once here and reused across every row of
+    /// every block ([`AnchoredMatcher::matches`] allocates nothing).
+    pub fn anchored_matcher(&self, anchor: usize, params: &[Cst]) -> AnchoredMatcher<'_> {
+        debug_assert_eq!(params.len(), self.n_params, "parameter arity");
+        let mut binding = Binding::new(self.vars.len());
+        for (i, &c) in params.iter().enumerate() {
+            binding.set(i as Slot, c);
+        }
+        AnchoredMatcher {
+            cq: self,
+            anchor,
+            binding,
+            trail: Trail::new(),
+            remaining: (0..self.atoms.len()).filter(|&i| i != anchor).collect(),
+            key_buf: Vec::new(),
+        }
+    }
+
     /// Converts a match back into a map-based valuation, keeping the extra
     /// entries of `base` (bindings of variables outside `q`), like the
     /// interpretive search did.
@@ -172,9 +223,9 @@ impl CompiledQuery {
         out
     }
 
-    fn search(
+    fn search<S: FactSource + ?Sized>(
         &self,
-        idx: &InstanceIndex,
+        idx: &S,
         remaining: &mut Vec<usize>,
         b: &mut Binding,
         trail: &mut Trail,
@@ -222,6 +273,41 @@ impl CompiledQuery {
         let last = remaining.len() - 1;
         remaining.swap(best_idx, last);
         stop
+    }
+}
+
+/// A reusable anchored-match state over one [`CompiledQuery`]: see
+/// [`CompiledQuery::anchored_matcher`].
+#[derive(Clone, Debug)]
+pub struct AnchoredMatcher<'q> {
+    cq: &'q CompiledQuery,
+    anchor: usize,
+    binding: Binding,
+    trail: Trail,
+    remaining: Vec<usize>,
+    key_buf: Vec<Cst>,
+}
+
+impl AnchoredMatcher<'_> {
+    /// Whether the query matches in `src` with the anchor atom mapped to
+    /// exactly `row` (under the parameters fixed at construction). Leaves
+    /// the matcher ready for the next row: the search undoes its own
+    /// bindings and restores the work list.
+    pub fn matches<S: FactSource + ?Sized>(&mut self, src: &S, row: &[Cst]) -> bool {
+        let frame = self.trail.frame();
+        let ok = self
+            .binding
+            .unify_row(&self.cq.atoms[self.anchor].terms, row, &mut self.trail)
+            && self.cq.search(
+                src,
+                &mut self.remaining,
+                &mut self.binding,
+                &mut self.trail,
+                &mut self.key_buf,
+                &mut |_| true,
+            );
+        self.trail.undo_to(frame, &mut self.binding);
+        ok
     }
 }
 

@@ -355,15 +355,16 @@ impl Instance {
 }
 
 /// Per-relation hash indexes: all rows in canonical order, plus a key-prefix
-/// hash map from block key to row indices.
+/// hash map from block key to row indices. Shared with [`crate::view`],
+/// which layers lazy restriction/filtering on top of these handles.
 #[derive(Clone, Debug)]
-struct RelIndex {
-    key_len: usize,
-    arity: usize,
+pub(crate) struct RelIndex {
+    pub(crate) key_len: usize,
+    pub(crate) arity: usize,
     /// All rows of the relation, canonical (sorted) order.
-    all: Vec<Box<[Cst]>>,
+    pub(crate) all: Vec<Box<[Cst]>>,
     /// key prefix → indices into `all` (each index list is sorted).
-    blocks: HashMap<Box<[Cst]>, Vec<u32>>,
+    pub(crate) blocks: HashMap<Box<[Cst]>, Vec<u32>>,
 }
 
 /// Secondary indexes over an [`Instance`], built lazily by
@@ -461,6 +462,16 @@ impl InstanceIndex {
         }
     }
 
+    /// The cached active domain.
+    pub fn adom_set(&self) -> &BTreeSet<Cst> {
+        &self.adom
+    }
+
+    /// The per-relation index handles (for [`crate::view::InstanceView`]).
+    pub(crate) fn rel(&self, rel: RelName) -> Option<&RelIndex> {
+        self.rels.get(&rel)
+    }
+
     /// Hash-indexed full-fact membership: probes the block of the row's key
     /// prefix, then compares within the (small) block.
     pub fn contains(&self, rel: RelName, args: &[Cst]) -> bool {
@@ -487,6 +498,20 @@ pub struct Candidates<'a> {
 }
 
 impl<'a> Candidates<'a> {
+    /// A candidate set over `all`, optionally narrowed to the given row
+    /// indices (used by [`crate::view::InstanceView`] to present filtered
+    /// row sets without copying rows).
+    pub(crate) fn from_parts(all: &'a [Box<[Cst]>], idxs: Option<&'a [u32]>) -> Candidates<'a> {
+        Candidates { all, idxs }
+    }
+
+    /// The empty candidate set.
+    pub(crate) fn none() -> Candidates<'static> {
+        Candidates {
+            all: &[],
+            idxs: Some(&[]),
+        }
+    }
     /// Number of candidate rows.
     pub fn len(&self) -> usize {
         match self.idxs {

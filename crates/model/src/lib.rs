@@ -36,12 +36,14 @@ pub mod parser;
 pub mod query;
 pub mod schema;
 pub mod term;
+pub mod view;
 
 pub use atom::Atom;
 pub use binding::{Binding, CompiledAtom, Slot, SlotTerm, Trail};
 pub use error::ModelError;
 pub use eval::{
-    all_valuations, find_valuation, find_valuation_with, satisfies, CompiledQuery, Valuation,
+    all_valuations, find_valuation, find_valuation_with, satisfies, AnchoredMatcher,
+    CompiledQuery, Valuation,
 };
 pub use fact::Fact;
 pub use fk::{FkSet, ForeignKey};
@@ -50,3 +52,4 @@ pub use intern::{Cst, Sym, Var};
 pub use query::Query;
 pub use schema::{Position, RelName, Schema, Signature};
 pub use term::Term;
+pub use view::{FactSource, InstanceView, RenameTable};

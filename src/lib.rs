@@ -40,6 +40,7 @@ pub mod prelude {
     pub use cqa_attack::{attack_graph::AttackGraph, classify::PkClass, rewrite::kw_rewrite};
     pub use cqa_core::{
         classify::{Classification, NotFoReason},
+        compiled_plan::{CompileError, CompiledPlan},
         engine::CertainEngine,
         pipeline::RewritePlan,
         problem::Problem,

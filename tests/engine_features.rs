@@ -46,6 +46,103 @@ fn certain_answers_agree_with_boolean_certainty_per_tuple() {
 }
 
 #[test]
+fn certain_answers_fast_path_matches_per_tuple_grounding_on_collisions() {
+    // The fast path freezes the free variables as DISTINCT parameter
+    // constants, classifies once, and reuses one compiled plan across all
+    // tuples. Its load-bearing assumption is that the answer is invariant
+    // when tuple values collide — with each other, or with constants
+    // already in the query. Pin that against the legacy per-tuple
+    // grounding path, tuple by tuple.
+    let cases: &[(&str, &str, &str, &[&str])] = &[
+        // Values of u collide with key values of R and with each other.
+        ("R[2,1] S[1,1]", "R(x,u), S(x)", "R[1] -> S", &["u"]),
+        // Two free variables that bind to the SAME value on some tuples.
+        ("R[2,1] S[2,1]", "R(x,y), S(y,z)", "", &["x", "z"]),
+        // A free variable whose values collide with the query constant 'm'.
+        ("A[2,1] B[2,1]", "A(x,y), B(y,'m')", "A[2] -> B", &["x"]),
+    ];
+    let dbs = [
+        "R(a,k) R(a,a) R(k,k) S(a) S(k)",
+        "R(a,b) S(b,a) R(b,b) S(b,b) R(a,a)",
+        "A(m,b) A(m,c) B(b,m) B(c,m) A(n,b)",
+        "A(a,m) B(m,m)",
+        "",
+    ];
+    for (schema_text, query_text, fks_text, free_names) in cases {
+        let s = Arc::new(parse_schema(schema_text).unwrap());
+        let q = parse_query(&s, query_text).unwrap();
+        let fks = parse_fks(&s, fks_text).unwrap();
+        let free: Vec<Var> = free_names.iter().map(|n| Var::new(n)).collect();
+        for db_text in dbs {
+            let Ok(db) = parse_instance(&s, db_text) else {
+                continue; // instance doesn't fit this schema
+            };
+            let answers = certain_answers(&q, &fks, &free, &db).unwrap();
+            // Candidate space, recomputed the same way the API does.
+            let mut candidates: std::collections::BTreeSet<Vec<Cst>> = Default::default();
+            for val in cqa_model::all_valuations(&db, &q) {
+                candidates.insert(free.iter().map(|v| val[v]).collect());
+            }
+            for tuple in candidates {
+                // Legacy path: ground, classify, answer — per tuple.
+                let subst: std::collections::BTreeMap<Var, Term> = free
+                    .iter()
+                    .zip(tuple.iter())
+                    .map(|(&v, &c)| (v, Term::Cst(c)))
+                    .collect();
+                let grounded = q.substitute(&subst);
+                let problem = Problem::new(grounded, fks.clone()).unwrap();
+                let expected = match problem.classify() {
+                    Classification::Fo(plan) => plan.answer(&db),
+                    Classification::NotFo(r) => {
+                        panic!("{query_text} grounding {tuple:?} must stay FO: {r}")
+                    }
+                };
+                assert_eq!(
+                    answers.contains(&tuple),
+                    expected,
+                    "query {query_text}, tuple {tuple:?}, db {db_text}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_answers_amortize_one_compiled_plan() {
+    // The engine compiles the plan once; answer_many evaluates a stream of
+    // databases against it and must agree with the interpretive
+    // materializing evaluator on every one.
+    let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+    let q = parse_query(&s, "N('c',y), O(y), P(y)").unwrap();
+    let fks = parse_fks(&s, "N[2] -> O").unwrap();
+    let engine = CertainEngine::try_new(Problem::new(q, fks).unwrap()).unwrap();
+    assert!(
+        engine.compiled_plan().is_some(),
+        "the §8 plan must compile: {:?}",
+        engine.compile_plan().err()
+    );
+
+    let dbs: Vec<Instance> = [
+        "N(c,a) N(c,b) O(a) P(a) P(b)",
+        "N(c,a) N(c,b) O(a) P(b)",
+        "N(c,a) O(a) P(a)",
+        "O(a) P(a)",
+        "",
+    ]
+    .iter()
+    .map(|text| parse_instance(&s, text).unwrap())
+    .collect();
+
+    let batched = engine.answer_many(&dbs);
+    assert_eq!(batched, vec![true, false, true, false, false]);
+    for (db, &got) in dbs.iter().zip(&batched) {
+        assert_eq!(got, engine.answer_materialized(db), "on {db}");
+        assert_eq!(got, engine.answer(db), "on {db}");
+    }
+}
+
+#[test]
 fn certain_answers_with_two_free_variables() {
     let s = Arc::new(parse_schema("R[2,1] S[2,1]").unwrap());
     let q = parse_query(&s, "R(x,y), S(y,z)").unwrap();

@@ -1,13 +1,15 @@
-//! Randomized cross-validation: the constructed rewritings (plan evaluation
-//! AND flattened single formula) must agree with the exhaustive ⊕-repair
-//! oracle on every instance, for a corpus of FO-classified problems covering
-//! every reduction lemma.
+//! Randomized cross-validation: the constructed rewritings (interpretive
+//! plan evaluation, the compiled view-backed plan, AND the flattened single
+//! formula) must agree with the exhaustive ⊕-repair oracle on every
+//! instance, for a corpus of FO-classified problems covering every
+//! reduction lemma.
 //!
-//! This is the strongest correctness signal in the workspace: three
-//! independent implementations of `CERTAINTY(q, FK)` (paper pipeline,
-//! flattened FO formula, brute-force repair search) computed three different
-//! ways.
+//! This is the strongest correctness signal in the workspace: four
+//! independent implementations of `CERTAINTY(q, FK)` (materializing paper
+//! pipeline, compiled lazy-view pipeline, flattened FO formula, brute-force
+//! repair search) computed four different ways.
 
+use cqa::core::compiled_plan::CompiledPlan;
 use cqa::core::flatten::flatten;
 use cqa::prelude::*;
 use cqa_fo::eval::{eval_with, Strategy};
@@ -165,16 +167,24 @@ fn rewriting_matches_oracle_on_random_instances() {
         let formula = flatten(&plan)
             .unwrap_or_else(|e| panic!("{}: flatten failed: {e}", case.name));
         assert!(formula.is_closed(), "{}: open formula {formula}", case.name);
+        let compiled = CompiledPlan::compile(&plan)
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", case.name));
 
         for round in 0..60 {
             let db = random_instance(&schema, case.rels, &mut rng, 7);
             let by_plan = plan.answer(&db);
+            let by_compiled = compiled.answer(&db);
             let by_formula_guarded =
                 eval_with(&db, &formula, &Valuation::new(), Strategy::Guarded);
             let by_formula_naive = eval_with(&db, &formula, &Valuation::new(), Strategy::Naive);
             assert_eq!(
                 by_formula_guarded, by_formula_naive,
                 "{} round {round}: evaluator strategies disagree on {db} for {formula}",
+                case.name
+            );
+            assert_eq!(
+                by_plan, by_compiled,
+                "{} round {round}: materializing plan vs compiled plan on {db}",
                 case.name
             );
             assert_eq!(
