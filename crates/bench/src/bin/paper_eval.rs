@@ -103,6 +103,25 @@ fn bench_eval_snapshot() {
         "  plan speedup at the largest size: {:.1}×",
         bench.plan_largest_size_speedup
     );
+    println!(
+        "shard-parallel plan execution: sequential vs answer_parallel ({} CPU(s) available)",
+        bench.threads_available
+    );
+    for row in &bench.plan_parallel_rows {
+        println!(
+            "  n={:<4} ({:>4} facts) × {} threads: sequential {:>10} — parallel {:>10} — {:.2}×",
+            row.n_blocks,
+            row.facts,
+            row.threads,
+            fmt_duration(std::time::Duration::from_nanos(row.sequential_ns as u64)),
+            fmt_duration(std::time::Duration::from_nanos(row.parallel_ns as u64)),
+            row.speedup,
+        );
+    }
+    println!(
+        "  parallel speedup at 4 threads, largest size: {:.2}×",
+        bench.plan_parallel_vs_sequential
+    );
     let path = "BENCH_eval.json";
     std::fs::write(path, bench.to_json()).expect("write BENCH_eval.json");
     println!("wrote {path}");

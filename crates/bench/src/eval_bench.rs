@@ -24,13 +24,21 @@
 //! [`cqa_core::CompiledPlan`] (compiled once outside the loop, zero
 //! intermediate instances).
 //!
-//! `paper-eval` runs both after the E1–E16 table and snapshots the result
-//! to `BENCH_eval.json`, which CI uploads as an artifact — the
+//! A third workload measures **shard-parallel execution**: the same
+//! compiled plan evaluated sequentially vs through
+//! [`cqa_core::CompiledPlan::answer_parallel`] at 2 and 4 worker threads
+//! (Lemma 45 block facts sharded across a scoped pool; answers are
+//! asserted identical before timing). The recorded speedup is bounded by
+//! the CPUs actually available to the process — the snapshot carries
+//! `threads_available` so single-core runs are interpretable.
+//!
+//! `paper-eval` runs all three after the E1–E16 table and snapshots the
+//! result to `BENCH_eval.json`, which CI uploads as an artifact — the
 //! perf-trajectory baseline for the evaluation core.
 
 use cqa_core::classify::Classification;
 use cqa_core::flatten::flatten;
-use cqa_core::{CompiledPlan, Problem, RewritePlan};
+use cqa_core::{CompiledPlan, ParallelPolicy, Problem, RewritePlan};
 use cqa_fo::{interp, CompiledFormula, Formula, Strategy};
 use cqa_model::parser::{parse_fks, parse_query, parse_schema};
 use cqa_model::{Instance, Schema};
@@ -70,6 +78,24 @@ pub struct PlanBenchRow {
     pub speedup: f64,
 }
 
+/// One measured (size, width) point of the shard-parallel benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlanParBenchRow {
+    /// Number of facts in the outer Lemma 45 block.
+    pub n_blocks: usize,
+    /// Total facts in the instance.
+    pub facts: usize,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Best per-evaluation time of the sequential `CompiledPlan::answer`.
+    pub sequential_ns: u128,
+    /// Best per-evaluation time of `CompiledPlan::answer_parallel` at this
+    /// width (fan-out threshold 1, so the Lemma 45 shards always engage).
+    pub parallel_ns: u128,
+    /// `sequential / parallel`.
+    pub speedup: f64,
+}
+
 /// The full `BENCH_eval.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct EvalBench {
@@ -86,6 +112,18 @@ pub struct EvalBench {
     /// The plan-level speedup at the largest measured size (the
     /// compiled-plan acceptance metric).
     pub plan_largest_size_speedup: f64,
+    /// What was measured (shard-parallel workload).
+    pub plan_parallel_workload: String,
+    /// CPUs available to this process when the snapshot was taken — the
+    /// parallel rows are only meaningful relative to this (a single-core
+    /// runner cannot show wall-clock speedup, whatever the thread count).
+    pub threads_available: usize,
+    /// Per-(size, width) measurements of sequential vs shard-parallel
+    /// execution of the same compiled plan.
+    pub plan_parallel_rows: Vec<PlanParBenchRow>,
+    /// The parallel speedup at 4 threads on the largest measured size (the
+    /// shard-parallel acceptance metric; bounded by `threads_available`).
+    pub plan_parallel_vs_sequential: f64,
 }
 
 impl EvalBench {
@@ -217,6 +255,39 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
     }
     let plan_largest_size_speedup = plan_rows.last().map(|r| r.speedup).unwrap_or(0.0);
 
+    // Shard-parallel vs sequential execution of the same compiled plan on
+    // the same workload: widths 2 and 4, fan-out threshold 1 so the
+    // Lemma 45 block-fact shards engage at every size.
+    let mut plan_parallel_rows = Vec::new();
+    for &n in plan_sizes {
+        let db = nested_l45_instance(&ps, n);
+        db.index();
+        let expected = cplan.answer(&db);
+        let seq_t = measure(budget, || cplan.answer(&db));
+        for threads in [2usize, 4] {
+            let policy = ParallelPolicy::with_threads(threads).fan_out_at(1);
+            assert_eq!(
+                cplan.answer_parallel(&db, &policy),
+                expected,
+                "parallel and sequential executors disagree at n={n}, {threads} threads"
+            );
+            let par_t = measure(budget, || cplan.answer_parallel(&db, &policy));
+            plan_parallel_rows.push(PlanParBenchRow {
+                n_blocks: n,
+                facts: db.len(),
+                threads,
+                sequential_ns: seq_t.as_nanos(),
+                parallel_ns: par_t.as_nanos(),
+                speedup: seq_t.as_secs_f64() / par_t.as_secs_f64().max(f64::EPSILON),
+            });
+        }
+    }
+    let plan_parallel_vs_sequential = plan_parallel_rows
+        .iter()
+        .rfind(|r| r.threads == 4)
+        .map(|r| r.speedup)
+        .unwrap_or(0.0);
+
     EvalBench {
         workload: "flattened rewriting of Example 13 q1 (guarded strategy) over n two-fact \
                    blocks: interpreted (cqa_fo::interp) vs compiled (CompiledFormula), \
@@ -230,6 +301,15 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
             .to_string(),
         plan_rows,
         plan_largest_size_speedup,
+        plan_parallel_workload: "the same depth-2 nested Lemma 45 plan: sequential \
+                                 CompiledPlan::answer vs answer_parallel (block-fact shards, \
+                                 fan-out threshold 1) at 2 and 4 worker threads"
+            .to_string(),
+        threads_available: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        plan_parallel_rows,
+        plan_parallel_vs_sequential,
     }
 }
 
@@ -245,8 +325,12 @@ mod tests {
         assert!(report.rows.iter().all(|r| r.compiled_guarded_ns > 0));
         assert_eq!(report.plan_rows.len(), 2);
         assert!(report.plan_rows.iter().all(|r| r.compiled_ns > 0));
+        assert_eq!(report.plan_parallel_rows.len(), 4, "2 sizes × 2 widths");
+        assert!(report.plan_parallel_rows.iter().all(|r| r.parallel_ns > 0));
+        assert!(report.threads_available >= 1);
         assert!(report.to_json().contains("largest_size_speedup"));
         assert!(report.to_json().contains("plan_largest_size_speedup"));
+        assert!(report.to_json().contains("plan_parallel_vs_sequential"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::classify::{classify, Classification, NotFoReason};
 use crate::compiled_plan::CompiledPlan;
+use crate::parallel::ParallelPolicy;
 use crate::problem::Problem;
 use cqa_model::{all_valuations, Cst, FkSet, Instance, ModelError, Query, Term, Var};
 use std::collections::{BTreeMap, BTreeSet};
@@ -95,13 +96,23 @@ pub fn certain_answers(
             match classify(&problem) {
                 Classification::Fo(plan) => {
                     if let Ok(compiled) = CompiledPlan::compile_parameterized(&plan, free) {
-                        let mut out = BTreeSet::new();
-                        for tuple in candidates {
-                            if compiled.answer_with(db, &tuple) {
-                                out.insert(tuple);
-                            }
-                        }
-                        return Ok(out);
+                        // Shard the candidate tuples across threads: each
+                        // worker rebinds the parameter slots of the shared
+                        // plan over read-only views of `db`. The verdict
+                        // vector is joined in input order and the output
+                        // is a set, so the result is scheduling-invariant.
+                        let policy = ParallelPolicy::default();
+                        let tuples: Vec<Vec<Cst>> = candidates.into_iter().collect();
+                        let verdicts: Vec<bool> = if policy.should_parallelize(tuples.len()) {
+                            policy.pool().map(&tuples, |t| compiled.answer_with(db, t))
+                        } else {
+                            tuples.iter().map(|t| compiled.answer_with(db, t)).collect()
+                        };
+                        return Ok(tuples
+                            .into_iter()
+                            .zip(verdicts)
+                            .filter_map(|(t, ok)| ok.then_some(t))
+                            .collect());
                     }
                 }
                 Classification::NotFo(reason) => {

@@ -4,6 +4,7 @@
 use crate::classify::{classify, Classification, NotFoReason};
 use crate::compiled_plan::{CompileError, CompiledPlan};
 use crate::flatten::{flatten, FlattenError};
+use crate::parallel::ParallelPolicy;
 use crate::pipeline::RewritePlan;
 use crate::problem::Problem;
 use cqa_fo::{CompiledFormula, Formula, Strategy};
@@ -99,8 +100,40 @@ impl CertainEngine {
     /// the classification and compilation across the stream — the
     /// server-loop surface: classify + compile once, then evaluate per
     /// instance with only per-call slot arrays.
+    ///
+    /// Batches are sharded across threads under the default
+    /// [`ParallelPolicy`] (environment-driven width via `CQA_THREADS`;
+    /// small batches run inline). Answers always come back **in input
+    /// order**, regardless of shard completion order.
     pub fn answer_many(&self, dbs: &[Instance]) -> Vec<bool> {
+        self.answer_many_with(dbs, &ParallelPolicy::default())
+    }
+
+    /// [`CertainEngine::answer_many`] under an explicit policy. Sharding
+    /// requires the compiled plan (per-shard evaluation is read-only over
+    /// `&self`); the interpretive fallback stays sequential. Each instance
+    /// is evaluated sequentially inside its shard — the parallelism is
+    /// across the batch, and output order is input order by construction
+    /// (contiguous shards, chunk-ordered join).
+    pub fn answer_many_with(&self, dbs: &[Instance], policy: &ParallelPolicy) -> Vec<bool> {
+        if let Some(c) = &self.compiled {
+            if policy.should_parallelize(dbs.len()) {
+                return policy.pool().map(dbs, |db| c.answer(db));
+            }
+        }
         dbs.iter().map(|db| self.answer(db)).collect()
+    }
+
+    /// Is `db` a yes-instance, with the compiled plan's internal loops
+    /// (filter steps, Lemma 45 fan-out) sharded across threads per
+    /// `policy`? Identical answers to [`CertainEngine::answer`]; falls back
+    /// to the sequential interpretive evaluator when the plan did not
+    /// compile.
+    pub fn answer_parallel(&self, db: &Instance, policy: &ParallelPolicy) -> bool {
+        match &self.compiled {
+            Some(c) => c.answer_parallel(db, policy),
+            None => self.plan.answer(db),
+        }
     }
 
     /// The consistent first-order rewriting as one closed formula.

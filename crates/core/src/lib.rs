@@ -14,7 +14,8 @@
 //! * [`engine::CertainEngine`] — evaluates certain answers through the plan;
 //! * [`compiled_plan::CompiledPlan`] — the plan compiled once into a lazy,
 //!   view-backed executor (zero intermediate database materializations;
-//!   the engine's hot path);
+//!   the engine's hot path), with shard-parallel execution of its block
+//!   loops under a [`parallel::ParallelPolicy`];
 //! * [`flatten`] — folds a plan into one closed first-order sentence.
 //!
 //! Internal machinery, each mapped to its definition in the paper:
@@ -40,6 +41,7 @@ pub mod flatten;
 pub mod hardness;
 pub mod interference;
 pub mod obedience;
+pub mod parallel;
 pub mod pipeline;
 pub mod problem;
 
@@ -51,5 +53,6 @@ pub use engine::CertainEngine;
 pub use hardness::{lemma14_instance, lemma15_reduction};
 pub use interference::{block_interference, InterferenceWitness};
 pub use obedience::{atom_obedient, is_obedient_set, qfk_atoms};
+pub use parallel::ParallelPolicy;
 pub use pipeline::RewritePlan;
 pub use problem::Problem;

@@ -1,0 +1,132 @@
+//! The work-splitting policy for shard-parallel plan execution.
+//!
+//! The compiled executor ([`crate::compiled_plan::CompiledPlan`]) has two
+//! embarrassingly parallel loops — the per-block predicate evaluation of
+//! the Lemma 37/40 filter steps and the per-block-fact residual fan-out of
+//! Lemma 45 — and the engine ([`crate::CertainEngine`]) has a third, the
+//! per-instance loop of `answer_many`. All three consult a
+//! [`ParallelPolicy`]: *how many* worker threads may be used, and *how
+//! much* work (blocks, block facts, instances) a loop must carry before
+//! fanning out is worth the spawn cost. Below the threshold every loop
+//! falls back to the sequential path, so a policy never changes answers —
+//! only where they are computed. Determinism is preserved by construction:
+//! shards are contiguous ranges reduced in input order
+//! ([`rayon_lite::ThreadPool::map`]), and the Lemma 45 fan-out reduces by
+//! conjunction.
+
+use rayon_lite::ThreadPool;
+
+/// When and how wide to fan work out across threads.
+///
+/// `max_threads = 0` (the default) resolves the width from the environment
+/// — the `CQA_THREADS` variable when set, else the machine's available
+/// parallelism — so one binary serves single-core CI legs and wide servers
+/// without recompiling. A positive `max_threads` pins the width explicitly
+/// (the differential tests sweep 1/2/8 this way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelPolicy {
+    /// Minimum number of work units (blocks for the filter steps, block
+    /// facts for Lemma 45, instances for `answer_many`) before a loop fans
+    /// out; below it the sequential path runs.
+    pub min_units: usize,
+    /// Thread cap; `0` defers to [`rayon_lite::current_num_threads`]
+    /// (`CQA_THREADS`, else available parallelism).
+    pub max_threads: usize,
+}
+
+impl Default for ParallelPolicy {
+    /// Environment-driven width, fan out at 16 work units.
+    fn default() -> ParallelPolicy {
+        ParallelPolicy {
+            min_units: 16,
+            max_threads: 0,
+        }
+    }
+}
+
+impl ParallelPolicy {
+    /// The never-parallel policy: everything runs on the calling thread.
+    pub const fn sequential() -> ParallelPolicy {
+        ParallelPolicy {
+            min_units: usize::MAX,
+            max_threads: 1,
+        }
+    }
+
+    /// A policy pinned to `threads` workers (`0` = environment-driven),
+    /// with the default fan-out threshold.
+    pub fn with_threads(threads: usize) -> ParallelPolicy {
+        ParallelPolicy {
+            max_threads: threads,
+            ..ParallelPolicy::default()
+        }
+    }
+
+    /// Replaces the fan-out threshold (builder style).
+    pub fn fan_out_at(mut self, min_units: usize) -> ParallelPolicy {
+        self.min_units = min_units;
+        self
+    }
+
+    /// The resolved worker width: the explicit cap, or the environment's.
+    pub fn threads(&self) -> usize {
+        match self.max_threads {
+            0 => rayon_lite::current_num_threads(),
+            n => n,
+        }
+    }
+
+    /// Whether `units` work items clear the fan-out floor (width aside) —
+    /// the single definition of the threshold, shared by every loop that
+    /// consults a policy. One unit can never profit from a second thread,
+    /// whatever the threshold says.
+    pub fn clears_floor(&self, units: usize) -> bool {
+        units >= 2 && units >= self.min_units
+    }
+
+    /// Whether a loop over `units` work items should fan out under this
+    /// policy: more than one thread and the floor cleared.
+    pub fn should_parallelize(&self, units: usize) -> bool {
+        self.threads() > 1 && self.clears_floor(units)
+    }
+
+    /// A pool of the resolved width.
+    pub fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_never_parallelizes() {
+        let p = ParallelPolicy::sequential();
+        assert_eq!(p.threads(), 1);
+        assert!(!p.should_parallelize(usize::MAX));
+    }
+
+    #[test]
+    fn explicit_width_overrides_the_environment() {
+        let p = ParallelPolicy::with_threads(8);
+        assert_eq!(p.threads(), 8);
+        assert_eq!(p.pool().threads(), 8);
+    }
+
+    #[test]
+    fn threshold_gates_fan_out() {
+        let p = ParallelPolicy::with_threads(4).fan_out_at(10);
+        assert!(!p.should_parallelize(9));
+        assert!(p.should_parallelize(10));
+        let eager = ParallelPolicy::with_threads(4).fan_out_at(0);
+        assert!(!eager.should_parallelize(1), "one unit never fans out");
+        assert!(eager.should_parallelize(2));
+    }
+
+    #[test]
+    fn default_resolves_from_environment() {
+        let p = ParallelPolicy::default();
+        assert!(p.threads() >= 1);
+    }
+}

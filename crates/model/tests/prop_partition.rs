@@ -1,0 +1,145 @@
+//! Property tests for [`InstanceView::partition`]: for every generated
+//! instance, relation, filter and width, the parts form an **exact cover**
+//! of the view's visible blocks — no block key is duplicated across parts,
+//! none is dropped, every part's rows equal the original block's rows, and
+//! relations other than the partitioned one are untouched.
+
+use cqa_model::parser::parse_schema;
+use cqa_model::{Cst, Instance, InstanceView, RelName};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
+
+/// Value pool for key and payload positions: few enough values that
+/// multi-fact blocks are common.
+const POOL: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+/// One generated fact of `R[2,1]` or `S[3,2]`, as pool indices.
+type Pick = (bool, usize, usize, usize);
+
+fn build_db(picks: &[Pick]) -> Instance {
+    let schema = Arc::new(parse_schema("R[2,1] S[3,2]").unwrap());
+    let mut db = Instance::new(schema);
+    for &(is_r, a, b, c) in picks {
+        if is_r {
+            db.insert_named("R", &[POOL[a % POOL.len()], POOL[b % POOL.len()]])
+                .unwrap();
+        } else {
+            db.insert_named(
+                "S",
+                &[POOL[a % POOL.len()], POOL[b % POOL.len()], POOL[c % POOL.len()]],
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+/// The visible blocks of `rel` as a canonical map `key → rows`.
+fn block_map(view: &InstanceView<'_>, rel: RelName) -> BTreeMap<Vec<Cst>, BTreeSet<Vec<Cst>>> {
+    view.blocks(rel)
+        .into_iter()
+        .map(|(k, rows)| {
+            (
+                k.to_vec(),
+                rows.into_iter().map(|r| r.to_vec()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn check_exact_cover(
+    view: &InstanceView<'_>,
+    rel: RelName,
+    n: usize,
+) -> Result<(), TestCaseError> {
+    let whole = block_map(view, rel);
+    let parts = view.partition(rel, n);
+    prop_assert!(
+        parts.len() <= n.max(1),
+        "{} parts for n = {n}",
+        parts.len()
+    );
+    prop_assert!(
+        parts.len() <= whole.len(),
+        "more parts ({}) than blocks ({})",
+        parts.len(),
+        whole.len()
+    );
+    if !whole.is_empty() {
+        prop_assert!(!parts.is_empty(), "nonempty view must produce parts");
+        prop_assert_eq!(parts.len(), n.max(1).min(whole.len()));
+    }
+    let mut seen: BTreeMap<Vec<Cst>, BTreeSet<Vec<Cst>>> = BTreeMap::new();
+    for part in &parts {
+        prop_assert!(!part.blocks(rel).is_empty(), "no part may be empty");
+        for (key, rows) in block_map(part, rel) {
+            prop_assert!(
+                seen.insert(key.clone(), rows).is_none(),
+                "block {:?} duplicated across parts",
+                key
+            );
+        }
+    }
+    prop_assert_eq!(seen, whole, "parts must cover exactly the visible blocks");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn partition_is_an_exact_cover_of_the_full_view(
+        picks in proptest::collection::vec(
+            (true, 0..POOL.len(), 0..POOL.len(), 0..POOL.len()), 0..24),
+        n in 0..12usize,
+    ) {
+        let db = build_db(&picks);
+        let view = InstanceView::new(&db);
+        for rel in ["R", "S"] {
+            check_exact_cover(&view, RelName::new(rel), n)?;
+        }
+    }
+
+    #[test]
+    fn partition_is_an_exact_cover_of_a_filtered_view(
+        picks in proptest::collection::vec(
+            (true, 0..POOL.len(), 0..POOL.len(), 0..POOL.len()), 0..24),
+        keep in proptest::collection::vec(0..POOL.len(), 0..4),
+        n in 0..12usize,
+    ) {
+        // Pre-filter R to a subset of its possible keys (possibly empty,
+        // possibly naming keys with no block): the partition must cover
+        // exactly the *surviving* blocks.
+        let db = build_db(&picks);
+        let keys: HashSet<Box<[Cst]>> = keep
+            .iter()
+            .map(|&i| vec![Cst::new(POOL[i])].into_boxed_slice())
+            .collect();
+        let rel = RelName::new("R");
+        let view = InstanceView::new(&db).with_block_filter(rel, keys);
+        check_exact_cover(&view, rel, n)?;
+        // Partitioning R leaves S untouched in every part.
+        let s = RelName::new("S");
+        let s_blocks = block_map(&view, s);
+        for part in view.partition(rel, n) {
+            prop_assert_eq!(block_map(&part, s), s_blocks.clone());
+        }
+    }
+
+    #[test]
+    fn partition_of_a_hidden_relation_is_empty(
+        picks in proptest::collection::vec(
+            (true, 0..POOL.len(), 0..POOL.len(), 0..POOL.len()), 0..12),
+        n in 0..6usize,
+    ) {
+        let db = build_db(&picks);
+        let rel = RelName::new("R");
+        let view = InstanceView::new(&db).hide(rel);
+        prop_assert!(view.partition(rel, n).is_empty());
+    }
+}

@@ -42,6 +42,7 @@ pub mod prelude {
         classify::{Classification, NotFoReason},
         compiled_plan::{CompileError, CompiledPlan},
         engine::CertainEngine,
+        parallel::ParallelPolicy,
         pipeline::RewritePlan,
         problem::Problem,
     };

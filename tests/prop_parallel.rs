@@ -1,0 +1,218 @@
+//! Differential determinism harness for shard-parallel plan execution:
+//! [`CompiledPlan::answer_parallel`] must agree with the sequential
+//! [`CompiledPlan::answer`] AND with the materializing
+//! [`RewritePlan::answer`] oracle on arbitrary instances, across thread
+//! counts {1, 2, 8} and with the fan-out threshold forced to 1 (so the
+//! Lemma 45 block-fact shards and the partitioned filter-step loops engage
+//! even on tiny generated instances).
+//!
+//! The generated families mirror `tests/prop_pipeline.rs` — exactly the
+//! shapes where the executors take maximally different routes (nested
+//! Lemma 45, non-matching block facts, filter steps upstream of the
+//! branching tail) — so any scheduling-dependent divergence (a lost
+//! short-circuit, a shard reading a half-filtered view, a racy first
+//! touch of the instance index) shows up as a three-way disagreement.
+
+use cqa::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A case: schema, query, foreign keys, and the fact shapes the instance
+/// generator may emit (relation, arity).
+struct Family {
+    schema: &'static str,
+    query: &'static str,
+    fks: &'static str,
+    rels: &'static [(&'static str, usize)],
+}
+
+/// Depth-2 nested Lemma 45: `N('c',y)` binds `y`, the frozen residual
+/// `M(§y,w)` binds `w`, and the tail is the KW rewriting of `P`.
+const NESTED: Family = Family {
+    schema: "N[2,1] M[2,1] Q[1,1] P[1,1] O[1,1]",
+    query: "N('c',y), M(y,w), Q(w), P(w), O(y)",
+    fks: "N[2] -> O, M[2] -> Q",
+    rels: &[("N", 2), ("M", 2), ("Q", 1), ("P", 1), ("O", 1)],
+};
+
+/// Lemma 45 with a constant non-key term: block facts `N(c, y, ≠d)` do not
+/// match the atom and must short-circuit the parallel conjunction exactly
+/// like the sequential loop.
+const NONMATCHING: Family = Family {
+    schema: "N[3,1] O[1,1] P[1,1]",
+    query: "N('c',y,'d'), O(y), P(y)",
+    fks: "N[2] -> O",
+    rels: &[("N", 3), ("O", 1), ("P", 1)],
+};
+
+/// Lemma 37 + Lemma 45 composition: exercises the partitioned block-filter
+/// loops upstream of the branching tail.
+const FILTERED: Family = Family {
+    schema: "N[2,1] O[2,1] Q[1,1]",
+    query: "N('c',y), O(y,z), Q(z)",
+    fks: "N[2] -> O, O[2] -> Q",
+    rels: &[("N", 2), ("O", 2), ("Q", 1)],
+};
+
+/// The thread widths every case is checked under (1 = the inline path).
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn build(family: &Family) -> (RewritePlan, CompiledPlan, Arc<Schema>) {
+    let schema = Arc::new(parse_schema(family.schema).unwrap());
+    let q = parse_query(&schema, family.query).unwrap();
+    let fks = parse_fks(&schema, family.fks).unwrap();
+    let plan = match Problem::new(q, fks).unwrap().classify() {
+        Classification::Fo(plan) => *plan,
+        Classification::NotFo(r) => panic!("{}: expected FO, got {r}", family.query),
+    };
+    let compiled = CompiledPlan::compile(&plan).unwrap();
+    (plan, compiled, schema)
+}
+
+/// Value pool: the query constants `c`/`d` occur often (so key blocks fill
+/// up and non-key constants match and mismatch), plus a handful of others.
+const POOL: [&str; 6] = ["c", "d", "a", "b", "e", "1"];
+
+fn instance_for(
+    schema: &Arc<Schema>,
+    rels: &[(&str, usize)],
+    picks: &[(usize, Vec<usize>)],
+) -> Instance {
+    let mut db = Instance::new(schema.clone());
+    for (rel_pick, args) in picks {
+        let (rel, arity) = rels[rel_pick % rels.len()];
+        let args: Vec<&str> = (0..arity)
+            .map(|i| POOL[args.get(i).copied().unwrap_or(0) % POOL.len()])
+            .collect();
+        db.insert_named(rel, &args).unwrap();
+    }
+    db
+}
+
+fn arb_picks() -> impl Strategy<Value = Vec<(usize, Vec<usize>)>> {
+    proptest::collection::vec(
+        (0..8usize, proptest::collection::vec(0..POOL.len(), 0..3)),
+        0..14,
+    )
+}
+
+fn check(family: &Family, picks: &[(usize, Vec<usize>)]) -> Result<(), TestCaseError> {
+    let (plan, compiled, schema) = build(family);
+    let db = instance_for(&schema, family.rels, picks);
+    let oracle = plan.answer(&db);
+    let sequential = compiled.answer(&db);
+    prop_assert_eq!(
+        oracle,
+        sequential,
+        "query {}: materializing {} vs compiled {} on {}",
+        family.query,
+        oracle,
+        sequential,
+        db
+    );
+    for threads in WIDTHS {
+        let policy = ParallelPolicy::with_threads(threads).fan_out_at(1);
+        let parallel = compiled.answer_parallel(&db, &policy);
+        prop_assert_eq!(
+            parallel,
+            sequential,
+            "query {}: parallel({} threads) {} vs sequential {} on {}",
+            family.query,
+            threads,
+            parallel,
+            sequential,
+            db
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn parallel_matches_sequential_and_oracle_on_nested_lemma45(picks in arb_picks()) {
+        check(&NESTED, &picks)?;
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_oracle_on_nonmatching_blocks(picks in arb_picks()) {
+        check(&NONMATCHING, &picks)?;
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_oracle_under_block_filters(picks in arb_picks()) {
+        check(&FILTERED, &picks)?;
+    }
+
+    #[test]
+    fn sharded_answer_many_matches_sequential_in_input_order(
+        batches in proptest::collection::vec(arb_picks(), 1..6)
+    ) {
+        // The batched engine surface sharded across 8 threads must return
+        // the same verdicts as per-instance evaluation, in input order.
+        let schema = Arc::new(parse_schema(NESTED.schema).unwrap());
+        let q = parse_query(&schema, NESTED.query).unwrap();
+        let fks = parse_fks(&schema, NESTED.fks).unwrap();
+        let engine = CertainEngine::try_new(Problem::new(q, fks).unwrap()).unwrap();
+        let dbs: Vec<Instance> = batches
+            .iter()
+            .map(|p| instance_for(&schema, NESTED.rels, p))
+            .collect();
+        let expected: Vec<bool> = dbs.iter().map(|db| engine.answer(db)).collect();
+        let sharded =
+            engine.answer_many_with(&dbs, &ParallelPolicy::with_threads(8).fan_out_at(1));
+        prop_assert_eq!(sharded, expected);
+    }
+}
+
+/// Regression for `answer_many` output-order determinism: a batch with a
+/// *known, position-dependent* answer pattern must come back in input
+/// order under every policy, including widths that give every instance its
+/// own shard and widths that leave shards ragged. A scheduling-dependent
+/// join would scramble yes/no across positions on some iteration.
+#[test]
+fn answer_many_returns_input_order_regardless_of_shard_completion() {
+    let schema = Arc::new(parse_schema(NESTED.schema).unwrap());
+    let q = parse_query(&schema, NESTED.query).unwrap();
+    let fks = parse_fks(&schema, NESTED.fks).unwrap();
+    let engine = CertainEngine::try_new(Problem::new(q, fks).unwrap()).unwrap();
+    assert!(engine.compiled_plan().is_some());
+
+    // Instance i is a yes-instance iff i is even; odd instances lose one
+    // P-witness. Sizes vary so shard workloads are deliberately skewed.
+    let mut dbs = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..13usize {
+        let mut db = Instance::new(schema.clone());
+        for j in 0..=(i % 5) {
+            db.insert_named("N", &["c", &format!("y{j}")]).unwrap();
+            db.insert_named("O", &[&format!("y{j}")]).unwrap();
+            db.insert_named("M", &[&format!("y{j}"), &format!("w{j}")]).unwrap();
+            db.insert_named("Q", &[&format!("w{j}")]).unwrap();
+            if i % 2 == 0 || j > 0 {
+                db.insert_named("P", &[&format!("w{j}")]).unwrap();
+            }
+        }
+        expected.push(engine.answer_materialized(&db));
+        dbs.push(db);
+    }
+    assert!(expected.iter().any(|&b| b) && expected.iter().any(|&b| !b));
+
+    for threads in [2usize, 3, 8, 64] {
+        let policy = ParallelPolicy::with_threads(threads).fan_out_at(1);
+        for round in 0..8 {
+            assert_eq!(
+                engine.answer_many_with(&dbs, &policy),
+                expected,
+                "threads={threads} round={round}: answers out of input order"
+            );
+        }
+    }
+    // The default policy (environment-driven width) agrees too.
+    assert_eq!(engine.answer_many(&dbs), expected);
+}

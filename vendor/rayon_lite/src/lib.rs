@@ -1,0 +1,342 @@
+//! Offline scoped-threadpool shim — the fork-join subset of `rayon` this
+//! workspace uses, **without work stealing**.
+//!
+//! A [`ThreadPool`] is only a thread *count*: every parallel call spawns
+//! scoped worker threads ([`std::thread::scope`]), splits the input slice
+//! into at most `threads` contiguous chunks, runs one chunk per worker (the
+//! first chunk on the calling thread), and joins in chunk order. There are
+//! no persistent workers, no task queues and no stealing, which buys three
+//! properties the CQA engine's differential test harness relies on:
+//!
+//! * **deterministic reduction order** — [`ThreadPool::map`] returns results
+//!   in input order (chunks are concatenated in slice order, regardless of
+//!   which worker finishes first), and [`ThreadPool::all`] is a plain
+//!   conjunction, so every reduction is independent of scheduling;
+//! * **borrow-only sharing** — scoped spawns let workers borrow the inputs
+//!   and the closure directly; nothing is cloned or sent `'static`;
+//! * **no hidden global state** — a pool of `n` threads does exactly `n - 1`
+//!   spawns per call and nothing outside the call.
+//!
+//! The thread count defaults to the `CQA_THREADS` environment variable when
+//! set (clamped to `[1, 64]`), else [`std::thread::available_parallelism`].
+//! Worker panics are propagated to the caller after all workers joined.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Upper bound on the resolved thread count (a `CQA_THREADS=100000` typo
+/// must not spawn a hundred thousand threads per call).
+const MAX_THREADS: usize = 64;
+
+/// The default degree of parallelism: `CQA_THREADS` when set to a positive
+/// integer (clamped to 64), else the machine's available parallelism, else 1.
+/// Read fresh on every call so tests and long-lived processes observe
+/// environment changes.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("CQA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(MAX_THREADS))
+        .unwrap_or(1)
+}
+
+/// A fixed-width scoped fork-join pool. See the crate docs: the pool holds
+/// no threads, only the width used by [`ThreadPool::map`] and
+/// [`ThreadPool::all`] when splitting work.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers; `0` resolves to
+    /// [`current_num_threads`].
+    pub fn new(threads: usize) -> ThreadPool {
+        ThreadPool {
+            threads: match threads {
+                0 => current_num_threads(),
+                n => n.min(MAX_THREADS),
+            },
+        }
+    }
+
+    /// The one-thread pool: every call runs inline on the caller.
+    pub fn sequential() -> ThreadPool {
+        ThreadPool { threads: 1 }
+    }
+
+    /// The pool's width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item and returns the results **in input order**
+    /// (chunk-ordered join, independent of worker completion order).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        match self.split(items) {
+            None => items.iter().map(&f).collect(),
+            Some((first, rest)) => {
+                let results = std::thread::scope(|s| {
+                    let handles: Vec<_> = rest
+                        .iter()
+                        .map(|ch| s.spawn(|| ch.iter().map(&f).collect::<Vec<R>>()))
+                        .collect();
+                    let mut out: Vec<Vec<R>> = vec![first.iter().map(&f).collect()];
+                    out.extend(handles.into_iter().map(join_propagating));
+                    out
+                });
+                results.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Whether `f` holds for every item — the short-circuiting parallel
+    /// conjunction: the first `false` raises a stop flag that the other
+    /// workers poll between items, so a universal failure cuts the whole
+    /// fan-out short. The result is a pure conjunction and therefore
+    /// independent of scheduling.
+    pub fn all<T, F>(&self, items: &[T], f: F) -> bool
+    where
+        T: Sync,
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.all_init(items, || (), |(), item| f(item))
+    }
+
+    /// [`ThreadPool::all`] with **per-worker state**: each worker calls
+    /// `init` once and threads the state through its whole chunk (the
+    /// `map_init` idiom — reusable scratch buffers instead of per-item
+    /// allocations). Inline runs build the state once on the caller.
+    pub fn all_init<T, S, I, F>(&self, items: &[T], init: I, f: F) -> bool
+    where
+        T: Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> bool + Sync,
+    {
+        match self.split(items) {
+            None => {
+                let mut state = init();
+                items.iter().all(|item| f(&mut state, item))
+            }
+            Some((first, rest)) => {
+                let stop = AtomicBool::new(false);
+                let run = |ch: &[T]| -> bool {
+                    let mut state = init();
+                    for item in ch {
+                        if stop.load(Ordering::Relaxed) {
+                            return false;
+                        }
+                        if !f(&mut state, item) {
+                            stop.store(true, Ordering::Relaxed);
+                            return false;
+                        }
+                    }
+                    true
+                };
+                std::thread::scope(|s| {
+                    let handles: Vec<_> =
+                        rest.iter().map(|ch| s.spawn(|| run(ch))).collect();
+                    let head = run(first);
+                    // Join every worker before deciding: a panic must not
+                    // be masked by an early false.
+                    let tail: Vec<bool> =
+                        handles.into_iter().map(join_propagating).collect();
+                    head && tail.into_iter().all(|b| b)
+                })
+            }
+        }
+    }
+
+    /// Splits `items` into balanced contiguous chunks — one per worker,
+    /// sizes differing by at most one, never more chunks than items — as
+    /// `(first chunk, remaining chunks)`. `None` means the call should run
+    /// inline (one worker, or too few items to split).
+    fn split<'a, T>(&self, items: &'a [T]) -> Option<(&'a [T], Vec<&'a [T]>)> {
+        if self.threads <= 1 || items.len() <= 1 {
+            return None;
+        }
+        let parts = self.threads.min(items.len());
+        let (base, extra) = (items.len() / parts, items.len() % parts);
+        let mut rest = items;
+        let mut chunks = Vec::with_capacity(parts);
+        for i in 0..parts {
+            let (chunk, tail) = rest.split_at(base + usize::from(i < extra));
+            chunks.push(chunk);
+            rest = tail;
+        }
+        let first = chunks.remove(0);
+        Some((first, chunks))
+    }
+}
+
+impl Default for ThreadPool {
+    /// The [`current_num_threads`]-wide pool.
+    fn default() -> ThreadPool {
+        ThreadPool::new(0)
+    }
+}
+
+/// Joins a scoped worker, re-raising its panic on the calling thread.
+fn join_propagating<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            let doubled = pool.map(&items, |&x| 2 * x);
+            assert_eq!(doubled, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_small_and_empty_inputs() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.map(&[] as &[u8], |_| 0), Vec::<i32>::new());
+        assert_eq!(pool.map(&[7], |&x| x + 1), vec![8]);
+        assert_eq!(pool.map(&[1, 2], |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn all_is_a_conjunction() {
+        let items: Vec<usize> = (0..500).collect();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            assert!(pool.all(&items, |&x| x < 500));
+            assert!(!pool.all(&items, |&x| x != 250));
+            assert!(pool.all(&[] as &[u8], |_| false), "vacuous truth");
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced_and_cover_everything() {
+        // len slightly above the width must still engage every worker
+        // with sizes differing by at most one (9 items / 8 threads →
+        // 8 chunks of [2,1,1,1,1,1,1,1], not 5 chunks of 2).
+        let pool = ThreadPool::new(8);
+        let items: Vec<usize> = (0..9).collect();
+        let (first, rest) = pool.split(&items).expect("splits");
+        let mut sizes = vec![first.len()];
+        sizes.extend(rest.iter().map(|c| c.len()));
+        assert_eq!(sizes.len(), 8);
+        assert_eq!(sizes.iter().sum::<usize>(), 9);
+        assert!(sizes.iter().all(|&s| s == 1 || s == 2));
+        // And the concatenation preserves input order.
+        let mut cat: Vec<usize> = first.to_vec();
+        for c in rest {
+            cat.extend_from_slice(c);
+        }
+        assert_eq!(cat, items);
+    }
+
+    #[test]
+    fn all_init_builds_one_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let ok = pool.all_init(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, &x| {
+                scratch.clear();
+                scratch.push(x);
+                true
+            },
+        );
+        assert!(ok);
+        assert_eq!(
+            inits.load(Ordering::Relaxed),
+            4,
+            "one init per worker, not per item"
+        );
+        // Inline runs build exactly one state.
+        let inits = AtomicUsize::new(0);
+        ThreadPool::sequential().all_init(
+            &items,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _| true,
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn all_short_circuits_on_failure() {
+        // With the failing item first in the first chunk, the other
+        // workers must observe the stop flag and skip most of their work.
+        let items: Vec<usize> = (0..100_000).collect();
+        let evaluated = AtomicUsize::new(0);
+        let pool = ThreadPool::new(4);
+        assert!(!pool.all(&items, |&x| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            x != 0
+        }));
+        assert!(
+            evaluated.load(Ordering::Relaxed) < items.len(),
+            "stop flag must prune the fan-out"
+        );
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            pool.map(&items, |&x| {
+                if x == 63 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn zero_resolves_to_a_positive_width() {
+        assert!(ThreadPool::new(0).threads() >= 1);
+        assert!(ThreadPool::default().threads() >= 1);
+        assert_eq!(ThreadPool::sequential().threads(), 1);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_controls_default_width() {
+        // Single test owning the env var (tests in this binary would race
+        // it otherwise); set/remove stays within this one test.
+        std::env::set_var("CQA_THREADS", "3");
+        assert_eq!(current_num_threads(), 3);
+        assert_eq!(ThreadPool::new(0).threads(), 3);
+        std::env::set_var("CQA_THREADS", "100000");
+        assert_eq!(current_num_threads(), 64, "clamped");
+        std::env::set_var("CQA_THREADS", "nonsense");
+        let fallback = current_num_threads();
+        assert!(fallback >= 1, "unparsable values fall back");
+        std::env::remove_var("CQA_THREADS");
+        assert!(current_num_threads() >= 1);
+    }
+}
