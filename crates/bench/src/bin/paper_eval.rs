@@ -10,7 +10,7 @@ use cqa_bench::{fmt_duration, timed, Experiment, Report};
 use cqa_core::classify::Classification;
 use cqa_core::fk_types::{type_table, FkType};
 use cqa_core::flatten::flatten;
-use cqa_core::{block_interference, CertainEngine, Problem};
+use cqa_core::{block_interference, CertainEngine, Problem, Solver};
 use cqa_fo::eval::eval_closed;
 use cqa_gen::graphs::layered_dag;
 use cqa_gen::{bibliography_scenario, block_chain, BlockChainConfig};
@@ -121,6 +121,21 @@ fn bench_eval_snapshot() {
     println!(
         "  parallel speedup at 4 threads, largest size: {:.2}×",
         bench.plan_parallel_vs_sequential
+    );
+    println!("unified solver: direct CompiledPlan::answer vs Solver::solve (facade dispatch)");
+    for row in &bench.solver_routing_rows {
+        println!(
+            "  n={:<4} ({:>4} facts): direct {:>10} — solver {:>10} — overhead {:+.2}%",
+            row.n_blocks,
+            row.facts,
+            fmt_duration(std::time::Duration::from_nanos(row.direct_ns as u64)),
+            fmt_duration(std::time::Duration::from_nanos(row.solver_ns as u64)),
+            row.overhead_pct,
+        );
+    }
+    println!(
+        "  routing overhead at the largest size: {:+.2}% (target < 5%)",
+        bench.solver_routing_overhead
     );
     let path = "BENCH_eval.json";
     std::fs::write(path, bench.to_json()).expect("write BENCH_eval.json");
@@ -371,20 +386,22 @@ fn e9_section8(report: &mut Report) {
     let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
     let q = parse_query(&s, "N('c',y), O(y), P(y)").unwrap();
     let fks = parse_fks(&s, "N[2] -> O").unwrap();
-    let engine = match CertainEngine::try_new(Problem::new(q, fks).unwrap()) {
+    let p = Problem::new(q, fks).unwrap();
+    let engine = match CertainEngine::try_new(p.clone()) {
         Ok(e) => e,
         Err(r) => {
             report.push(Experiment::new("E9", "§8 rewriting", "in FO", r.to_string(), false));
             return;
         }
     };
+    let solver = Solver::new(p).expect("§8's problem is FO");
     let formula = engine.formula().unwrap();
     let yes = parse_instance(&s, "N(c,a) N(c,b) O(a) P(a) P(b)").unwrap();
-    let mut ok = engine.answer(&yes) && eval_closed(&yes, &formula);
+    let mut ok = solver.solve(&yes).is_certain() && eval_closed(&yes, &formula);
     for gone in ["P(a)", "P(b)"] {
         let mut db = yes.clone();
         db.remove(&parse_fact(gone).unwrap());
-        ok &= !engine.answer(&db);
+        ok &= !solver.solve(&db).is_certain();
     }
     report.push(Experiment::new(
         "E9",

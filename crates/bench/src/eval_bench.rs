@@ -32,13 +32,20 @@
 //! the CPUs actually available to the process — the snapshot carries
 //! `threads_available` so single-core runs are interpretable.
 //!
-//! `paper-eval` runs all three after the E1–E16 table and snapshots the
+//! A fourth workload measures the **unified-solver routing overhead**:
+//! [`cqa_core::Solver::solve`] with sequential options vs calling the
+//! compiled plan directly on the same problem — both sides execute the
+//! identical single-threaded plan, so the delta is pure facade cost
+//! (route dispatch, verdict and provenance construction); the acceptance
+//! target is < 5% at the largest size.
+//!
+//! `paper-eval` runs all four after the E1–E16 table and snapshots the
 //! result to `BENCH_eval.json`, which CI uploads as an artifact — the
 //! perf-trajectory baseline for the evaluation core.
 
 use cqa_core::classify::Classification;
 use cqa_core::flatten::flatten;
-use cqa_core::{CompiledPlan, ParallelPolicy, Problem, RewritePlan};
+use cqa_core::{CompiledPlan, ExecOptions, ParallelPolicy, Problem, RewritePlan, Solver};
 use cqa_fo::{interp, CompiledFormula, Formula, Strategy};
 use cqa_model::parser::{parse_fks, parse_query, parse_schema};
 use cqa_model::{Instance, Schema};
@@ -96,6 +103,24 @@ pub struct PlanParBenchRow {
     pub speedup: f64,
 }
 
+/// One measured size of the solver-routing-overhead benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct SolverRoutingRow {
+    /// Number of facts in the outer Lemma 45 block.
+    pub n_blocks: usize,
+    /// Total facts in the instance.
+    pub facts: usize,
+    /// Best per-evaluation time of `CompiledPlan::answer` called directly.
+    pub direct_ns: u128,
+    /// Best per-evaluation time of `Solver::solve` (sequential options) on
+    /// the same problem — the same compiled plan behind the unified
+    /// facade, plus verdict/provenance construction.
+    pub solver_ns: u128,
+    /// `(solver − direct) / direct`, in percent. Negative values are
+    /// measurement noise.
+    pub overhead_pct: f64,
+}
+
 /// The full `BENCH_eval.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct EvalBench {
@@ -124,6 +149,14 @@ pub struct EvalBench {
     /// The parallel speedup at 4 threads on the largest measured size (the
     /// shard-parallel acceptance metric; bounded by `threads_available`).
     pub plan_parallel_vs_sequential: f64,
+    /// What was measured (solver-routing-overhead workload).
+    pub solver_routing_workload: String,
+    /// Per-size measurements of direct plan calls vs the unified solver
+    /// facade.
+    pub solver_routing_rows: Vec<SolverRoutingRow>,
+    /// Facade dispatch overhead (percent) at the largest measured size —
+    /// the unified-solver acceptance metric, target < 5%.
+    pub solver_routing_overhead: f64,
 }
 
 impl EvalBench {
@@ -175,12 +208,20 @@ pub const NESTED_L45_QUERY: &str = "N('c',y), M(y,w), Q(w), P(w), O(y)";
 /// Its foreign keys.
 pub const NESTED_L45_FKS: &str = "N[2] -> O, M[2] -> Q";
 
-/// The nested-Lemma-45 plan pair (interpretive + compiled).
-pub fn nested_l45_plan() -> (Arc<Schema>, RewritePlan, CompiledPlan) {
+/// The nested-Lemma-45 problem value (shared by the plan and
+/// solver-routing workloads).
+pub fn nested_l45_problem() -> Problem {
     let s = Arc::new(parse_schema(NESTED_L45_SCHEMA).unwrap());
     let q = parse_query(&s, NESTED_L45_QUERY).unwrap();
     let fks = parse_fks(&s, NESTED_L45_FKS).unwrap();
-    let plan = match Problem::new(q, fks).unwrap().classify() {
+    Problem::new(q, fks).expect("nested workload is a valid problem")
+}
+
+/// The nested-Lemma-45 plan pair (interpretive + compiled).
+pub fn nested_l45_plan() -> (Arc<Schema>, RewritePlan, CompiledPlan) {
+    let problem = nested_l45_problem();
+    let s = problem.query().schema().clone();
+    let plan = match problem.classify() {
         Classification::Fo(p) => *p,
         Classification::NotFo(r) => panic!("nested workload must be in FO: {r}"),
     };
@@ -288,6 +329,41 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
         .map(|r| r.speedup)
         .unwrap_or(0.0);
 
+    // Unified-solver routing overhead: the same nested Lemma 45 problem
+    // answered through `Solver::solve` (sequential options, so both sides
+    // run the identical single-threaded compiled-plan execution) vs
+    // calling the compiled plan directly. Measures pure facade cost:
+    // route dispatch, policy read, verdict + provenance construction.
+    let solver = Solver::builder(nested_l45_problem())
+        .options(ExecOptions::sequential())
+        .build()
+        .expect("nested workload is FO");
+    let mut solver_routing_rows = Vec::new();
+    for &n in plan_sizes {
+        let db = nested_l45_instance(&ps, n);
+        assert_eq!(
+            solver.solve(&db).as_bool(),
+            Some(cplan.answer(&db)),
+            "solver facade and direct plan disagree at n={n}"
+        );
+        db.index();
+        let direct_t = measure(budget, || cplan.answer(&db));
+        let solver_t = measure(budget, || solver.solve(&db).is_certain());
+        solver_routing_rows.push(SolverRoutingRow {
+            n_blocks: n,
+            facts: db.len(),
+            direct_ns: direct_t.as_nanos(),
+            solver_ns: solver_t.as_nanos(),
+            overhead_pct: (solver_t.as_secs_f64() / direct_t.as_secs_f64().max(f64::EPSILON)
+                - 1.0)
+                * 100.0,
+        });
+    }
+    let solver_routing_overhead = solver_routing_rows
+        .last()
+        .map(|r| r.overhead_pct)
+        .unwrap_or(0.0);
+
     EvalBench {
         workload: "flattened rewriting of Example 13 q1 (guarded strategy) over n two-fact \
                    blocks: interpreted (cqa_fo::interp) vs compiled (CompiledFormula), \
@@ -310,6 +386,13 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
             .unwrap_or(1),
         plan_parallel_rows,
         plan_parallel_vs_sequential,
+        solver_routing_workload: "the same depth-2 nested Lemma 45 problem: direct \
+                                  CompiledPlan::answer vs Solver::solve with sequential \
+                                  ExecOptions (identical plan execution; the delta is route \
+                                  dispatch + verdict/provenance construction)"
+            .to_string(),
+        solver_routing_rows,
+        solver_routing_overhead,
     }
 }
 
@@ -331,6 +414,9 @@ mod tests {
         assert!(report.to_json().contains("largest_size_speedup"));
         assert!(report.to_json().contains("plan_largest_size_speedup"));
         assert!(report.to_json().contains("plan_parallel_vs_sequential"));
+        assert_eq!(report.solver_routing_rows.len(), 2);
+        assert!(report.solver_routing_rows.iter().all(|r| r.solver_ns > 0));
+        assert!(report.to_json().contains("solver_routing_overhead"));
     }
 
     #[test]

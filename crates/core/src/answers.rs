@@ -26,8 +26,8 @@
 
 use crate::classify::{classify, Classification, NotFoReason};
 use crate::compiled_plan::CompiledPlan;
-use crate::parallel::ParallelPolicy;
 use crate::problem::Problem;
+use crate::solver::ExecOptions;
 use cqa_model::{all_valuations, Cst, FkSet, Instance, ModelError, Query, Term, Var};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -64,12 +64,27 @@ impl std::error::Error for AnswerError {}
 
 /// Computes the certain answers of `q` with free variables `free` on `db`:
 /// all tuples `⃗a` (over the candidate space of `db`-answers) such that
-/// `CERTAINTY(q[⃗x→⃗a], FK)` holds.
+/// `CERTAINTY(q[⃗x→⃗a], FK)` holds. Runs under [`ExecOptions::default`]
+/// (environment-resolved sharding width); see [`certain_answers_with`] for
+/// typed control.
 pub fn certain_answers(
     q: &Query,
     fks: &FkSet,
     free: &[Var],
     db: &Instance,
+) -> Result<BTreeSet<Vec<Cst>>, AnswerError> {
+    certain_answers_with(q, fks, free, db, &ExecOptions::default())
+}
+
+/// [`certain_answers`] under explicit [`ExecOptions`]: the sharding width
+/// is taken from the options' once-resolved policy, so `CQA_THREADS` is
+/// not re-parsed per candidate batch.
+pub fn certain_answers_with(
+    q: &Query,
+    fks: &FkSet,
+    free: &[Var],
+    db: &Instance,
+    options: &ExecOptions,
 ) -> Result<BTreeSet<Vec<Cst>>, AnswerError> {
     let vars = q.vars();
     for v in free {
@@ -101,7 +116,7 @@ pub fn certain_answers(
                         // plan over read-only views of `db`. The verdict
                         // vector is joined in input order and the output
                         // is a set, so the result is scheduling-invariant.
-                        let policy = ParallelPolicy::default();
+                        let policy = options.policy();
                         let tuples: Vec<Vec<Cst>> = candidates.into_iter().collect();
                         let verdicts: Vec<bool> = if policy.should_parallelize(tuples.len()) {
                             policy.pool().map(&tuples, |t| compiled.answer_with(db, t))

@@ -1,5 +1,12 @@
-//! The certain-answer engine: the user-facing entry point for evaluating
+//! The certain-answer engine: the historical entry point for evaluating
 //! `CERTAINTY(q, FK)` on concrete databases when the problem is in FO.
+//!
+//! New code should route through [`crate::Solver`], which serves **every**
+//! query class (FO, polynomial-time, hard-with-budget) behind one typed
+//! surface; the engine's `answer*` methods survive as deprecated thin
+//! wrappers over the same plan machinery. The engine remains the home of
+//! the FO-only artifacts a rewriting consumer needs — the flattened
+//! [`Formula`], the compiled formula evaluator and the SQL translation.
 
 use crate::classify::{classify, Classification, NotFoReason};
 use crate::compiled_plan::{CompileError, CompiledPlan};
@@ -21,6 +28,7 @@ use std::fmt;
 /// possible (see [`CertainEngine::compile_plan`]).
 ///
 /// ```
+/// # #![allow(deprecated)] // the answer surface is deprecated in favor of Solver
 /// use cqa_core::{CertainEngine, Problem};
 /// use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
 /// use std::sync::Arc;
@@ -83,6 +91,11 @@ impl CertainEngine {
     ///
     /// Evaluates through the compiled plan when available (the common
     /// case), otherwise through the interpretive pipeline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "route through cqa_core::Solver::solve — it serves every query class \
+                and reports provenance"
+    )]
     pub fn answer(&self, db: &Instance) -> bool {
         match &self.compiled {
             Some(c) => c.answer(db),
@@ -102,11 +115,17 @@ impl CertainEngine {
     /// instance with only per-call slot arrays.
     ///
     /// Batches are sharded across threads under the default
-    /// [`ParallelPolicy`] (environment-driven width via `CQA_THREADS`;
-    /// small batches run inline). Answers always come back **in input
-    /// order**, regardless of shard completion order.
+    /// [`ParallelPolicy`] (environment-driven width via `CQA_THREADS`,
+    /// resolved once per call; small batches run inline). Answers always
+    /// come back **in input order**, regardless of shard completion order.
+    #[deprecated(
+        since = "0.1.0",
+        note = "route through cqa_core::Solver::solve_many — a lazy, input-ordered, \
+                provenance-carrying iterator over the same sharding machinery"
+    )]
     pub fn answer_many(&self, dbs: &[Instance]) -> Vec<bool> {
-        self.answer_many_with(dbs, &ParallelPolicy::default())
+        #[allow(deprecated)]
+        self.answer_many_with(dbs, &ParallelPolicy::default().resolve())
     }
 
     /// [`CertainEngine::answer_many`] under an explicit policy. Sharding
@@ -115,12 +134,19 @@ impl CertainEngine {
     /// is evaluated sequentially inside its shard — the parallelism is
     /// across the batch, and output order is input order by construction
     /// (contiguous shards, chunk-ordered join).
+    #[deprecated(
+        since = "0.1.0",
+        note = "route through cqa_core::Solver::solve_many with ExecOptions — typed \
+                options replace the raw policy parameter"
+    )]
     pub fn answer_many_with(&self, dbs: &[Instance], policy: &ParallelPolicy) -> Vec<bool> {
+        let policy = policy.resolve();
         if let Some(c) = &self.compiled {
             if policy.should_parallelize(dbs.len()) {
                 return policy.pool().map(dbs, |db| c.answer(db));
             }
         }
+        #[allow(deprecated)]
         dbs.iter().map(|db| self.answer(db)).collect()
     }
 
@@ -129,6 +155,11 @@ impl CertainEngine {
     /// `policy`? Identical answers to [`CertainEngine::answer`]; falls back
     /// to the sequential interpretive evaluator when the plan did not
     /// compile.
+    #[deprecated(
+        since = "0.1.0",
+        note = "route through cqa_core::Solver with ExecOptions::threads — the solver \
+                shards plan internals under the same policy machinery"
+    )]
     pub fn answer_parallel(&self, db: &Instance, policy: &ParallelPolicy) -> bool {
         match &self.compiled {
             Some(c) => c.answer_parallel(db, policy),
@@ -165,6 +196,7 @@ impl fmt::Display for CertainEngine {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // intentionally exercises the deprecated answer surface
 mod tests {
     use super::*;
     use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};

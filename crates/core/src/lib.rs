@@ -9,12 +9,19 @@
 //! Main entry points:
 //!
 //! * [`problem::Problem`] — a validated pair `(q, FK)` with `FK` *about* `q`;
+//! * [`solver::Solver`] — **the unified entry point**: classifies once and
+//!   routes every query class to its best backend (compiled FO plan,
+//!   dual-Horn / reachability poly-time solvers, budgeted oracle), with
+//!   typed [`solver::ExecOptions`] and provenance-carrying
+//!   [`verdict::Verdict`]s;
 //! * [`classify::classify`] — Theorem 12: FO (with a constructed
 //!   [`pipeline::RewritePlan`]) vs. L-hard / NL-hard with witnesses;
-//! * [`engine::CertainEngine`] — evaluates certain answers through the plan;
+//! * [`engine::CertainEngine`] — the FO-only predecessor of the solver;
+//!   still the home of the flattened formula and SQL artifacts, its
+//!   `answer*` methods deprecated thin wrappers;
 //! * [`compiled_plan::CompiledPlan`] — the plan compiled once into a lazy,
 //!   view-backed executor (zero intermediate database materializations;
-//!   the engine's hot path), with shard-parallel execution of its block
+//!   the solver's FO hot path), with shard-parallel execution of its block
 //!   loops under a [`parallel::ParallelPolicy`];
 //! * [`flatten`] — folds a plan into one closed first-order sentence.
 //!
@@ -44,8 +51,10 @@ pub mod obedience;
 pub mod parallel;
 pub mod pipeline;
 pub mod problem;
+pub mod solver;
+pub mod verdict;
 
-pub use answers::{certain_answers, AnswerError};
+pub use answers::{certain_answers, certain_answers_with, AnswerError};
 pub use classify::{classify, Classification, NotFoReason};
 pub use compiled_plan::{CompileError, CompiledPlan};
 pub use depgraph::{fk_star, DepGraph};
@@ -56,3 +65,8 @@ pub use obedience::{atom_obedient, is_obedient_set, qfk_atoms};
 pub use parallel::ParallelPolicy;
 pub use pipeline::RewritePlan;
 pub use problem::Problem;
+pub use solver::{
+    ExecOptions, Evaluator, FallbackBudget, Route, RouteKind, SolveMany, Solver, SolverBuilder,
+    SolverError,
+};
+pub use verdict::{BackendKind, Certainty, Provenance, Verdict};

@@ -76,6 +76,19 @@ impl ParallelPolicy {
         }
     }
 
+    /// Pins the environment-driven width: the returned policy has a
+    /// non-zero `max_threads`, so every later [`ParallelPolicy::threads`] /
+    /// [`ParallelPolicy::pool`] call is a field read instead of a
+    /// `CQA_THREADS` parse. [`crate::ExecOptions::default`] does this once
+    /// per options value; call sites that still take a raw policy resolve
+    /// it once per batch.
+    pub fn resolve(&self) -> ParallelPolicy {
+        ParallelPolicy {
+            min_units: self.min_units,
+            max_threads: self.threads(),
+        }
+    }
+
     /// Whether `units` work items clear the fan-out floor (width aside) —
     /// the single definition of the threshold, shared by every loop that
     /// consults a policy. One unit can never profit from a second thread,
@@ -128,5 +141,15 @@ mod tests {
     fn default_resolves_from_environment() {
         let p = ParallelPolicy::default();
         assert!(p.threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_pins_the_width() {
+        let p = ParallelPolicy::default().resolve();
+        assert_ne!(p.max_threads, 0, "resolved policies never re-read the env");
+        assert_eq!(p.threads(), p.max_threads);
+        // Resolving an explicit policy is the identity.
+        let pinned = ParallelPolicy::with_threads(5);
+        assert_eq!(pinned.resolve(), pinned);
     }
 }

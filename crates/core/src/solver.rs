@@ -1,0 +1,916 @@
+//! The unified, dichotomy-aware solver: one entry point that routes every
+//! `CERTAINTY(q, FK)` problem to its best backend.
+//!
+//! The paper's classification is a *trichotomy* in practice: a problem is
+//! FO-rewritable (Theorem 12 case 1), polynomial-time decidable through a
+//! combinatorial reduction (the Proposition 16/17 shapes), or hard — and
+//! the crate historically served only the first class, with
+//! [`crate::CertainEngine::try_new`] abandoning every caller it answered
+//! `Err` to. [`Solver`] closes the gap: [`SolverBuilder::build`] classifies
+//! **once** and compiles a [`Route`]:
+//!
+//! * [`Route::FoPlan`] — the consistent FO rewriting, executed through the
+//!   view-backed [`CompiledPlan`] (or the materializing interpreter when
+//!   [`ExecOptions::evaluator`] asks for it);
+//! * [`Route::PolyTime`] — a pre-bound dual-Horn / reachability
+//!   [`Backend`] for problems isomorphic (up to renaming) to the paper's
+//!   Proposition 16 or 17;
+//! * [`Route::Fallback`] — the budgeted exhaustive ⊕-repair oracle for the
+//!   remaining hard class, **opt-in** via [`ExecOptions::fallback`] and
+//!   honest about exhaustion: it answers [`Certainty::Inconclusive`]
+//!   instead of silently brute-forcing past its budget.
+//!
+//! All answering goes through [`Solver::solve`] (one typed [`Verdict`]
+//! carrying provenance) and [`Solver::solve_many`] (a lazy, input-ordered
+//! iterator that internally batches and — on the FO and poly-time routes —
+//! shards each chunk through the PR 4 thread-pool machinery; the fallback
+//! route stays sequential, since per-instance oracle search dominates and
+//! its verdicts carry per-instance diagnostics).
+//!
+//! ```
+//! use cqa_core::{BackendKind, Problem, Solver};
+//! use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+//! use std::sync::Arc;
+//!
+//! // FO-rewritable (§8's query): routed to the compiled plan.
+//! let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+//! let q = parse_query(&s, "N('c',y), O(y), P(y)").unwrap();
+//! let fks = parse_fks(&s, "N[2] -> O").unwrap();
+//! let solver = Solver::new(Problem::new(q, fks).unwrap()).unwrap();
+//! let db = parse_instance(&s, "N(c,a) N(c,b) O(a) P(a) P(b)").unwrap();
+//! let verdict = solver.solve(&db);
+//! assert!(verdict.is_certain());
+//! assert_eq!(verdict.provenance.backend, BackendKind::CompiledPlan);
+//!
+//! // NL-complete (Proposition 16, relations renamed): routed to
+//! // reachability — the same call site, no per-class plumbing.
+//! let s = Arc::new(parse_schema("E[2,1] V[1,1]").unwrap());
+//! let q = parse_query(&s, "E(x,x), V(x)").unwrap();
+//! let fks = parse_fks(&s, "E[2] -> V").unwrap();
+//! let solver = Solver::new(Problem::new(q, fks).unwrap()).unwrap();
+//! let db = parse_instance(&s, "E(a,a) V(a)").unwrap();
+//! assert_eq!(solver.solve(&db).provenance.backend, BackendKind::Reachability);
+//! assert_eq!(solver.solve(&db).as_bool(), Some(true));
+//! ```
+
+use crate::classify::{classify, Classification, NotFoReason};
+use crate::compiled_plan::CompiledPlan;
+use crate::parallel::ParallelPolicy;
+use crate::pipeline::RewritePlan;
+use crate::problem::Problem;
+use crate::verdict::{BackendKind, Certainty, Provenance, Verdict};
+use cqa_model::Instance;
+use cqa_repair::{CertaintyOracle, OracleOutcome, SearchLimits};
+use cqa_solvers::backend::{Backend, DualHornBackend, ReachabilityBackend};
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Instant;
+
+/// Which FO evaluator the solver should execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Evaluator {
+    /// The view-backed [`CompiledPlan`] (zero intermediate
+    /// materializations; the hot path). Falls back to the interpreter if
+    /// the plan does not compile.
+    Compiled,
+    /// The interpretive, materializing [`RewritePlan`] — the differential
+    /// oracle, occasionally useful for debugging.
+    Materialized,
+}
+
+/// Whether (and with how much budget) the hard class may fall back to the
+/// exhaustive ⊕-repair oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackBudget {
+    /// Hard problems are rejected at [`SolverBuilder::build`] time with
+    /// [`SolverError::HardWithoutFallback`] (the default: nobody
+    /// brute-forces by accident).
+    Deny,
+    /// Hard problems route to the oracle under these limits; exhausting
+    /// them yields [`Certainty::Inconclusive`].
+    Allow(SearchLimits),
+}
+
+/// Typed execution options for the unified solver — one struct folding the
+/// knobs that used to be scattered across [`ParallelPolicy`] parameters,
+/// the `CQA_THREADS` environment variable, the compiled-vs-materialized
+/// engine split and the oracle's search limits.
+///
+/// `CQA_THREADS` is consulted exactly **once**, in
+/// [`ExecOptions::default`]; every later use of the options reads the
+/// resolved [`ExecOptions::threads`] field. (The pre-solver surfaces
+/// re-parsed the environment on every call.)
+///
+/// ```
+/// use cqa_core::{ExecOptions, FallbackBudget};
+/// use cqa_repair::SearchLimits;
+///
+/// let opts = ExecOptions {
+///     threads: 4,
+///     fallback: FallbackBudget::Allow(SearchLimits::budgeted(10_000)),
+///     ..ExecOptions::default()
+/// };
+/// assert_eq!(opts.policy().threads(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker-thread width for sharded execution (batch sharding in
+    /// [`Solver::solve_many`], block-loop sharding inside the compiled
+    /// plan). `1` disables fan-out. Resolved from `CQA_THREADS` (else
+    /// available parallelism) once at construction — never `0`.
+    pub threads: usize,
+    /// Minimum work units (instances in a batch, blocks in a filter loop)
+    /// before fanning out; below it the sequential path runs.
+    pub min_parallel_units: usize,
+    /// Which FO evaluator to execute on [`Route::FoPlan`].
+    pub evaluator: Evaluator,
+    /// Opt-in budget for the hard-class fallback route.
+    pub fallback: FallbackBudget,
+}
+
+impl Default for ExecOptions {
+    /// Compiled evaluator, no fallback, environment-resolved width — the
+    /// one place `CQA_THREADS` is read.
+    fn default() -> ExecOptions {
+        ExecOptions {
+            threads: ParallelPolicy::default().threads(),
+            min_parallel_units: ParallelPolicy::default().min_units,
+            evaluator: Evaluator::Compiled,
+            fallback: FallbackBudget::Deny,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Fully sequential execution: one thread, never fan out. (Also what
+    /// benchmark baselines use, so facade overhead is measured against the
+    /// same single-threaded plan execution.)
+    pub fn sequential() -> ExecOptions {
+        ExecOptions {
+            threads: 1,
+            min_parallel_units: usize::MAX,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Replaces the worker width (builder style). `0` re-resolves from the
+    /// environment, mirroring [`ParallelPolicy::with_threads`].
+    pub fn with_threads(mut self, threads: usize) -> ExecOptions {
+        self.threads = match threads {
+            0 => ParallelPolicy::default().threads(),
+            n => n,
+        };
+        self
+    }
+
+    /// Enables the hard-class fallback under `limits` (builder style).
+    pub fn with_fallback(mut self, limits: SearchLimits) -> ExecOptions {
+        self.fallback = FallbackBudget::Allow(limits);
+        self
+    }
+
+    /// Enables the hard-class fallback with default oracle limits.
+    pub fn allow_fallback(self) -> ExecOptions {
+        self.with_fallback(SearchLimits::default())
+    }
+
+    /// The resolved sharding policy: `max_threads` is pinned (non-zero),
+    /// so consumers never re-read the environment.
+    pub fn policy(&self) -> ParallelPolicy {
+        ParallelPolicy {
+            min_units: self.min_parallel_units,
+            max_threads: self.threads.max(1),
+        }
+    }
+}
+
+/// Why a [`Solver`] could not be built.
+#[derive(Debug)]
+pub enum SolverError {
+    /// The problem is in the hard class (not FO-rewritable and not
+    /// isomorphic to a known polynomial-time shape), and
+    /// [`ExecOptions::fallback`] denies the exhaustive oracle. The
+    /// Theorem 12 hardness witnesses are attached; opt in with
+    /// [`ExecOptions::with_fallback`] to solve anyway under a budget.
+    HardWithoutFallback(NotFoReason),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::HardWithoutFallback(reason) => write!(
+                f,
+                "problem is in the hard class ({reason}); enable ExecOptions::fallback \
+                 to solve it anyway under an oracle budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// The FO route: the rewrite plan and (usually) its compiled executor.
+#[derive(Clone, Debug)]
+pub struct FoRoute {
+    plan: RewritePlan,
+    compiled: Option<CompiledPlan>,
+    depth: usize,
+}
+
+impl FoRoute {
+    /// The rewrite plan.
+    pub fn plan(&self) -> &RewritePlan {
+        &self.plan
+    }
+
+    /// The compiled executor, when available under the chosen evaluator.
+    pub fn compiled(&self) -> Option<&CompiledPlan> {
+        self.compiled.as_ref()
+    }
+}
+
+/// The polynomial-time route: a pre-bound combinatorial backend.
+pub struct PolyRoute {
+    backend: Box<dyn Backend>,
+    kind: BackendKind,
+}
+
+impl PolyRoute {
+    /// The backend adapter.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
+    }
+
+    /// Which backend family this is.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+}
+
+impl fmt::Debug for PolyRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolyRoute")
+            .field("backend", &self.backend.name())
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// The hard-class route: the budgeted exhaustive oracle.
+#[derive(Clone, Debug)]
+pub struct FallbackRoute {
+    oracle: CertaintyOracle,
+    reason: NotFoReason,
+}
+
+impl FallbackRoute {
+    /// The budgeted oracle.
+    pub fn oracle(&self) -> &CertaintyOracle {
+        &self.oracle
+    }
+
+    /// The Theorem 12 hardness witnesses that put the problem here.
+    pub fn reason(&self) -> &NotFoReason {
+        &self.reason
+    }
+}
+
+/// The compiled routing decision: which backend answers this problem.
+#[derive(Debug)]
+pub enum Route {
+    /// FO-rewritable (Theorem 12 case 1; boxed — a plan carries its
+    /// compiled executor and dwarfs the other variants).
+    FoPlan(Box<FoRoute>),
+    /// Polynomial-time via a combinatorial reduction (Proposition 16/17
+    /// shapes, up to renaming).
+    PolyTime(PolyRoute),
+    /// Hard class, answered by the budgeted oracle (opt-in).
+    Fallback(FallbackRoute),
+}
+
+/// A copyable tag for [`Route`] variants (handy in tests and provenance
+/// assertions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteKind {
+    /// [`Route::FoPlan`].
+    Fo,
+    /// [`Route::PolyTime`].
+    PolyTime,
+    /// [`Route::Fallback`].
+    Fallback,
+}
+
+impl Route {
+    /// This route's tag.
+    pub fn kind(&self) -> RouteKind {
+        match self {
+            Route::FoPlan(_) => RouteKind::Fo,
+            Route::PolyTime(_) => RouteKind::PolyTime,
+            Route::Fallback(_) => RouteKind::Fallback,
+        }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Route::FoPlan(r) => write!(
+                f,
+                "FO → {} (plan depth {})",
+                if r.compiled.is_some() {
+                    "compiled plan"
+                } else {
+                    "materialized plan"
+                },
+                r.depth
+            ),
+            Route::PolyTime(r) => write!(f, "poly-time → {}", r.backend.name()),
+            Route::Fallback(r) => write!(f, "hard → budgeted oracle ({})", r.reason),
+        }
+    }
+}
+
+/// Builder for [`Solver`]: attach [`ExecOptions`], then [`build`] to
+/// classify the problem once and compile its route.
+///
+/// [`build`]: SolverBuilder::build
+#[derive(Debug)]
+pub struct SolverBuilder {
+    problem: Problem,
+    options: ExecOptions,
+}
+
+impl SolverBuilder {
+    /// Replaces the execution options (the default is
+    /// [`ExecOptions::default`]).
+    pub fn options(mut self, options: ExecOptions) -> SolverBuilder {
+        self.options = options;
+        self
+    }
+
+    /// Classifies the problem (Theorem 12), compiles the best route, and
+    /// returns the ready solver. Classification, shape matching and plan
+    /// compilation all happen here, exactly once; [`Solver::solve`] is
+    /// pure dispatch.
+    pub fn build(self) -> Result<Solver, SolverError> {
+        let route = match classify(&self.problem) {
+            Classification::Fo(plan) => {
+                let compiled = match self.options.evaluator {
+                    Evaluator::Compiled => CompiledPlan::compile(&plan).ok(),
+                    Evaluator::Materialized => None,
+                };
+                let depth = plan.depth();
+                Route::FoPlan(Box::new(FoRoute {
+                    plan: *plan,
+                    compiled,
+                    depth,
+                }))
+            }
+            Classification::NotFo(reason) => match poly_backend(&self.problem) {
+                Some((backend, kind)) => Route::PolyTime(PolyRoute { backend, kind }),
+                None => match self.options.fallback {
+                    FallbackBudget::Allow(limits) => Route::Fallback(FallbackRoute {
+                        oracle: CertaintyOracle::with_limits(limits),
+                        reason,
+                    }),
+                    FallbackBudget::Deny => {
+                        return Err(SolverError::HardWithoutFallback(reason))
+                    }
+                },
+            },
+        };
+        Ok(Solver {
+            problem: self.problem,
+            options: self.options,
+            route,
+        })
+    }
+}
+
+/// Matches problems isomorphic (up to renaming of relations, variables and
+/// the Proposition 17 middle constant) to the paper's polynomial-time
+/// shapes, returning the pre-bound backend.
+fn poly_backend(problem: &Problem) -> Option<(Box<dyn Backend>, BackendKind)> {
+    let q = problem.query();
+    let fks = problem.fks();
+    if q.len() != 2 || fks.len() != 1 {
+        return None;
+    }
+    let fk = *fks.iter().next().expect("len checked");
+    if fk.from == fk.to {
+        return None;
+    }
+    let o_sig = q.sig(fk.to);
+    if o_sig.arity != 1 || o_sig.key_len != 1 {
+        return None;
+    }
+    let n_atom = q.atom(fk.from)?;
+    let o_atom = q.atom(fk.to)?;
+    let o_var = o_atom.terms[0].as_var()?;
+    let n_sig = q.sig(fk.from);
+    match (n_sig.arity, n_sig.key_len, fk.pos) {
+        // Proposition 16: q = {N(x,x), O(x)}, FK = {N[2]→O}.
+        (2, 1, 2) => {
+            let x = n_atom.terms[0].as_var()?;
+            let y = n_atom.terms[1].as_var()?;
+            (x == y && x == o_var).then(|| {
+                (
+                    Box::new(ReachabilityBackend::new(fk.from, fk.to)) as Box<dyn Backend>,
+                    BackendKind::Reachability,
+                )
+            })
+        }
+        // Proposition 17: q = {N(x,'c',y), O(y)}, FK = {N[3]→O}.
+        (3, 1, 3) => {
+            let x = n_atom.terms[0].as_var()?;
+            let c = n_atom.terms[1].as_cst()?;
+            let y = n_atom.terms[2].as_var()?;
+            (x != y && y == o_var).then(|| {
+                (
+                    Box::new(DualHornBackend::new(fk.from, fk.to, c)) as Box<dyn Backend>,
+                    BackendKind::DualHorn,
+                )
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The unified, dichotomy-aware solver: accepts **any** valid
+/// `CERTAINTY(q, FK)` problem, classifies it once at construction, and
+/// answers every instance through the fastest sound backend. See the
+/// [module docs](self) for the routing table and a cross-class example.
+#[derive(Debug)]
+pub struct Solver {
+    problem: Problem,
+    options: ExecOptions,
+    route: Route,
+}
+
+impl Solver {
+    /// Starts a builder with default [`ExecOptions`].
+    pub fn builder(problem: Problem) -> SolverBuilder {
+        SolverBuilder {
+            problem,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Builds with default options — shorthand for
+    /// `Solver::builder(problem).build()`.
+    pub fn new(problem: Problem) -> Result<Solver, SolverError> {
+        Solver::builder(problem).build()
+    }
+
+    /// The problem this solver answers.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The execution options in force.
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
+    }
+
+    /// The compiled routing decision.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+
+    /// Is `db` a yes-instance of `CERTAINTY(q, FK)`? One dispatch on the
+    /// pre-compiled route; the verdict carries backend, timing and plan
+    /// provenance.
+    pub fn solve(&self, db: &Instance) -> Verdict {
+        let start = Instant::now();
+        let (certainty, backend, detail) = self.decide(db);
+        Verdict {
+            certainty,
+            provenance: Provenance {
+                backend,
+                elapsed: start.elapsed(),
+                batch: 1,
+                plan_depth: self.plan_depth(),
+                detail,
+            },
+        }
+    }
+
+    /// Answers a batch of instances as a **lazy, input-ordered iterator**:
+    /// verdict `i` always corresponds to `dbs[i]`, whatever the shard
+    /// completion order. Internally the iterator pulls chunks of the input
+    /// and, on the FO-compiled and poly-time routes, shards each chunk
+    /// across the scoped thread pool (the PR 4 batching machinery) under
+    /// [`ExecOptions::threads`] — the fallback route stays sequential so
+    /// each verdict keeps its per-instance diagnostics. Chunk evaluation
+    /// happens on demand, so an early `take(k)` never pays for the tail of
+    /// the batch.
+    ///
+    /// ```
+    /// # use cqa_core::{Problem, Solver};
+    /// # use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+    /// # use std::sync::Arc;
+    /// # let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+    /// # let q = parse_query(&s, "N('c',y), O(y), P(y)").unwrap();
+    /// # let fks = parse_fks(&s, "N[2] -> O").unwrap();
+    /// # let solver = Solver::new(Problem::new(q, fks).unwrap()).unwrap();
+    /// let dbs = vec![
+    ///     parse_instance(&s, "N(c,a) O(a) P(a)").unwrap(),
+    ///     parse_instance(&s, "N(c,a) N(c,b) O(a) P(a)").unwrap(),
+    /// ];
+    /// let verdicts: Vec<bool> = solver.solve_many(&dbs).map(|v| v.is_certain()).collect();
+    /// assert_eq!(verdicts, vec![true, false]);
+    /// ```
+    pub fn solve_many<'a>(&'a self, dbs: &'a [Instance]) -> SolveMany<'a> {
+        SolveMany {
+            solver: self,
+            dbs,
+            next: 0,
+            buffer: VecDeque::new(),
+        }
+    }
+
+    fn plan_depth(&self) -> Option<usize> {
+        match &self.route {
+            Route::FoPlan(r) => Some(r.depth),
+            _ => None,
+        }
+    }
+
+    /// One dispatch: certainty, backend tag, optional diagnostics.
+    fn decide(&self, db: &Instance) -> (Certainty, BackendKind, Option<String>) {
+        match &self.route {
+            Route::FoPlan(r) => match &r.compiled {
+                Some(c) => {
+                    let policy = self.options.policy();
+                    let ans = if policy.threads() > 1 {
+                        c.answer_parallel(db, &policy)
+                    } else {
+                        c.answer(db)
+                    };
+                    (Certainty::from_bool(ans), BackendKind::CompiledPlan, None)
+                }
+                None => (
+                    Certainty::from_bool(r.plan.answer(db)),
+                    BackendKind::MaterializedPlan,
+                    None,
+                ),
+            },
+            Route::PolyTime(r) => (
+                Certainty::from_bool(r.backend.certain(db)),
+                r.kind,
+                None,
+            ),
+            Route::Fallback(r) => {
+                match r.oracle.is_certain(db, self.problem.query(), self.problem.fks()) {
+                    OracleOutcome::Certain => (Certainty::Certain, BackendKind::Oracle, None),
+                    OracleOutcome::NotCertain(witness) => (
+                        Certainty::NotCertain,
+                        BackendKind::Oracle,
+                        Some(format!("falsifying ⊕-repair: {witness}")),
+                    ),
+                    OracleOutcome::Inconclusive(why) => {
+                        (Certainty::Inconclusive, BackendKind::Oracle, Some(why))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} routed {}", self.problem, self.route)
+    }
+}
+
+/// How many instances each lazily evaluated [`SolveMany`] chunk holds per
+/// worker thread: wide enough to amortize the scoped-pool spawn, narrow
+/// enough that laziness is observable on server-sized batches.
+const BATCH_PER_THREAD: usize = 8;
+
+/// The lazy, input-ordered iterator returned by [`Solver::solve_many`].
+#[derive(Debug)]
+pub struct SolveMany<'a> {
+    solver: &'a Solver,
+    dbs: &'a [Instance],
+    next: usize,
+    buffer: VecDeque<Verdict>,
+}
+
+impl SolveMany<'_> {
+    /// Pulls the next chunk of the input and evaluates it, sharding across
+    /// the pool when the route and options allow.
+    fn refill(&mut self) {
+        let policy = self.solver.options.policy();
+        let width = policy.threads();
+        // Only routes that can shard pull wide chunks; the fallback route
+        // (and an uncompiled FO plan) stays at width 1 so `take(k)` never
+        // pays for oracle searches beyond the pulled prefix.
+        let can_shard = match &self.solver.route {
+            Route::FoPlan(r) => r.compiled.is_some(),
+            Route::PolyTime(_) => true,
+            Route::Fallback(_) => false,
+        };
+        let chunk_len = if width > 1 && can_shard {
+            (width * BATCH_PER_THREAD).min(self.dbs.len() - self.next)
+        } else {
+            1
+        };
+        let chunk = &self.dbs[self.next..self.next + chunk_len];
+        self.next += chunk_len;
+
+        // Sharded fast paths: a decidable backend and a chunk wide enough
+        // to clear the fan-out floor. Contiguous shards with a
+        // chunk-ordered join keep verdicts in input order by construction.
+        // The fallback route never shards: its per-instance oracle search
+        // dominates any spawn saving and its verdicts carry per-instance
+        // diagnostics (inconclusive reasons, witnesses).
+        if policy.should_parallelize(chunk.len()) {
+            let start = Instant::now();
+            let sharded: Option<(Vec<bool>, BackendKind)> = match &self.solver.route {
+                Route::FoPlan(r) => r.compiled.as_ref().map(|c| {
+                    (
+                        policy.pool().map(chunk, |db| c.answer(db)),
+                        BackendKind::CompiledPlan,
+                    )
+                }),
+                Route::PolyTime(r) => Some((
+                    policy.pool().map(chunk, |db| r.backend.certain(db)),
+                    r.kind,
+                )),
+                Route::Fallback(_) => None,
+            };
+            if let Some((answers, backend)) = sharded {
+                let elapsed = start.elapsed();
+                let depth = self.solver.plan_depth();
+                self.buffer.extend(answers.into_iter().map(|ans| Verdict {
+                    certainty: Certainty::from_bool(ans),
+                    provenance: Provenance {
+                        backend,
+                        elapsed,
+                        batch: chunk.len(),
+                        plan_depth: depth,
+                        detail: None,
+                    },
+                }));
+                return;
+            }
+        }
+        // Sequential path (narrow chunks, uncompiled FO plans, the
+        // fallback route): per-instance dispatch with exact per-verdict
+        // timing.
+        self.buffer
+            .extend(chunk.iter().map(|db| self.solver.solve(db)));
+    }
+}
+
+impl Iterator for SolveMany<'_> {
+    type Item = Verdict;
+
+    fn next(&mut self) -> Option<Verdict> {
+        while self.buffer.is_empty() && self.next < self.dbs.len() {
+            self.refill();
+        }
+        self.buffer.pop_front()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.buffer.len() + (self.dbs.len() - self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SolveMany<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+    use cqa_model::Schema;
+    use std::sync::Arc;
+
+    fn problem(schema: &Arc<Schema>, q: &str, fks: &str) -> Problem {
+        Problem::new(
+            parse_query(schema, q).unwrap(),
+            parse_fks(schema, fks).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fo_problem_routes_to_compiled_plan() {
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+        let solver = Solver::new(problem(&s, "N('c',y), O(y), P(y)", "N[2] -> O")).unwrap();
+        assert_eq!(solver.route().kind(), RouteKind::Fo);
+
+        let yes = parse_instance(&s, "N(c,a) N(c,b) O(a) P(a) P(b)").unwrap();
+        let v = solver.solve(&yes);
+        assert!(v.is_certain());
+        assert_eq!(v.provenance.backend, BackendKind::CompiledPlan);
+        assert!(v.provenance.plan_depth.is_some());
+
+        let no = parse_instance(&s, "N(c,a) N(c,b) O(a) P(a)").unwrap();
+        assert_eq!(solver.solve(&no).as_bool(), Some(false));
+    }
+
+    #[test]
+    fn materialized_evaluator_is_selectable() {
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+        let solver = Solver::builder(problem(&s, "N('c',y), O(y), P(y)", "N[2] -> O"))
+            .options(ExecOptions {
+                evaluator: Evaluator::Materialized,
+                ..ExecOptions::sequential()
+            })
+            .build()
+            .unwrap();
+        let yes = parse_instance(&s, "N(c,a) O(a) P(a)").unwrap();
+        let v = solver.solve(&yes);
+        assert!(v.is_certain());
+        assert_eq!(v.provenance.backend, BackendKind::MaterializedPlan);
+    }
+
+    #[test]
+    fn prop16_shape_routes_to_reachability_under_renaming() {
+        let s = Arc::new(parse_schema("E[2,1] V[1,1]").unwrap());
+        let solver = Solver::new(problem(&s, "E(x,x), V(x)", "E[2] -> V")).unwrap();
+        assert_eq!(solver.route().kind(), RouteKind::PolyTime);
+
+        let yes = parse_instance(&s, "E(a,a) V(a)").unwrap();
+        let v = solver.solve(&yes);
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(v.provenance.backend, BackendKind::Reachability);
+
+        let no = parse_instance(&s, "E(a,a) E(a,b) V(a)").unwrap();
+        assert_eq!(solver.solve(&no).as_bool(), Some(false));
+    }
+
+    #[test]
+    fn prop17_shape_routes_to_dual_horn_under_renaming() {
+        let s = Arc::new(parse_schema("Emp[3,1] Dept[1,1]").unwrap());
+        let solver =
+            Solver::new(problem(&s, "Emp(x,'hq',y), Dept(y)", "Emp[3] -> Dept")).unwrap();
+        assert_eq!(solver.route().kind(), RouteKind::PolyTime);
+
+        let yes = parse_instance(&s, "Emp(b1,hq,1) Dept(1)").unwrap();
+        let v = solver.solve(&yes);
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(v.provenance.backend, BackendKind::DualHorn);
+
+        let no = parse_instance(&s, "Emp(b1,hq,1) Emp(b1,x,2) Dept(1)").unwrap();
+        assert_eq!(solver.solve(&no).as_bool(), Some(false));
+    }
+
+    #[test]
+    fn hard_class_requires_explicit_fallback_opt_in() {
+        // Example 13's q2: NL-hard and not a Proposition 16/17 shape
+        // (O has arity 2), so only the oracle can answer it.
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let p = problem(&s, "N(x,'c',y), O(y,w)", "N[3] -> O");
+        match Solver::new(p.clone()) {
+            Err(SolverError::HardWithoutFallback(reason)) => assert!(reason.nl_hard()),
+            other => panic!("expected HardWithoutFallback, got {other:?}"),
+        }
+
+        let solver = Solver::builder(p)
+            .options(ExecOptions::default().allow_fallback())
+            .build()
+            .unwrap();
+        assert_eq!(solver.route().kind(), RouteKind::Fallback);
+        let yes = parse_instance(&s, "N(k,c,a) O(a,3)").unwrap();
+        let v = solver.solve(&yes);
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(v.provenance.backend, BackendKind::Oracle);
+    }
+
+    #[test]
+    fn fallback_not_certain_carries_the_witness() {
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let solver = Solver::builder(problem(&s, "N(x,'c',y), O(y,w)", "N[3] -> O"))
+            .options(ExecOptions::default().allow_fallback())
+            .build()
+            .unwrap();
+        // Dropping the N-block falsifies q: a witness exists and the
+        // verdict's provenance re-surfaces it.
+        let db = parse_instance(&s, "N(k,d,b)").unwrap();
+        let v = solver.solve(&db);
+        assert_eq!(v.as_bool(), Some(false));
+        let detail = v.provenance.detail.expect("witness attached");
+        assert!(detail.contains("falsifying ⊕-repair"), "{detail}");
+    }
+
+    #[test]
+    fn solve_many_shards_the_poly_route_in_input_order() {
+        let s = Arc::new(parse_schema("E[2,1] V[1,1]").unwrap());
+        let solver = Solver::builder(problem(&s, "E(x,x), V(x)", "E[2] -> V"))
+            .options(ExecOptions {
+                min_parallel_units: 1,
+                ..ExecOptions::default().with_threads(8)
+            })
+            .build()
+            .unwrap();
+        // Instance i certain iff i is even (odd ones get an escape edge).
+        let dbs: Vec<Instance> = (0..29)
+            .map(|i| {
+                let text = if i % 2 == 0 {
+                    "E(a,a) V(a)"
+                } else {
+                    "E(a,a) E(a,b) V(a)"
+                };
+                parse_instance(&s, text).unwrap()
+            })
+            .collect();
+        let verdicts: Vec<Verdict> = solver.solve_many(&dbs).collect();
+        assert_eq!(verdicts.len(), dbs.len());
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(v.as_bool(), Some(i % 2 == 0), "verdict {i} out of order");
+            assert_eq!(v.provenance.backend, BackendKind::Reachability);
+        }
+        // Wide chunks fanned out: batch provenance reflects the shard.
+        assert!(verdicts[0].provenance.batch > 1, "poly route must shard");
+    }
+
+    #[test]
+    fn fallback_solve_many_pulls_one_instance_at_a_time() {
+        // Even under a wide thread policy the fallback route cannot shard,
+        // so chunks stay at width 1: `take(k)` never pays for oracle
+        // searches past the pulled prefix.
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let solver = Solver::builder(problem(&s, "N(x,'c',y), O(y,w)", "N[3] -> O"))
+            .options(ExecOptions {
+                min_parallel_units: 1,
+                ..ExecOptions::default().with_threads(8).allow_fallback()
+            })
+            .build()
+            .unwrap();
+        let dbs: Vec<Instance> = (0..5)
+            .map(|_| parse_instance(&s, "N(k,c,a) O(a,3)").unwrap())
+            .collect();
+        let first = solver.solve_many(&dbs).next().unwrap();
+        assert_eq!(first.provenance.batch, 1, "fallback chunks must stay narrow");
+        assert_eq!(first.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn exhausted_budget_is_inconclusive_never_a_guess() {
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let solver = Solver::builder(problem(&s, "N(x,'c',y), O(y,w)", "N[3] -> O"))
+            .options(ExecOptions::default().with_fallback(SearchLimits::budgeted(1)))
+            .build()
+            .unwrap();
+        // Two 2-fact blocks: candidate space 9 > budget 1.
+        let db = parse_instance(&s, "N(k,c,a) N(k,d,b) O(a,3) O(a,4)").unwrap();
+        let v = solver.solve(&db);
+        assert_eq!(v.certainty, Certainty::Inconclusive);
+        assert!(v.provenance.detail.is_some(), "carries the oracle's reason");
+        assert_eq!(v.as_bool(), None);
+    }
+
+    #[test]
+    fn solve_many_is_lazy_and_input_ordered() {
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+        let solver = Solver::builder(problem(&s, "N('c',y), O(y), P(y)", "N[2] -> O"))
+            .options(ExecOptions::default().with_threads(8))
+            .build()
+            .unwrap();
+        // Instance i is a yes-instance iff i is even.
+        let dbs: Vec<Instance> = (0..37)
+            .map(|i| {
+                let text = if i % 2 == 0 {
+                    "N(c,a) O(a) P(a)"
+                } else {
+                    "N(c,a) N(c,b) O(a) P(a)"
+                };
+                parse_instance(&s, text).unwrap()
+            })
+            .collect();
+        let verdicts: Vec<Verdict> = solver.solve_many(&dbs).collect();
+        assert_eq!(verdicts.len(), dbs.len());
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(v.as_bool(), Some(i % 2 == 0), "verdict {i} out of order");
+        }
+        // Taking a prefix stays lazy: the iterator reports its exact length
+        // up front but only evaluates pulled chunks.
+        let mut iter = solver.solve_many(&dbs);
+        assert_eq!(iter.len(), 37);
+        assert!(iter.next().unwrap().is_certain());
+    }
+
+    #[test]
+    fn options_fold_the_scattered_knobs() {
+        let opts = ExecOptions::default();
+        assert!(opts.threads >= 1, "threads resolved, never 0");
+        let seq = ExecOptions::sequential();
+        assert_eq!(seq.policy().threads(), 1);
+        assert!(!seq.policy().should_parallelize(usize::MAX - 1));
+        let wide = ExecOptions::sequential().with_threads(6);
+        assert_eq!(wide.policy().threads(), 6);
+    }
+
+    #[test]
+    fn display_names_the_route() {
+        let s = Arc::new(parse_schema("E[2,1] V[1,1]").unwrap());
+        let solver = Solver::new(problem(&s, "E(x,x), V(x)", "E[2] -> V")).unwrap();
+        let text = solver.to_string();
+        assert!(text.contains("poly-time"), "{text}");
+    }
+}

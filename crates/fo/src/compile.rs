@@ -9,8 +9,8 @@
 //!   bookkeeping and the hot loops never clone a `BTreeMap` valuation;
 //! * **guard pre-splitting** — for each `∃⃗x (R(…) ∧ ρ)` the guard atom and
 //!   the residual conjunction are split at compile time into a chain of
-//!   [`Node::ExistsGuarded`] steps (and dually `∀⃗y (R(…) → ρ)` into
-//!   [`Node::ForallGuarded`]), instead of re-scanning conjuncts and
+//!   `Node::ExistsGuarded` steps (and dually `∀⃗y (R(…) → ρ)` into
+//!   `Node::ForallGuarded`), instead of re-scanning conjuncts and
 //!   re-materializing `Formula::and(rest)` on every candidate fact;
 //! * **index-backed candidates** — guard lookups go through
 //!   [`cqa_model::InstanceIndex`]: a hash probe on the primary-key block

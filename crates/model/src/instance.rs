@@ -488,7 +488,7 @@ impl InstanceIndex {
     }
 }
 
-/// A candidate row set from [`InstanceIndex::candidates`]: either one block
+/// A candidate row set from `InstanceIndex::candidates`: either one block
 /// or a whole relation, borrowed — no rows are cloned.
 #[derive(Clone, Copy, Debug)]
 pub struct Candidates<'a> {

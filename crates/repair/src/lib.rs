@@ -34,6 +34,6 @@ pub use chase::{chase_fresh, ChaseError};
 pub use counting::{count_satisfying_pk_repairs, exact_satisfaction_ratio, sampled_satisfaction_ratio};
 pub use delta::{closer_eq, is_delta_repair, strictly_closer};
 pub use limits::SearchLimits;
-pub use oracle::{CertaintyOracle, OracleOutcome};
+pub use oracle::{candidate_space, CertaintyOracle, OracleOutcome};
 pub use pk_repairs::{count_pk_repairs, pk_certain, pk_repairs};
 pub use pre_repair::{cap_closer, is_irrelevantly_dangling};

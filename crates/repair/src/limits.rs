@@ -35,6 +35,20 @@ impl SearchLimits {
             max_domination_checks: 200_000,
         }
     }
+
+    /// A limit set derived from one scalar *budget* — the maximum number of
+    /// candidate ⊕-repairs the search may enumerate. The ⊕-minimality
+    /// budget scales with it (each surviving candidate triggers a
+    /// domination sweep); the chase bound keeps its default. This is the
+    /// knob the unified solver's opt-in fallback route exposes: exceeding
+    /// it yields [`crate::OracleOutcome::Inconclusive`], never a guess.
+    pub fn budgeted(max_candidates: u64) -> Self {
+        SearchLimits {
+            max_candidates,
+            max_domination_checks: max_candidates.saturating_mul(4),
+            ..SearchLimits::default()
+        }
+    }
 }
 
 #[cfg(test)]

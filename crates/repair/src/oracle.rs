@@ -78,6 +78,22 @@ impl CertaintyOracle {
         CertaintyOracle { limits }
     }
 
+    /// Whether `db`'s search space fits this oracle's candidate budget —
+    /// a cheap probe callers (e.g. the `cqa solve` CLI) can use to predict
+    /// an [`OracleOutcome::Inconclusive`] before paying for the
+    /// enumeration. [`CertaintyOracle::is_certain`] performs the same
+    /// check internally before searching, so this never changes verdicts —
+    /// it only lets a caller warn or re-budget up front. For `FK = ∅` the
+    /// space is the number of primary-key repairs; otherwise it is
+    /// [`candidate_space`].
+    pub fn within_budget(&self, db: &Instance, fks: &FkSet) -> bool {
+        if fks.is_empty() {
+            count_pk_repairs(db) <= self.limits.max_candidates as u128
+        } else {
+            candidate_space(db) <= self.limits.max_candidates
+        }
+    }
+
     /// Decides `CERTAINTY(q, FK)` on `db` by exhaustive search.
     ///
     /// The query is compiled once; the (exponentially many) candidate
@@ -93,10 +109,7 @@ impl CertaintyOracle {
                 blocks.push(facts);
             }
         }
-        let mut space: u64 = 1;
-        for b in &blocks {
-            space = space.saturating_mul(b.len() as u64 + 1);
-        }
+        let space = candidate_space(db);
         if space > self.limits.max_candidates {
             return OracleOutcome::Inconclusive(format!(
                 "candidate space {space} exceeds limit {}",
@@ -185,11 +198,48 @@ impl CertaintyOracle {
     }
 }
 
+/// The size of the oracle's block-choice search space on `db` under
+/// foreign keys: per block, keep one fact or drop the block, so
+/// `∏ (|block| + 1)` over all blocks (saturating). This is the quantity
+/// [`SearchLimits::max_candidates`] bounds — exposed so callers (the
+/// unified solver's budgeted fallback) can report how far a budget goes
+/// before committing to the search.
+pub fn candidate_space(db: &Instance) -> u64 {
+    let mut space: u64 = 1;
+    for rel in db.populated_relations() {
+        for (_, facts) in db.blocks(rel) {
+            space = space.saturating_mul(facts.len() as u64 + 1);
+        }
+    }
+    space
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
     use std::sync::Arc;
+
+    #[test]
+    fn candidate_space_counts_block_choices() {
+        let s = Arc::new(parse_schema("R[2,1] S[1,1]").unwrap());
+        // Two R-blocks of 2 facts each and one S-block of 1: (2+1)²·(1+1).
+        let db = parse_instance(&s, "R(k0,a) R(k0,b) R(k1,a) R(k1,b) S(a)").unwrap();
+        assert_eq!(candidate_space(&db), 18);
+        assert_eq!(candidate_space(&Instance::new(s.clone())), 1);
+
+        let fks = cqa_model::parser::parse_fks(&s, "R[2] -> S").unwrap();
+        let roomy = CertaintyOracle::new();
+        assert!(roomy.within_budget(&db, &fks));
+        let tight = CertaintyOracle::with_limits(SearchLimits::budgeted(17));
+        assert!(!tight.within_budget(&db, &fks));
+        // FK-free budgeting counts primary-key repairs (2·2 = 4) instead.
+        let empty = cqa_model::FkSet::empty(s);
+        assert!(CertaintyOracle::with_limits(SearchLimits::budgeted(4))
+            .within_budget(&db, &empty));
+        assert!(!CertaintyOracle::with_limits(SearchLimits::budgeted(3))
+            .within_budget(&db, &empty));
+    }
 
     #[test]
     fn pk_only_path_matches_enumeration() {

@@ -1,0 +1,178 @@
+//! The common backend interface behind the unified solver.
+//!
+//! The polynomial-time deciders of this crate ([`crate::prop16`],
+//! [`crate::prop17`]) were written against the paper's literal relation
+//! names. A production router needs to dispatch *any* problem whose shape
+//! is isomorphic to one of the propositions, so this module packages each
+//! decider as a [`Backend`]: a pre-bound, instance-in/verdict-out adapter
+//! carrying the relation names (and, for Proposition 17, the middle
+//! constant) the router matched. `cqa-core`'s `Solver` constructs one at
+//! routing time and calls it per instance; the adapters are `Send + Sync`
+//! so batched solving can shard instances across threads.
+//!
+//! ```
+//! use cqa_model::parser::{parse_instance, parse_schema};
+//! use cqa_model::RelName;
+//! use cqa_solvers::backend::{Backend, ReachabilityBackend};
+//! use std::sync::Arc;
+//!
+//! // Proposition 16's problem with the relations renamed E/V.
+//! let s = Arc::new(parse_schema("E[2,1] V[1,1]").unwrap());
+//! let backend = ReachabilityBackend::new(RelName::new("E"), RelName::new("V"));
+//! let db = parse_instance(&s, "E(a,a) V(a)").unwrap();
+//! assert!(backend.certain(&db));
+//! ```
+
+use crate::{prop16, prop17};
+use cqa_model::{Cst, Instance, RelName};
+use std::fmt;
+
+/// A polynomial-time decider for `CERTAINTY(q, FK)` on a fixed problem,
+/// pre-bound to the relation names it was routed for.
+///
+/// Implementations must be deterministic and sound: `certain(db)` is `true`
+/// iff every ⊕-repair of `db` satisfies the query the backend was built
+/// for. They must also be `Send + Sync` — the solver shards batches of
+/// instances across threads over one shared backend.
+pub trait Backend: Send + Sync {
+    /// A short human-readable name (used in verdict provenance).
+    fn name(&self) -> &'static str;
+
+    /// Decides certainty on `db`.
+    fn certain(&self, db: &Instance) -> bool;
+}
+
+/// Proposition 16's NL-complete problem `({N(x,x), O(x)}, {N[2]→O})`, up to
+/// renaming of the two relations, decided through the cycle-refined
+/// reachability criterion ([`prop16::certain_via_reachability_in`]) — the
+/// decider that exhibits the NL upper bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReachabilityBackend {
+    /// The `N`-like relation (signature `[2,1]`).
+    pub n: RelName,
+    /// The `O`-like relation (signature `[1,1]`).
+    pub o: RelName,
+}
+
+impl ReachabilityBackend {
+    /// Binds the backend to a concrete relation pair.
+    pub fn new(n: RelName, o: RelName) -> ReachabilityBackend {
+        ReachabilityBackend { n, o }
+    }
+}
+
+impl Backend for ReachabilityBackend {
+    fn name(&self) -> &'static str {
+        "reachability (Proposition 16)"
+    }
+
+    fn certain(&self, db: &Instance) -> bool {
+        prop16::certain_via_reachability_in(db, self.n, self.o)
+    }
+}
+
+impl fmt::Display for ReachabilityBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reachability over ({}, {})", self.n, self.o)
+    }
+}
+
+/// Proposition 17's P-complete problem `({N(x,'c',y), O(y)}, {N[3]→O})`, up
+/// to renaming of the two relations and choice of the middle constant,
+/// decided through dual-Horn SAT with unit propagation
+/// ([`prop17::certain_in`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DualHornBackend {
+    /// The `N`-like relation (signature `[3,1]`).
+    pub n: RelName,
+    /// The `O`-like relation (signature `[1,1]`).
+    pub o: RelName,
+    /// The query's middle constant.
+    pub c: Cst,
+}
+
+impl DualHornBackend {
+    /// Binds the backend to a concrete relation pair and middle constant.
+    pub fn new(n: RelName, o: RelName, c: Cst) -> DualHornBackend {
+        DualHornBackend { n, o, c }
+    }
+}
+
+impl Backend for DualHornBackend {
+    fn name(&self) -> &'static str {
+        "dual-Horn SAT (Proposition 17)"
+    }
+
+    fn certain(&self, db: &Instance) -> bool {
+        prop17::certain_in(db, self.n, self.o, self.c)
+    }
+}
+
+impl fmt::Display for DualHornBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dual-Horn over ({}, {}) with constant {}", self.n, self.o, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::parser::{parse_instance, parse_schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn renamed_prop16_matches_canonical() {
+        // The same instances under the canonical (N, O) and a renamed
+        // (E, V) signature must decide identically.
+        let canon = Arc::new(parse_schema(prop16::SCHEMA).unwrap());
+        let renamed = Arc::new(parse_schema("E[2,1] V[1,1]").unwrap());
+        let backend = ReachabilityBackend::new(RelName::new("E"), RelName::new("V"));
+        for text in [
+            "N(a,a) O(a)",
+            "N(a,a) N(a,b) O(a)",
+            "N(a,a) N(a,b) N(b,b) O(a)",
+            "N(a,a) N(a,b) N(b,b) N(b,a) O(a)",
+        ] {
+            let db = parse_instance(&canon, text).unwrap();
+            let moved = text.replace('N', "E").replace('O', "V");
+            let db2 = parse_instance(&renamed, &moved).unwrap();
+            assert_eq!(
+                prop16::certain(&db),
+                backend.certain(&db2),
+                "disagree on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn renamed_prop17_matches_canonical() {
+        let canon = Arc::new(parse_schema(prop17::SCHEMA).unwrap());
+        let renamed = Arc::new(parse_schema("Emp[3,1] Dept[1,1]").unwrap());
+        let backend =
+            DualHornBackend::new(RelName::new("Emp"), RelName::new("Dept"), Cst::new("c"));
+        for text in [
+            "N(i,c,1) O(1)",
+            "N(i,c,1) N(i,d,2) O(1)",
+            "N(b1,c,1) N(b1,d,2) N(b2,c,2) O(1)",
+            "N(b1,c,1) N(b1,d,2) N(b2,d,3) O(1)",
+        ] {
+            let db = parse_instance(&canon, text).unwrap();
+            let moved = text.replace('N', "Emp").replace('O', "Dept");
+            let db2 = parse_instance(&renamed, &moved).unwrap();
+            assert_eq!(
+                prop17::certain(&db, Cst::new("c")),
+                backend.certain(&db2),
+                "disagree on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backends_are_object_safe_and_shareable() {
+        let boxed: Box<dyn Backend> =
+            Box::new(ReachabilityBackend::new(RelName::new("N"), RelName::new("O")));
+        assert!(boxed.name().contains("reachability"));
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&boxed);
+    }
+}

@@ -20,16 +20,23 @@
 //! Each solver is validated against the exhaustive repair oracle of
 //! `cqa-repair` on small instances (see the crate tests and the integration
 //! suite).
+//!
+//! The [`backend`] module packages the polynomial-time deciders behind one
+//! [`backend::Backend`] trait — pre-bound adapters (relation names, middle
+//! constant) that `cqa-core`'s unified `Solver` dispatches to for any
+//! problem isomorphic to Proposition 16 or 17 up to renaming.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod fig3;
 pub mod horn;
 pub mod prop16;
 pub mod prop17;
 pub mod reach;
 
+pub use backend::{Backend, DualHornBackend, ReachabilityBackend};
 pub use fig3::Fig3Instance;
 pub use horn::{DualHornFormula, HornFormula};
 pub use reach::DiGraph;

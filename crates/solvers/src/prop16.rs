@@ -39,14 +39,26 @@ pub const FKS: &str = "N[2] -> O";
 /// Decides `CERTAINTY({N(x,x), O(x)}, {N[2]→O})` on `db` (dual-Horn
 /// encoding; polynomial time).
 pub fn certain(db: &Instance) -> bool {
-    !build_formula(db).satisfiable()
+    certain_in(db, RelName::new("N"), RelName::new("O"))
+}
+
+/// [`certain`] generalized to any relation pair isomorphic to the
+/// proposition's `(N, O)`: `n` must have signature `[2,1]` and `o`
+/// signature `[1,1]` in `db`'s schema. The unified solver routes every
+/// problem of this shape (up to renaming) here.
+pub fn certain_in(db: &Instance, n: RelName, o: RelName) -> bool {
+    !build_formula_in(db, n, o).satisfiable()
 }
 
 /// Builds the dual-Horn formula whose satisfiability witnesses a falsifying
 /// ⊕-repair; exposed for the benchmarks.
 pub fn build_formula(db: &Instance) -> DualHornFormula {
-    let n = RelName::new("N");
-    let o = RelName::new("O");
+    build_formula_in(db, RelName::new("N"), RelName::new("O"))
+}
+
+/// [`build_formula`] generalized to any relation pair isomorphic to
+/// `(N, O)` (see [`certain_in`]).
+pub fn build_formula_in(db: &Instance, n: RelName, o: RelName) -> DualHornFormula {
     let mut ids: BTreeMap<Cst, usize> = BTreeMap::new();
     let id = |ids: &mut BTreeMap<Cst, usize>, v: Cst| -> usize {
         let next = ids.len();
@@ -77,9 +89,12 @@ pub fn build_formula(db: &Instance) -> DualHornFormula {
 /// criterion of the paper's proof sketch. Agrees with [`certain`] on every
 /// instance (tested); kept separate because it exhibits the NL upper bound.
 pub fn certain_via_reachability(db: &Instance) -> bool {
-    let n = RelName::new("N");
-    let o = RelName::new("O");
+    certain_via_reachability_in(db, RelName::new("N"), RelName::new("O"))
+}
 
+/// [`certain_via_reachability`] generalized to any relation pair isomorphic
+/// to `(N, O)` (see [`certain_in`]).
+pub fn certain_via_reachability_in(db: &Instance, n: RelName, o: RelName) -> bool {
     let bottom = 0usize;
     let mut ids: BTreeMap<Cst, usize> = BTreeMap::new();
     for fact in db.facts_of(n) {

@@ -29,13 +29,26 @@ pub const FKS: &str = "N[3] -> O";
 /// Decides `CERTAINTY({N(x,'c',y), O(y)}, {N[3]→O})` on `db` in polynomial
 /// time, where `c` is the query's middle constant.
 pub fn certain(db: &Instance, c: Cst) -> bool {
-    !build_formula(db, c).satisfiable()
+    certain_in(db, RelName::new("N"), RelName::new("O"), c)
+}
+
+/// [`certain`] generalized to any relation pair isomorphic to the
+/// proposition's `(N, O)`: `n` must have signature `[3,1]` and `o`
+/// signature `[1,1]` in `db`'s schema, and `c` is the middle constant of
+/// the `n`-atom. The unified solver routes every problem of this shape
+/// (up to renaming) here.
+pub fn certain_in(db: &Instance, n: RelName, o: RelName, c: Cst) -> bool {
+    !build_formula_in(db, n, o, c).satisfiable()
 }
 
 /// Builds the paper's dual-Horn formula `ϕ_db`; exposed for the benchmarks.
 pub fn build_formula(db: &Instance, c: Cst) -> DualHornFormula {
-    let n = RelName::new("N");
-    let o = RelName::new("O");
+    build_formula_in(db, RelName::new("N"), RelName::new("O"), c)
+}
+
+/// [`build_formula`] generalized to any relation pair isomorphic to
+/// `(N, O)` (see [`certain_in`]).
+pub fn build_formula_in(db: &Instance, n: RelName, o: RelName, c: Cst) -> DualHornFormula {
     let mut ids: BTreeMap<Cst, usize> = BTreeMap::new();
     let id = |ids: &mut BTreeMap<Cst, usize>, v: Cst| -> usize {
         let next = ids.len();

@@ -6,7 +6,6 @@
 
 use cqa::prelude::*;
 use cqa_gen::bibliography::scaled_bibliography;
-use std::time::Instant;
 
 fn main() {
     // 200 papers × 3 authors; every 5th author has conflicting first names,
@@ -25,14 +24,16 @@ fn main() {
         bib.db.dangling_facts(&bib.fks).len()
     );
 
-    let engine = CertainEngine::try_new(Problem::new(bib.query.clone(), bib.fks.clone()).unwrap())
-        .expect("q0 is FO-rewritable");
+    let problem = Problem::new(bib.query.clone(), bib.fks.clone()).unwrap();
+    let engine = CertainEngine::try_new(problem.clone()).expect("q0 is FO-rewritable");
+    let solver = Solver::new(problem).expect("q0 is FO-rewritable");
 
-    let start = Instant::now();
-    let answer = engine.answer(&bib.db);
-    let elapsed = start.elapsed();
+    let verdict = solver.solve(&bib.db);
     println!(
-        "\ncertain answer to \"some 2016 paper has an author named Jeff\": {answer} ({elapsed:?})"
+        "\ncertain answer to \"some 2016 paper has an author named Jeff\": {} ({:?} via {})",
+        verdict.is_certain(),
+        verdict.provenance.elapsed,
+        verdict.provenance.backend,
     );
 
     // The repair count shows why enumeration is not an option: every

@@ -16,7 +16,9 @@ fn main() {
     let schema = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
     let q = parse_query(&schema, "N('c',y), O(y), P(y)").unwrap();
     let fks = parse_fks(&schema, "N[2] -> O").unwrap();
-    let engine = CertainEngine::try_new(Problem::new(q, fks).unwrap()).unwrap();
+    let problem = Problem::new(q, fks).unwrap();
+    let engine = CertainEngine::try_new(problem.clone()).unwrap();
+    let solver = Solver::new(problem).unwrap();
 
     println!("━━━ §8 worked example");
     println!("{engine}");
@@ -27,11 +29,14 @@ fn main() {
     // The paper's asymmetry note: O is referenced by a strong key, P is not.
     // Its yes-instance flips to no when either P-fact is removed.
     let db = parse_instance(&schema, "N(c,a) N(c,b) O(a) P(a) P(b)").unwrap();
-    println!("\ninstance {{N(c,a), N(c,b), O(a), P(a), P(b)}} → {}", engine.answer(&db));
+    println!(
+        "\ninstance {{N(c,a), N(c,b), O(a), P(a), P(b)}} → {}",
+        solver.solve(&db).is_certain()
+    );
     for gone in ["P(a)", "P(b)"] {
         let mut smaller = db.clone();
         smaller.remove(&parse_fact(gone).unwrap());
-        println!("  … without {gone} → {}", engine.answer(&smaller));
+        println!("  … without {gone} → {}", solver.solve(&smaller).is_certain());
     }
 
     let (ddl, expr) = engine.sql().unwrap();

@@ -5,13 +5,21 @@
 //! cqa classify --schema "N[3,1] O[2,1]" --query "N(x,'c',y), O(y,w)" --fks "N[3] -> O"
 //! cqa rewrite  --schema … --query … --fks …            # print plan + formula
 //! cqa sql      --schema … --query … --fks …            # rewriting as SQL
-//! cqa answer   --schema … --query … --fks … --db db.txt  # certain answer
+//! cqa solve    --schema … --query … --fks … --db db.txt  # unified solver (any class)
+//! cqa answer   --schema … --query … --fks … --db db.txt  # FO-only legacy path
 //! cqa oracle   --schema … --query … --fks … --db db.txt  # exhaustive check
 //! ```
 //!
+//! `solve` routes the problem to its best backend (compiled FO plan,
+//! dual-Horn / reachability poly-time solver, or — with
+//! `--fallback-budget N` — the budgeted exhaustive oracle) and prints the
+//! verdict with provenance. `--threads N` pins the sharding width
+//! (otherwise `CQA_THREADS`, resolved once); `--materialized` forces the
+//! interpretive FO evaluator.
+//!
 //! Databases are text files of facts (`R(a,1); S(1,x)` — see
 //! `cqa_model::parser`). Exit code 0 = yes/FO, 1 = no/not-FO, 2 = usage or
-//! input error.
+//! input error, 3 = inconclusive (fallback budget exhausted).
 
 use cqa::core::flatten::flatten;
 use cqa::prelude::*;
@@ -24,6 +32,9 @@ struct Args {
     query: Option<String>,
     fks: String,
     db: Option<String>,
+    fallback_budget: Option<u64>,
+    threads: Option<usize>,
+    materialized: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,8 +46,15 @@ fn parse_args() -> Result<Args, String> {
         query: None,
         fks: String::new(),
         db: None,
+        fallback_budget: None,
+        threads: None,
+        materialized: false,
     };
     while let Some(flag) = argv.next() {
+        if flag == "--materialized" {
+            args.materialized = true;
+            continue;
+        }
         let value = argv
             .next()
             .ok_or_else(|| format!("missing value for {flag}"))?;
@@ -45,6 +63,13 @@ fn parse_args() -> Result<Args, String> {
             "--query" => args.query = Some(value),
             "--fks" => args.fks = value,
             "--db" => args.db = Some(value),
+            "--fallback-budget" => {
+                args.fallback_budget =
+                    Some(value.parse().map_err(|e| format!("--fallback-budget: {e}"))?)
+            }
+            "--threads" => {
+                args.threads = Some(value.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -52,12 +77,20 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: cqa <classify|rewrite|sql|answer|oracle> \
-     --schema \"R[2,1] …\" --query \"R(x,y), …\" [--fks \"R[2] -> S, …\"] [--db facts.txt]"
+    "usage: cqa <classify|rewrite|sql|solve|answer|oracle> \
+     --schema \"R[2,1] …\" --query \"R(x,y), …\" [--fks \"R[2] -> S, …\"] [--db facts.txt] \
+     [--fallback-budget N] [--threads N] [--materialized]"
         .to_string()
 }
 
-fn run() -> Result<bool, String> {
+/// The CLI's three-valued outcome, mapped to exit codes in `main`.
+enum Outcome {
+    Yes,
+    No,
+    Inconclusive,
+}
+
+fn run() -> Result<Outcome, String> {
     let args = parse_args()?;
     let schema_text = args.schema.ok_or("missing --schema")?;
     let query_text = args.query.ok_or("missing --query")?;
@@ -72,16 +105,18 @@ fn run() -> Result<bool, String> {
         parse_instance(&schema, &text).map_err(|e| e.to_string())
     };
 
+    let yn = |b: bool| if b { Outcome::Yes } else { Outcome::No };
+
     match args.command.as_str() {
         "classify" => match problem.classify() {
             Classification::Fo(plan) => {
                 println!("in FO — consistent first-order rewriting constructed");
                 println!("{plan}");
-                Ok(true)
+                Ok(Outcome::Yes)
             }
             Classification::NotFo(reason) => {
                 println!("not in FO — {reason}");
-                Ok(false)
+                Ok(Outcome::No)
             }
         },
         "rewrite" => match problem.classify() {
@@ -90,11 +125,11 @@ fn run() -> Result<bool, String> {
                 let f = flatten(&plan).map_err(|e| e.to_string())?;
                 println!("\nflattened: {f}");
                 println!("ascii    : {}", f.ascii());
-                Ok(true)
+                Ok(Outcome::Yes)
             }
             Classification::NotFo(reason) => {
                 println!("not in FO — {reason}");
-                Ok(false)
+                Ok(Outcome::No)
             }
         },
         "sql" => {
@@ -102,14 +137,57 @@ fn run() -> Result<bool, String> {
             let (ddl, expr) = engine.sql().map_err(|e| e.to_string())?;
             println!("{ddl}");
             println!("SELECT CASE WHEN {expr} THEN 1 ELSE 0 END AS certain;");
-            Ok(true)
+            Ok(Outcome::Yes)
+        }
+        "solve" => {
+            let mut options = ExecOptions::default();
+            if let Some(n) = args.threads {
+                options = options.with_threads(n);
+            }
+            if args.materialized {
+                options.evaluator = Evaluator::Materialized;
+            }
+            if let Some(budget) = args.fallback_budget {
+                options = options.with_fallback(SearchLimits::budgeted(budget));
+            }
+            let solver = Solver::builder(problem)
+                .options(options)
+                .build()
+                .map_err(|e| format!("{e}\n(hint: pass --fallback-budget N to opt in)"))?;
+            println!("route: {}", solver.route());
+            let db = load_db()?;
+            if let Route::Fallback(fallback) = solver.route() {
+                if !fallback.oracle().within_budget(&db, solver.problem().fks()) {
+                    eprintln!(
+                        "note: candidate space exceeds the fallback budget — expect an \
+                         inconclusive verdict (raise --fallback-budget)"
+                    );
+                }
+            }
+            let verdict = solver.solve(&db);
+            println!("{verdict}");
+            match verdict.certainty {
+                Certainty::Certain => Ok(Outcome::Yes),
+                Certainty::NotCertain => Ok(Outcome::No),
+                Certainty::Inconclusive => Ok(Outcome::Inconclusive),
+            }
         }
         "answer" => {
-            let engine = CertainEngine::try_new(problem).map_err(|r| {
-                format!("not FO-rewritable ({r}); use `cqa oracle` for small instances")
-            })?;
+            // The FO-only legacy path, now a thin alias of the solver's
+            // FO route (same exit semantics as before: anything not FO is
+            // an error here — `cqa solve` serves the other classes).
+            let not_fo = "use `cqa solve` (with --fallback-budget for the hard class) \
+                          or `cqa oracle` for small instances";
+            let solver = Solver::new(problem)
+                .map_err(|r| format!("not FO-rewritable ({r}); {not_fo}"))?;
+            if solver.route().kind() != RouteKind::Fo {
+                return Err(format!(
+                    "not FO-rewritable (routed {}); {not_fo}",
+                    solver.route()
+                ));
+            }
             let db = load_db()?;
-            let ans = engine.answer(&db);
+            let ans = solver.solve(&db).is_certain();
             println!(
                 "{}",
                 if ans {
@@ -118,21 +196,29 @@ fn run() -> Result<bool, String> {
                     "not certain: some ⊕-repair falsifies the query"
                 }
             );
-            Ok(ans)
+            Ok(yn(ans))
         }
         "oracle" => {
             let db = load_db()?;
-            let oracle = CertaintyOracle::new();
+            // --fallback-budget raises/lowers the search limits here too,
+            // so a user hitting "inconclusive" can re-budget in place.
+            let oracle = match args.fallback_budget {
+                Some(budget) => CertaintyOracle::with_limits(SearchLimits::budgeted(budget)),
+                None => CertaintyOracle::new(),
+            };
             match oracle.is_certain(&db, problem.query(), problem.fks()) {
                 OracleOutcome::Certain => {
                     println!("certain (exhaustive search)");
-                    Ok(true)
+                    Ok(Outcome::Yes)
                 }
                 OracleOutcome::NotCertain(witness) => {
                     println!("not certain; falsifying ⊕-repair: {witness}");
-                    Ok(false)
+                    Ok(Outcome::No)
                 }
-                OracleOutcome::Inconclusive(why) => Err(format!("inconclusive: {why}")),
+                OracleOutcome::Inconclusive(why) => {
+                    println!("inconclusive: {why} (raise --fallback-budget)");
+                    Ok(Outcome::Inconclusive)
+                }
             }
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
@@ -141,8 +227,9 @@ fn run() -> Result<bool, String> {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(1),
+        Ok(Outcome::Yes) => ExitCode::SUCCESS,
+        Ok(Outcome::No) => ExitCode::from(1),
+        Ok(Outcome::Inconclusive) => ExitCode::from(3),
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)

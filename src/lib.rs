@@ -6,6 +6,10 @@
 //!
 //! ## Quick start
 //!
+//! One [`Solver`](prelude::Solver) accepts **any** `CERTAINTY(q, FK)`
+//! problem, classifies it once (Theorem 12 plus the Proposition 16/17
+//! shape matcher), and answers through the fastest sound backend:
+//!
 //! ```
 //! use cqa::prelude::*;
 //!
@@ -15,14 +19,22 @@
 //! let fks = parse_fks(&schema, "N[3] -> O").unwrap();
 //! let problem = Problem::new(q, fks).unwrap();
 //!
-//! // Theorem 12: this pair has block-interference, hence is NL-hard (not FO).
+//! // Theorem 12: this pair has block-interference, hence is NL-hard (not
+//! // FO) — but it is Proposition 17's shape, so the solver routes it to
+//! // the polynomial-time dual-Horn backend instead of turning you away.
 //! match problem.classify() {
 //!     Classification::NotFo(why) => assert!(why.nl_hard()),
 //!     Classification::Fo(_) => unreachable!(),
 //! }
+//! let solver = Solver::new(problem).unwrap();
+//! let db = parse_instance(&schema, "N(b,c,1) O(1)").unwrap();
+//! let verdict = solver.solve(&db);
+//! assert!(verdict.is_certain());
+//! assert_eq!(verdict.provenance.backend, BackendKind::DualHorn);
 //! ```
 //!
-//! See `examples/` for richer scenarios and `DESIGN.md` for the module map.
+//! See `examples/` for richer scenarios and `DESIGN.md` for the module map
+//! and the full routing table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +57,14 @@ pub mod prelude {
         parallel::ParallelPolicy,
         pipeline::RewritePlan,
         problem::Problem,
+        solver::{
+            ExecOptions, Evaluator, FallbackBudget, Route, RouteKind, Solver, SolverBuilder,
+            SolverError,
+        },
+        verdict::{BackendKind, Certainty, Provenance, Verdict},
     };
+    pub use cqa_repair::SearchLimits;
+    pub use cqa_solvers::backend::Backend;
     pub use cqa_fo::{ast::Formula, eval::eval_closed};
     pub use cqa_model::parser::{
         parse_fact, parse_fks, parse_instance, parse_query, parse_schema,

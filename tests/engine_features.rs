@@ -1,6 +1,11 @@
 //! Integration tests for the user-facing features layered on the core
 //! library: the certain-answers API, the engine's SQL emission, formula
 //! statistics, and the repair-counting module's relationship to certainty.
+//!
+//! The engine's `answer*` surface is deprecated in favor of `Solver`, but
+//! stays covered here on purpose — deprecated wrappers that silently rot
+//! are worse than none.
+#![allow(deprecated)]
 
 use cqa::core::certain_answers;
 use cqa::fo::stats;

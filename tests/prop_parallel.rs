@@ -13,6 +13,11 @@
 //! short-circuit, a shard reading a half-filtered view, a racy first
 //! touch of the instance index) shows up as a three-way disagreement.
 
+// The deprecated engine batch surface is exercised deliberately: its
+// sharding machinery now also backs `Solver::solve_many`, and this harness
+// is the determinism pin for both.
+#![allow(deprecated)]
+
 use cqa::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;

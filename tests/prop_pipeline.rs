@@ -14,6 +14,10 @@
 //! * **dangling facts and multi-fact blocks** — exercising the Lemma 37/40
 //!   block filters and the non-dangling witness test through the view.
 
+// The deprecated engine batch surface is exercised deliberately: it is the
+// thin wrapper the differential harness pins against the plan executors.
+#![allow(deprecated)]
+
 use cqa::core::compiled_plan::CompiledPlan;
 use cqa::prelude::*;
 use proptest::prelude::*;
