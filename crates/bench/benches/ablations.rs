@@ -17,6 +17,11 @@
 //!   out) at widths 2 and 4 vs. the sequential compiled executor on the
 //!   same workload; wall-clock gains require actual CPUs, so on
 //!   single-core runners this group measures the sharding overhead;
+//! * `delta_reanswer_vs_full` — a single-fact delta on the outer Lemma 45
+//!   block (remove/reinsert one `N('c',∗)` fact, alternating), answered by
+//!   `IncrementalSolver::reanswer` (cached residuals for the untouched
+//!   block facts) vs. the same mutation followed by a full
+//!   `Solver::solve`;
 //! * `block_index` — conjunctive-query matching with the primary-key block
 //!   index vs. a relation-scan emulation.
 
@@ -121,6 +126,55 @@ fn bench_plan_parallel_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_delta_reanswer_vs_full(c: &mut Criterion) {
+    use cqa_bench::nested_l45_problem;
+    use cqa_core::{ExecOptions, Solver};
+    use cqa_model::parser::parse_fact;
+    use cqa_model::Delta;
+
+    let (s, _, _) = nested_l45_plan();
+    let solver = Solver::builder(nested_l45_problem())
+        .options(ExecOptions::sequential())
+        .build()
+        .expect("nested workload is FO");
+    let toggled = parse_fact("N(c,y0)").unwrap();
+    let mut remove = Delta::new();
+    remove.remove(toggled.clone());
+    let mut insert = Delta::new();
+    insert.insert(toggled);
+    let toggles = [remove, insert];
+
+    let mut group = c.benchmark_group("delta_reanswer_vs_full");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        // Both sides pay one single-fact mutation + one answer per
+        // iteration; the delta between them is pure re-answering work.
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, &n| {
+            let mut db = nested_l45_instance(&s, n);
+            solver.solve(&db);
+            let mut i = 0usize;
+            b.iter(|| {
+                let delta = &toggles[i % 2];
+                i += 1;
+                db.apply(delta).unwrap();
+                solver.solve(&db).is_certain()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+            let mut db = nested_l45_instance(&s, n);
+            let mut session = solver.incremental();
+            session.solve(&db);
+            let mut i = 0usize;
+            b.iter(|| {
+                let delta = &toggles[i % 2];
+                i += 1;
+                session.reanswer(&mut db, delta).unwrap().is_certain()
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Emulates CQ matching without the block index: join the atoms by scanning
 /// full relations and filtering, the way an index-free engine would.
 fn scan_join(db: &Instance, _q: &cqa_model::Query) -> bool {
@@ -167,6 +221,7 @@ criterion_group!(
     bench_compiled_vs_interpreted,
     bench_plan_compiled_vs_materialized,
     bench_plan_parallel_vs_sequential,
+    bench_delta_reanswer_vs_full,
     bench_block_index
 );
 criterion_main!(benches);

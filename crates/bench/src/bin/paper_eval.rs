@@ -137,6 +137,21 @@ fn bench_eval_snapshot() {
         "  routing overhead at the largest size: {:+.2}% (target < 5%)",
         bench.solver_routing_overhead
     );
+    println!("delta-certainty: apply + full solve vs IncrementalSolver::reanswer (single-fact Δ)");
+    for row in &bench.delta_rows {
+        println!(
+            "  n={:<4} ({:>4} facts): full {:>10} — incremental {:>10} — {:.1}×",
+            row.n_blocks,
+            row.facts,
+            fmt_duration(std::time::Duration::from_nanos(row.full_ns as u64)),
+            fmt_duration(std::time::Duration::from_nanos(row.incremental_ns as u64)),
+            row.speedup,
+        );
+    }
+    println!(
+        "  delta speedup at the largest size: {:.1}× (target ≥ 10×)",
+        bench.delta_reanswer_vs_full
+    );
     let path = "BENCH_eval.json";
     std::fs::write(path, bench.to_json()).expect("write BENCH_eval.json");
     println!("wrote {path}");
@@ -400,7 +415,7 @@ fn e9_section8(report: &mut Report) {
     let mut ok = solver.solve(&yes).is_certain() && eval_closed(&yes, &formula);
     for gone in ["P(a)", "P(b)"] {
         let mut db = yes.clone();
-        db.remove(&parse_fact(gone).unwrap());
+        db.remove(&parse_fact(gone).unwrap()).unwrap();
         ok &= !solver.solve(&db).is_certain();
     }
     report.push(Experiment::new(

@@ -39,7 +39,16 @@
 //! (route dispatch, verdict and provenance construction); the acceptance
 //! target is < 5% at the largest size.
 //!
-//! `paper-eval` runs all four after the E1–E16 table and snapshots the
+//! A fifth workload measures **delta-certainty**: the same nested problem
+//! under a single-fact delta on the outer block (remove one `N('c',∗)`
+//! fact, reinsert it, alternating), answered by
+//! [`cqa_core::IncrementalSolver::reanswer`] — which re-reads cached
+//! residual verdicts for the `n−1` untouched block facts — vs applying the
+//! same delta and re-running a full [`cqa_core::Solver::solve`]. Both
+//! sides pay the identical mutation, so the ratio is pure re-answering
+//! work; the acceptance target is ≥ 10× at the largest size.
+//!
+//! `paper-eval` runs all five after the E1–E16 table and snapshots the
 //! result to `BENCH_eval.json`, which CI uploads as an artifact — the
 //! perf-trajectory baseline for the evaluation core.
 
@@ -121,6 +130,24 @@ pub struct SolverRoutingRow {
     pub overhead_pct: f64,
 }
 
+/// One measured size of the delta-reanswer benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeltaBenchRow {
+    /// Number of facts in the outer Lemma 45 block.
+    pub n_blocks: usize,
+    /// Total facts in the instance.
+    pub facts: usize,
+    /// Best per-mutation time of the from-scratch baseline: apply the
+    /// single-fact delta, then a full `Solver::solve`.
+    pub full_ns: u128,
+    /// Best per-mutation time of the incremental path: the same delta
+    /// through `IncrementalSolver::reanswer` (residual-cache reuse for the
+    /// untouched block facts).
+    pub incremental_ns: u128,
+    /// `full / incremental`.
+    pub speedup: f64,
+}
+
 /// The full `BENCH_eval.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct EvalBench {
@@ -157,6 +184,13 @@ pub struct EvalBench {
     /// Facade dispatch overhead (percent) at the largest measured size —
     /// the unified-solver acceptance metric, target < 5%.
     pub solver_routing_overhead: f64,
+    /// What was measured (delta-reanswer workload).
+    pub delta_workload: String,
+    /// Per-size measurements of incremental re-answering vs apply+resolve.
+    pub delta_rows: Vec<DeltaBenchRow>,
+    /// Incremental speedup at the largest measured size (the
+    /// delta-certainty acceptance metric, target ≥ 10×).
+    pub delta_reanswer_vs_full: f64,
 }
 
 impl EvalBench {
@@ -364,6 +398,78 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
         .map(|r| r.overhead_pct)
         .unwrap_or(0.0);
 
+    // Delta-certainty: a single-fact delta on the outer N('c', ∗) block —
+    // remove one chain's N-fact, then reinsert it, alternating — answered
+    // incrementally (IncrementalSolver::reanswer, cached residuals for the
+    // n−1 untouched block facts) vs from scratch (Instance::apply + full
+    // Solver::solve). Both sides pay the same mutation; the delta is pure
+    // re-answering work.
+    let mut delta_rows = Vec::new();
+    for &n in plan_sizes {
+        let toggled = cqa_model::parser::parse_fact("N(c,y0)").unwrap();
+        let mut remove = cqa_model::Delta::new();
+        remove.remove(toggled.clone());
+        let mut insert = cqa_model::Delta::new();
+        insert.insert(toggled.clone());
+        let toggles = [remove, insert];
+
+        // Correctness first: the incremental session must localize (not
+        // silently recompute) and agree with from-scratch on both phases.
+        let mut db = nested_l45_instance(&ps, n);
+        let mut session = solver.incremental();
+        session.solve(&db);
+        let mut check = nested_l45_instance(&ps, n);
+        for i in 0..4 {
+            let delta = &toggles[i % 2];
+            let v = session.reanswer(&mut db, delta).unwrap();
+            check.apply(delta).unwrap();
+            assert_eq!(
+                v.as_bool(),
+                solver.solve(&check).as_bool(),
+                "incremental and from-scratch disagree at n={n}, toggle {i}"
+            );
+            assert!(
+                matches!(
+                    v.provenance.delta,
+                    Some(cqa_core::DeltaOutcome::Localized { .. })
+                ),
+                "single-fact N-delta must localize at n={n}: {:?}",
+                v.provenance.delta
+            );
+        }
+
+        // Timed runs: one mutation + one answer per iteration on each side.
+        let mut full_db = nested_l45_instance(&ps, n);
+        let facts = full_db.len();
+        solver.solve(&full_db);
+        let mut i = 0usize;
+        let full_t = measure(budget, || {
+            let delta = &toggles[i % 2];
+            i += 1;
+            full_db.apply(delta).unwrap();
+            solver.solve(&full_db).is_certain()
+        });
+
+        let mut inc_db = nested_l45_instance(&ps, n);
+        let mut session = solver.incremental();
+        session.solve(&inc_db);
+        let mut j = 0usize;
+        let inc_t = measure(budget, || {
+            let delta = &toggles[j % 2];
+            j += 1;
+            session.reanswer(&mut inc_db, delta).unwrap().is_certain()
+        });
+
+        delta_rows.push(DeltaBenchRow {
+            n_blocks: n,
+            facts,
+            full_ns: full_t.as_nanos(),
+            incremental_ns: inc_t.as_nanos(),
+            speedup: full_t.as_secs_f64() / inc_t.as_secs_f64().max(f64::EPSILON),
+        });
+    }
+    let delta_reanswer_vs_full = delta_rows.last().map(|r| r.speedup).unwrap_or(0.0);
+
     EvalBench {
         workload: "flattened rewriting of Example 13 q1 (guarded strategy) over n two-fact \
                    blocks: interpreted (cqa_fo::interp) vs compiled (CompiledFormula), \
@@ -393,6 +499,13 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
             .to_string(),
         solver_routing_rows,
         solver_routing_overhead,
+        delta_workload: "the same depth-2 nested Lemma 45 problem under a single-fact delta \
+                         (remove/reinsert one outer N('c',∗) block fact): \
+                         IncrementalSolver::reanswer (cached residuals for the untouched \
+                         block facts) vs Instance::apply + full Solver::solve"
+            .to_string(),
+        delta_rows,
+        delta_reanswer_vs_full,
     }
 }
 
@@ -417,6 +530,9 @@ mod tests {
         assert_eq!(report.solver_routing_rows.len(), 2);
         assert!(report.solver_routing_rows.iter().all(|r| r.solver_ns > 0));
         assert!(report.to_json().contains("solver_routing_overhead"));
+        assert_eq!(report.delta_rows.len(), 2);
+        assert!(report.delta_rows.iter().all(|r| r.incremental_ns > 0));
+        assert!(report.to_json().contains("delta_reanswer_vs_full"));
     }
 
     #[test]
@@ -429,7 +545,7 @@ mod tests {
         assert!(compiled.answer(&db));
         // Breaking one chain flips both executors to "not certain".
         let mut broken = db.clone();
-        broken.remove(&cqa_model::parser::parse_fact("P(w2)").unwrap());
+        broken.remove(&cqa_model::parser::parse_fact("P(w2)").unwrap()).unwrap();
         assert!(!plan.answer(&broken));
         assert!(!compiled.answer(&broken));
     }

@@ -11,7 +11,8 @@
 pub mod eval_bench;
 
 pub use eval_bench::{
-    nested_l45_instance, nested_l45_plan, run_eval_bench, EvalBench, EvalBenchRow, PlanBenchRow,
+    nested_l45_instance, nested_l45_plan, nested_l45_problem, run_eval_bench, DeltaBenchRow,
+    EvalBench, EvalBenchRow, PlanBenchRow,
 };
 
 use serde::Serialize;

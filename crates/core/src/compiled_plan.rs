@@ -72,7 +72,7 @@ use cqa_model::{
     CompiledQuery, Cst, ForeignKey, Instance, InstanceView, RelName, Term, Var,
 };
 use rayon_lite::ThreadPool;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// Why a plan could not be compiled into its view-backed executable form.
@@ -362,6 +362,65 @@ impl CompiledPlan {
         self.eval(&InstanceView::new(db), args, ctx)
     }
 
+    /// The relations this plan may read, at any nesting level. Every level
+    /// starts by restricting the incoming view to its own relation set, and
+    /// residual levels receive an already-restricted view, so the top-level
+    /// set is a sound overapproximation of everything the whole plan (ops
+    /// predicates, non-dangling probes, tail formula, nested residuals)
+    /// can observe. A delta confined to other relations cannot change the
+    /// answer.
+    pub fn reads(&self) -> &BTreeSet<RelName> {
+        &self.rels
+    }
+
+    /// Delta-localization probe: `Some(rel)` when this parameterless plan
+    /// is a bare Lemma 45 universal over one constant-keyed block of `rel`
+    /// and `rel` is read **nowhere else** — no filter ops precede the tail,
+    /// the residual plan never reads `rel`, and no foreign key of the step
+    /// points back into `rel`. In that shape the plan reads `rel` only
+    /// through `block_rows(rel, key)`, so a delta confined to `rel` can
+    /// only change the answer through the rows of that one block, and each
+    /// block fact's residual verdict depends on the fact's content plus the
+    /// *untouched* rest of the database — exactly what
+    /// [`CompiledPlan::answer_delta`] caches. `None` means deltas touching
+    /// the plan's reads need a full re-answer (detected, never stale).
+    pub fn localizable_rel(&self) -> Option<RelName> {
+        if self.n_params != 0 || !self.ops.is_empty() {
+            return None;
+        }
+        let CompiledTail::Lemma45(l) = &self.tail else {
+            return None;
+        };
+        if l.key.iter().any(|t| !matches!(t, PatTerm::Cst(_))) {
+            return None;
+        }
+        if l.sub.rels.contains(&l.rel) || l.outgoing.iter().any(|fk| fk.to == l.rel) {
+            return None;
+        }
+        Some(l.rel)
+    }
+
+    /// Evaluates a [`CompiledPlan::localizable_rel`] plan through a
+    /// [`ResidualCache`]: block facts whose content is cached reuse their
+    /// residual verdict; only uncached facts (the delta's new rows, or rows
+    /// an earlier early-exit never reached) evaluate the residual plan. The
+    /// cheap per-call parts — block emptiness and the existential
+    /// non-dangling witness — are re-run every time. Returns
+    /// `(answer, reused, evaluated)`.
+    ///
+    /// # Panics
+    /// If the plan is not localizable ([`CompiledPlan::localizable_rel`]
+    /// returned `None`).
+    pub fn answer_delta(&self, db: &Instance, cache: &mut ResidualCache) -> (bool, usize, usize) {
+        self.localizable_rel()
+            .expect("answer_delta requires a localizable plan");
+        let CompiledTail::Lemma45(l) = &self.tail else {
+            unreachable!("localizable plans have a Lemma 45 tail");
+        };
+        let view = InstanceView::new(db).restrict(&self.rels);
+        l.eval_cached(&view, cache)
+    }
+
     /// Evaluates over a view (already reduced by enclosing levels).
     fn eval(&self, base: &InstanceView<'_>, args: &[Cst], ctx: ParCtx<'_>) -> bool {
         let mut view = base.clone().restrict(&self.rels);
@@ -467,7 +526,97 @@ fn non_dangling(view: &InstanceView<'_>, row: &[Cst], outgoing: &[ForeignKey]) -
     })
 }
 
+/// A per-session cache of Lemma 45 residual verdicts for
+/// [`CompiledPlan::answer_delta`], keyed by block-fact **content**: a fact
+/// removed and later reinserted hits its old entry, and a fact that left
+/// the block simply stops being consulted. Entries stay valid exactly as
+/// long as the relations the residual plan reads are untouched — the
+/// owning session ([`crate::IncrementalSolver`]) clears the cache whenever
+/// a delta forces a full re-answer.
+#[derive(Clone, Debug, Default)]
+pub struct ResidualCache {
+    rows: HashMap<Box<[Cst]>, bool>,
+}
+
+impl ResidualCache {
+    /// An empty cache.
+    pub fn new() -> ResidualCache {
+        ResidualCache::default()
+    }
+
+    /// Drops every cached residual verdict.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Number of cached residual verdicts.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 impl CompiledLemma45 {
+    /// The cached form of [`CompiledLemma45::eval`] for localizable plans
+    /// (parameterless, constant key): conjunction over the block's current
+    /// rows with per-row memoization. Returns `(answer, reused, evaluated)`.
+    fn eval_cached(
+        &self,
+        view: &InstanceView<'_>,
+        cache: &mut ResidualCache,
+    ) -> (bool, usize, usize) {
+        let key: Vec<Cst> = self
+            .key
+            .iter()
+            .map(|t| match t {
+                PatTerm::Cst(c) => *c,
+                _ => unreachable!("localizable keys are ground constants"),
+            })
+            .collect();
+        let block = view.block_rows(self.rel, &key);
+        if block.is_empty() {
+            return (false, 0, 0);
+        }
+        if !block
+            .iter()
+            .any(|row| non_dangling(view, row, &self.outgoing))
+        {
+            return (false, 0, 0);
+        }
+        let mut xs_vals: Vec<Option<Cst>> = vec![None; self.n_xs];
+        let mut sub_args: Vec<Cst> = Vec::with_capacity(self.n_xs);
+        let (mut reused, mut evaluated) = (0, 0);
+        for row in &block {
+            let verdict = match cache.rows.get(*row) {
+                Some(&v) => {
+                    reused += 1;
+                    v
+                }
+                None => {
+                    evaluated += 1;
+                    let v = self.eval_row(
+                        view,
+                        &[],
+                        row,
+                        &mut xs_vals,
+                        &mut sub_args,
+                        ParCtx::SEQUENTIAL,
+                    );
+                    cache.rows.insert((*row).into(), v);
+                    v
+                }
+            };
+            if !verdict {
+                return (false, reused, evaluated);
+            }
+        }
+        (true, reused, evaluated)
+    }
+
     fn eval(&self, view: &InstanceView<'_>, args: &[Cst], ctx: ParCtx<'_>) -> bool {
         let key: Vec<Cst> = self
             .key

@@ -306,7 +306,7 @@ mod tests {
         assert!(eval_closed(&yes, &f));
         for missing in ["P(a)", "P(b)"] {
             let mut db = yes.clone();
-            db.remove(&cqa_model::parser::parse_fact(missing).unwrap());
+            db.remove(&cqa_model::parser::parse_fact(missing).unwrap()).unwrap();
             assert!(!eval_closed(&db, &f), "removing {missing} must flip");
         }
     }

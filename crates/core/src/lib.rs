@@ -56,7 +56,7 @@ pub mod verdict;
 
 pub use answers::{certain_answers, certain_answers_with, AnswerError};
 pub use classify::{classify, Classification, NotFoReason};
-pub use compiled_plan::{CompileError, CompiledPlan};
+pub use compiled_plan::{CompileError, CompiledPlan, ResidualCache};
 pub use depgraph::{fk_star, DepGraph};
 pub use engine::CertainEngine;
 pub use hardness::{lemma14_instance, lemma15_reduction};
@@ -66,7 +66,7 @@ pub use parallel::ParallelPolicy;
 pub use pipeline::RewritePlan;
 pub use problem::Problem;
 pub use solver::{
-    ExecOptions, Evaluator, FallbackBudget, Route, RouteKind, SolveMany, Solver, SolverBuilder,
-    SolverError,
+    ExecOptions, Evaluator, FallbackBudget, IncrementalSolver, Route, RouteKind, SolveMany,
+    Solver, SolverBuilder, SolverError,
 };
-pub use verdict::{BackendKind, Certainty, Provenance, Verdict};
+pub use verdict::{BackendKind, Certainty, DeltaOutcome, Provenance, Verdict};

@@ -68,11 +68,19 @@ impl ParallelPolicy {
         self
     }
 
-    /// The resolved worker width: the explicit cap, or the environment's.
+    /// The resolved worker width: the explicit cap — **clamped to the
+    /// available parallelism** ([`rayon_lite::current_num_threads`]:
+    /// `CQA_THREADS` when set, else the machine's cores) — or the
+    /// environment width itself when no cap is set. Clamping is what makes
+    /// [`ParallelPolicy::should_parallelize`] short-circuit to the
+    /// sequential path on a single-core machine: a `with_threads(4)` policy
+    /// there resolves to width 1, and sharding at width 1 is pure spawn
+    /// overhead (a measured 0.83× slowdown) for byte-identical answers.
     pub fn threads(&self) -> usize {
+        let available = rayon_lite::current_num_threads();
         match self.max_threads {
-            0 => rayon_lite::current_num_threads(),
-            n => n,
+            0 => available,
+            n => n.min(available),
         }
     }
 
@@ -121,20 +129,37 @@ mod tests {
     }
 
     #[test]
-    fn explicit_width_overrides_the_environment() {
+    fn explicit_width_is_clamped_to_availability() {
+        // Regression: an explicit cap used to be taken verbatim, so a
+        // `with_threads(4)` policy sharded on a 1-core machine — pure spawn
+        // overhead for identical answers (the 0.83× row in BENCH_eval.json).
+        let available = rayon_lite::current_num_threads();
         let p = ParallelPolicy::with_threads(8);
-        assert_eq!(p.threads(), 8);
-        assert_eq!(p.pool().threads(), 8);
+        assert_eq!(p.threads(), 8.min(available));
+        assert_eq!(p.pool().threads(), 8.min(available));
+        // The cap can lower the width but never raise it past availability.
+        assert!(ParallelPolicy::with_threads(usize::MAX).threads() <= available);
+        if available == 1 {
+            assert!(
+                !p.fan_out_at(0).should_parallelize(usize::MAX / 2),
+                "width 1 must short-circuit to the sequential path"
+            );
+        }
     }
 
     #[test]
     fn threshold_gates_fan_out() {
+        // `min_units` gating is independent of the machine: express the
+        // expectation through the resolved width.
         let p = ParallelPolicy::with_threads(4).fan_out_at(10);
+        let wide = p.threads() > 1;
         assert!(!p.should_parallelize(9));
-        assert!(p.should_parallelize(10));
+        assert_eq!(p.should_parallelize(10), wide);
+        assert!(p.clears_floor(10));
         let eager = ParallelPolicy::with_threads(4).fan_out_at(0);
         assert!(!eager.should_parallelize(1), "one unit never fans out");
-        assert!(eager.should_parallelize(2));
+        assert_eq!(eager.should_parallelize(2), wide);
+        assert!(eager.clears_floor(2));
     }
 
     #[test]
@@ -148,8 +173,10 @@ mod tests {
         let p = ParallelPolicy::default().resolve();
         assert_ne!(p.max_threads, 0, "resolved policies never re-read the env");
         assert_eq!(p.threads(), p.max_threads);
-        // Resolving an explicit policy is the identity.
-        let pinned = ParallelPolicy::with_threads(5);
+        // Resolving is idempotent (the clamp is a min, so re-resolving a
+        // pinned policy cannot change it).
+        let pinned = ParallelPolicy::with_threads(5).resolve();
         assert_eq!(pinned.resolve(), pinned);
+        assert_eq!(pinned.max_threads, 5.min(rayon_lite::current_num_threads()));
     }
 }

@@ -90,6 +90,41 @@ impl fmt::Display for BackendKind {
     }
 }
 
+/// How an incremental re-answer ([`crate::IncrementalSolver::reanswer`])
+/// arrived at its verdict — the observable face of delta-certainty, so
+/// tests and benchmarks can assert the incremental path actually engaged
+/// rather than silently recomputing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The delta did not intersect anything the problem reads; the prior
+    /// verdict was reused outright.
+    Unaffected,
+    /// The delta was localized to the blocks it touches: `reused` residual
+    /// verdicts were taken from the session cache, `evaluated` were
+    /// (re)computed.
+    Localized {
+        /// Block-fact residuals answered from the cache.
+        reused: usize,
+        /// Block-fact residuals evaluated this call.
+        evaluated: usize,
+    },
+    /// The delta was not localizable (or the session had no usable prior
+    /// state); a full from-scratch solve ran. The reason says why.
+    Recomputed(&'static str),
+}
+
+impl fmt::Display for DeltaOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaOutcome::Unaffected => write!(f, "Δ unaffected"),
+            DeltaOutcome::Localized { reused, evaluated } => {
+                write!(f, "Δ localized ({reused} reused, {evaluated} evaluated)")
+            }
+            DeltaOutcome::Recomputed(why) => write!(f, "Δ recomputed: {why}"),
+        }
+    }
+}
+
 /// How a verdict was produced: backend, timing, batch context and plan
 /// statistics.
 #[derive(Clone, Debug)]
@@ -108,6 +143,9 @@ pub struct Provenance {
     pub batch: usize,
     /// Nesting depth of the rewrite plan (FO route only).
     pub plan_depth: Option<usize>,
+    /// How the incremental path handled the delta; `None` outside
+    /// [`crate::IncrementalSolver::reanswer`].
+    pub delta: Option<DeltaOutcome>,
     /// Free-form diagnostics — the fallback oracle's reason when the
     /// verdict is [`Certainty::Inconclusive`]. `None` on the hot paths (no
     /// allocation per solve).
@@ -163,6 +201,9 @@ impl fmt::Display for Verdict {
         if self.provenance.batch > 1 {
             write!(f, " over a batch of {}", self.provenance.batch)?;
         }
+        if let Some(delta) = &self.provenance.delta {
+            write!(f, "; {delta}")?;
+        }
         if let Some(why) = &self.provenance.detail {
             write!(f, "; {why}")?;
         }
@@ -191,6 +232,10 @@ mod tests {
                 elapsed: Duration::from_millis(3),
                 batch: 4,
                 plan_depth: None,
+                delta: Some(DeltaOutcome::Localized {
+                    reused: 7,
+                    evaluated: 1,
+                }),
                 detail: Some("budget exhausted".to_string()),
             },
         };
@@ -198,6 +243,7 @@ mod tests {
         assert!(text.contains("inconclusive"));
         assert!(text.contains("budgeted oracle"));
         assert!(text.contains("batch of 4"));
+        assert!(text.contains("7 reused, 1 evaluated"));
         assert!(text.contains("budget exhausted"));
     }
 }

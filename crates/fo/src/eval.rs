@@ -156,7 +156,7 @@ mod tests {
         // Removing either P-fact turns it into a no-instance.
         for removed in ["a", "b"] {
             let mut d2 = d.clone();
-            d2.remove(&cqa_model::Fact::from_names("P", &[removed]));
+            d2.remove(&cqa_model::Fact::from_names("P", &[removed])).unwrap();
             assert!(!both(&d2, &f), "removing P({removed}) must flip the answer");
         }
     }
@@ -345,7 +345,7 @@ mod tests {
         // Same compiled value, instance mutated in between.
         let mut d = db();
         for fact in d.facts().collect::<Vec<_>>() {
-            d.remove(&fact);
+            d.remove(&fact).unwrap();
         }
         assert!(!compiled.eval_closed(&d));
     }

@@ -1,0 +1,134 @@
+//! Ordered mutation batches over an [`Instance`](crate::Instance).
+//!
+//! A [`Delta`] is the unit of change for incremental consumers: the instance
+//! applies it atomically ([`Instance::apply`](crate::Instance::apply) —
+//! validate everything, then mutate), and the delta-certainty machinery in
+//! `cqa-core` inspects which relations and block keys it touches to decide
+//! whether a previous verdict can be repaired locally or must be recomputed.
+//!
+//! Order matters: `remove R(a,1); insert R(a,1)` is a no-op trace, while the
+//! reverse collapses to a plain remove on an instance already containing the
+//! fact. Deltas therefore store the operations exactly as given.
+
+use crate::fact::Fact;
+use crate::schema::RelName;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One mutation: insert or remove a single fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Insert the fact (a no-op if already present).
+    Insert(Fact),
+    /// Remove the fact (a no-op if absent).
+    Remove(Fact),
+}
+
+impl DeltaOp {
+    /// The fact this operation touches.
+    pub fn fact(&self) -> &Fact {
+        match self {
+            DeltaOp::Insert(f) | DeltaOp::Remove(f) => f,
+        }
+    }
+
+    /// Whether this is an insert.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, DeltaOp::Insert(_))
+    }
+}
+
+/// An ordered batch of [`DeltaOp`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Delta {
+    ops: Vec<DeltaOp>,
+}
+
+impl Delta {
+    /// The empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Appends an insert; returns `self` for chaining.
+    pub fn insert(&mut self, fact: Fact) -> &mut Delta {
+        self.ops.push(DeltaOp::Insert(fact));
+        self
+    }
+
+    /// Appends a remove; returns `self` for chaining.
+    pub fn remove(&mut self, fact: Fact) -> &mut Delta {
+        self.ops.push(DeltaOp::Remove(fact));
+        self
+    }
+
+    /// The operations, in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The set of relations the batch touches.
+    pub fn rels(&self) -> BTreeSet<RelName> {
+        self.ops.iter().map(|op| op.fact().rel).collect()
+    }
+}
+
+impl FromIterator<DeltaOp> for Delta {
+    fn from_iter<I: IntoIterator<Item = DeltaOp>>(iter: I) -> Delta {
+        Delta {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match op {
+                DeltaOp::Insert(fact) => write!(f, "+{fact}")?,
+                DeltaOp::Remove(fact) => write!(f, "-{fact}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_and_rels_are_preserved() {
+        let mut d = Delta::new();
+        d.remove(Fact::from_names("R", &["a", "1"]))
+            .insert(Fact::from_names("S", &["b"]));
+        assert_eq!(d.len(), 2);
+        assert!(!d.ops()[0].is_insert());
+        assert!(d.ops()[1].is_insert());
+        let rels = d.rels();
+        assert!(rels.contains(&RelName::new("R")));
+        assert!(rels.contains(&RelName::new("S")));
+        assert_eq!(d.to_string(), "{-R(a, 1), +S(b)}");
+    }
+
+    #[test]
+    fn empty_delta() {
+        let d = Delta::new();
+        assert!(d.is_empty());
+        assert!(d.rels().is_empty());
+    }
+}

@@ -434,7 +434,7 @@ mod tests {
     #[test]
     fn unsatisfied_when_chain_broken() {
         let mut d = db();
-        d.remove(&Fact::from_names("T", &["d"]));
+        d.remove(&Fact::from_names("T", &["d"])).unwrap();
         assert!(!satisfies(&d, &q_rst()));
     }
 
@@ -443,7 +443,7 @@ mod tests {
         let cq = CompiledQuery::new(&q_rst());
         assert!(cq.satisfies(&db()));
         let mut d = db();
-        d.remove(&Fact::from_names("T", &["d"]));
+        d.remove(&Fact::from_names("T", &["d"])).unwrap();
         assert!(!cq.satisfies(&d));
         d.insert_named("T", &["d"]).unwrap();
         assert!(cq.satisfies(&d), "index invalidation after re-insert");

@@ -6,6 +6,7 @@
 //! block enumeration — the primitive of every CQA algorithm — is direct.
 
 use crate::binding::{Binding, CompiledAtom};
+use crate::delta::{Delta, DeltaOp};
 use crate::error::ModelError;
 use crate::fact::Fact;
 use crate::fk::{FkSet, ForeignKey};
@@ -13,7 +14,15 @@ use crate::intern::Cst;
 use crate::schema::{RelName, Schema, Signature};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Source of per-object instance identities (see [`Instance::uid`]).
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+fn next_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Per-relation fact store with a block index.
 #[derive(Clone, Debug, Default)]
@@ -24,15 +33,38 @@ struct RelStore {
 }
 
 /// A finite set of facts over a schema.
-#[derive(Clone)]
 pub struct Instance {
     schema: Arc<Schema>,
     rels: BTreeMap<RelName, RelStore>,
     len: usize,
-    /// Lazily built secondary indexes ([`InstanceIndex`]); reset by every
-    /// successful mutation. Cloning an instance clones the cache — it is a
-    /// pure function of the rows, so a clone's cache is equally valid.
+    /// Generation counter: bumped by every *effective* mutation (an insert
+    /// that added a row, a remove that deleted one). Together with
+    /// [`Instance::uid`] this lets long-lived consumers (incremental
+    /// solvers, cached plans) detect staleness with two integer compares.
+    epoch: u64,
+    /// Process-unique object identity. A [`Clone`] gets a **fresh** uid, so
+    /// `(uid, epoch)` pins one mutation history of one object: equal pairs
+    /// guarantee the observer has seen every mutation.
+    uid: u64,
+    /// Lazily built secondary indexes ([`InstanceIndex`]); **patched in
+    /// place** by [`Instance::insert`]/[`Instance::remove`] once built
+    /// (O(1) amortized per fact), never discarded wholesale. Cloning an
+    /// instance clones the cache — it is a pure function of the rows, so a
+    /// clone's cache is equally valid.
     cache: OnceLock<InstanceIndex>,
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Instance {
+        Instance {
+            schema: self.schema.clone(),
+            rels: self.rels.clone(),
+            len: self.len,
+            epoch: self.epoch,
+            uid: next_uid(),
+            cache: self.cache.clone(),
+        }
+    }
 }
 
 impl Instance {
@@ -42,6 +74,8 @@ impl Instance {
             schema,
             rels: BTreeMap::new(),
             len: 0,
+            epoch: 0,
+            uid: next_uid(),
             cache: OnceLock::new(),
         }
     }
@@ -49,6 +83,19 @@ impl Instance {
     /// The schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    /// The mutation generation: strictly increases with every effective
+    /// [`Instance::insert`]/[`Instance::remove`]. No-op mutations (duplicate
+    /// insert, absent remove) leave it unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// This object's process-unique identity; a clone gets a fresh one.
+    /// `(uid(), epoch())` together identify one state of one object.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Inserts a fact; returns `Ok(true)` if it was new.
@@ -64,9 +111,12 @@ impl Instance {
         let store = self.rels.entry(fact.rel).or_default();
         let key: Box<[Cst]> = fact.key(sig).into();
         if store.rows.insert(fact.args.clone()) {
-            store.blocks.entry(key).or_default().insert(fact.args);
+            store.blocks.entry(key).or_default().insert(fact.args.clone());
             self.len += 1;
-            self.cache = OnceLock::new();
+            self.epoch += 1;
+            if let Some(idx) = self.cache.get_mut() {
+                idx.apply_insert(fact.rel, sig, fact.args);
+            }
             Ok(true)
         } else {
             Ok(false)
@@ -78,13 +128,21 @@ impl Instance {
         self.insert(Fact::from_names(rel, args))
     }
 
-    /// Removes a fact; returns whether it was present.
-    pub fn remove(&mut self, fact: &Fact) -> bool {
-        let Some(sig) = self.schema.signature(fact.rel) else {
-            return false;
-        };
+    /// Removes a fact; returns `Ok(true)` if it was present. Validation is
+    /// symmetric with [`Instance::insert`]: an unknown relation or a
+    /// wrong-arity fact for a known relation is an error, not a silent
+    /// `false` (which would be indistinguishable from "not present").
+    pub fn remove(&mut self, fact: &Fact) -> Result<bool, ModelError> {
+        let sig = self.schema.expect(fact.rel)?;
+        if fact.arity() != sig.arity {
+            return Err(ModelError::ArityMismatch {
+                rel: fact.rel,
+                expected: sig.arity,
+                got: fact.arity(),
+            });
+        }
         let Some(store) = self.rels.get_mut(&fact.rel) else {
-            return false;
+            return Ok(false);
         };
         if store.rows.remove(&fact.args) {
             let key: Box<[Cst]> = fact.key(sig).into();
@@ -95,11 +153,42 @@ impl Instance {
                 }
             }
             self.len -= 1;
-            self.cache = OnceLock::new();
-            true
+            self.epoch += 1;
+            if let Some(idx) = self.cache.get_mut() {
+                idx.apply_remove(fact.rel, &fact.args);
+            }
+            Ok(true)
         } else {
-            false
+            Ok(false)
         }
+    }
+
+    /// Applies an ordered batch of mutations. Every operation is validated
+    /// against the schema (known relation, matching arity) **before** any is
+    /// applied, so a malformed batch leaves the instance untouched. Returns
+    /// the number of *effective* operations (inserts that added a row,
+    /// removes that deleted one); the epoch advances by exactly that many.
+    pub fn apply(&mut self, delta: &Delta) -> Result<usize, ModelError> {
+        for op in delta.ops() {
+            let fact = op.fact();
+            let sig = self.schema.expect(fact.rel)?;
+            if fact.arity() != sig.arity {
+                return Err(ModelError::ArityMismatch {
+                    rel: fact.rel,
+                    expected: sig.arity,
+                    got: fact.arity(),
+                });
+            }
+        }
+        let mut effective = 0;
+        for op in delta.ops() {
+            let changed = match op {
+                DeltaOp::Insert(f) => self.insert(f.clone())?,
+                DeltaOp::Remove(f) => self.remove(f)?,
+            };
+            effective += usize::from(changed);
+        }
+        Ok(effective)
     }
 
     /// Whether the instance contains `fact`.
@@ -187,22 +276,32 @@ impl Instance {
 
     /// The lazily built secondary indexes over this instance: cached active
     /// domain, key constants, and per-relation hash indexes for block
-    /// lookups and full-fact membership. Built on first use, invalidated by
-    /// every successful [`Instance::insert`]/[`Instance::remove`].
+    /// lookups and full-fact membership. Built on first use; once built,
+    /// every successful [`Instance::insert`]/[`Instance::remove`] patches it
+    /// in place (O(1) amortized per fact) instead of discarding it.
     pub fn index(&self) -> &InstanceIndex {
         self.cache.get_or_init(|| InstanceIndex::build(self))
     }
 
+    /// Builds a fresh [`InstanceIndex`] from scratch, bypassing (and not
+    /// touching) the cached one. This is the differential-testing oracle for
+    /// the incremental maintenance in [`Instance::insert`]/
+    /// [`Instance::remove`]: after any mutation trace,
+    /// `*db.index() == db.rebuild_index()` must hold.
+    pub fn rebuild_index(&self) -> InstanceIndex {
+        InstanceIndex::build(self)
+    }
+
     /// `adom(db)`: the active domain, as a cached handle (allocation-free
-    /// after the first call on an unchanged instance).
+    /// after the first call; maintained in place across mutations).
     pub fn adom(&self) -> &BTreeSet<Cst> {
-        &self.index().adom
+        &self.index().adom.set
     }
 
     /// `keyconst(db)`: constants appearing at some primary-key position
     /// (paper Appendix B). Cached alongside [`Instance::adom`].
     pub fn key_consts(&self) -> &BTreeSet<Cst> {
-        &self.index().key_consts
+        &self.index().key_consts.set
     }
 
     /// A constant is *orphan* in `db` if it occurs exactly once, at a
@@ -354,38 +453,78 @@ impl Instance {
     }
 }
 
-/// Per-relation hash indexes: all rows in canonical order, plus a key-prefix
-/// hash map from block key to row indices. Shared with [`crate::view`],
-/// which layers lazy restriction/filtering on top of these handles.
+/// Per-relation hash indexes: a dense row table plus a key-prefix hash map
+/// from block key to row indices. Shared with [`crate::view`], which layers
+/// lazy restriction/filtering on top of these handles.
+///
+/// Row order in `all` (and id order within a block's index list) is
+/// **arbitrary**: inserts push at the end and removes swap-remove, so
+/// incremental maintenance is O(1) per fact. Consumers that need a
+/// deterministic order (e.g. [`crate::view::InstanceView::partition`]) sort
+/// the keys or rows they collect.
 #[derive(Clone, Debug)]
 pub(crate) struct RelIndex {
     pub(crate) key_len: usize,
     pub(crate) arity: usize,
-    /// All rows of the relation, canonical (sorted) order.
+    /// All rows of the relation, arbitrary order.
     pub(crate) all: Vec<Box<[Cst]>>,
-    /// key prefix → indices into `all` (each index list is sorted).
+    /// key prefix → indices into `all` (arbitrary order).
     pub(crate) blocks: HashMap<Box<[Cst]>, Vec<u32>>,
+}
+
+/// A refcounted constant set: the materialized [`BTreeSet`] tracks the keys
+/// of the occurrence-count map, so membership survives removes until the
+/// *last* occurrence of a constant disappears.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct CountedSet {
+    set: BTreeSet<Cst>,
+    counts: HashMap<Cst, u32>,
+}
+
+impl CountedSet {
+    fn count(&mut self, c: Cst) {
+        let n = self.counts.entry(c).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            self.set.insert(c);
+        }
+    }
+
+    fn uncount(&mut self, c: Cst) {
+        let n = self.counts.get_mut(&c).expect("uncount of counted constant");
+        *n -= 1;
+        if *n == 0 {
+            self.counts.remove(&c);
+            self.set.remove(&c);
+        }
+    }
 }
 
 /// Secondary indexes over an [`Instance`], built lazily by
 /// [`Instance::index`] and shared by the compiled evaluators:
 ///
-/// * the active domain and key-constant sets, cached so repeated domain
-///   construction is allocation-free;
+/// * the active domain and key-constant sets, refcounted per occurrence so
+///   mutations maintain them exactly (a constant leaves the set only when
+///   its last occurrence does);
 /// * per-relation row tables with hash-indexed key-prefix blocks, so
 ///   guarded lookups with a ground key and full-fact membership checks are
 ///   O(1) hash probes instead of ordered-map walks that clone rows.
+///
+/// Once built, the index is **patched in place** by every mutation
+/// (`apply_insert`/`apply_remove`); `==` compares *structural content*
+/// (domains, occurrence counts, blocks as row sets), deliberately ignoring
+/// physical row order, which is history-dependent under swap-remove.
 #[derive(Clone, Debug)]
 pub struct InstanceIndex {
-    adom: BTreeSet<Cst>,
-    key_consts: BTreeSet<Cst>,
+    adom: CountedSet,
+    key_consts: CountedSet,
     rels: HashMap<RelName, RelIndex>,
 }
 
 impl InstanceIndex {
     fn build(db: &Instance) -> InstanceIndex {
-        let mut adom = BTreeSet::new();
-        let mut key_consts = BTreeSet::new();
+        let mut adom = CountedSet::default();
+        let mut key_consts = CountedSet::default();
         let mut rels = HashMap::with_capacity(db.rels.len());
         for (rel, store) in &db.rels {
             let sig = db.schema.signature(*rel).expect("validated on insert");
@@ -393,8 +532,12 @@ impl InstanceIndex {
             let mut blocks: HashMap<Box<[Cst]>, Vec<u32>> =
                 HashMap::with_capacity(store.blocks.len());
             for (i, row) in all.iter().enumerate() {
-                adom.extend(row.iter().copied());
-                key_consts.extend(row[..sig.key_len].iter().copied());
+                for &c in row.iter() {
+                    adom.count(c);
+                }
+                for &c in &row[..sig.key_len] {
+                    key_consts.count(c);
+                }
                 blocks
                     .entry(row[..sig.key_len].into())
                     .or_default()
@@ -414,6 +557,63 @@ impl InstanceIndex {
             adom,
             key_consts,
             rels,
+        }
+    }
+
+    /// Patches the index for a row that was just added to the instance
+    /// (caller guarantees it was not present): push to the dense table,
+    /// append its id to the block, count its constants.
+    fn apply_insert(&mut self, rel: RelName, sig: Signature, row: Box<[Cst]>) {
+        for &c in row.iter() {
+            self.adom.count(c);
+        }
+        for &c in &row[..sig.key_len] {
+            self.key_consts.count(c);
+        }
+        let r = self.rels.entry(rel).or_insert_with(|| RelIndex {
+            key_len: sig.key_len,
+            arity: sig.arity,
+            all: Vec::new(),
+            blocks: HashMap::new(),
+        });
+        let id = u32::try_from(r.all.len()).expect("row count fits in u32");
+        r.blocks.entry(row[..sig.key_len].into()).or_default().push(id);
+        r.all.push(row);
+    }
+
+    /// Patches the index for a row that was just removed from the instance
+    /// (caller guarantees it was present): uncount its constants, drop its
+    /// id from the block (erasing an emptied block), swap-remove it from the
+    /// dense table and re-point the row that moved into its slot.
+    fn apply_remove(&mut self, rel: RelName, row: &[Cst]) {
+        for &c in row {
+            self.adom.uncount(c);
+        }
+        let r = self.rels.get_mut(&rel).expect("indexed relation");
+        for &c in &row[..r.key_len] {
+            self.key_consts.uncount(c);
+        }
+        let ids = r.blocks.get_mut(&row[..r.key_len]).expect("row's block indexed");
+        let pos = ids
+            .iter()
+            .position(|&i| &*r.all[i as usize] == row)
+            .expect("removed row indexed");
+        let id = ids.swap_remove(pos) as usize;
+        if ids.is_empty() {
+            r.blocks.remove(&row[..r.key_len]);
+        }
+        let last = r.all.len() - 1;
+        r.all.swap_remove(id);
+        if id != last {
+            // The former last row now lives in slot `id`; re-point the one
+            // stale id in its block's index list.
+            let moved_key: Box<[Cst]> = r.all[id][..r.key_len].into();
+            let ids = r.blocks.get_mut(&moved_key).expect("moved row's block indexed");
+            let slot = ids
+                .iter_mut()
+                .find(|i| **i == u32::try_from(last).expect("row count fits in u32"))
+                .expect("moved row's id indexed");
+            *slot = u32::try_from(id).expect("row count fits in u32");
         }
     }
 
@@ -464,7 +664,12 @@ impl InstanceIndex {
 
     /// The cached active domain.
     pub fn adom_set(&self) -> &BTreeSet<Cst> {
-        &self.adom
+        &self.adom.set
+    }
+
+    /// The cached set of constants occurring in key positions.
+    pub fn key_consts_set(&self) -> &BTreeSet<Cst> {
+        &self.key_consts.set
     }
 
     /// The per-relation index handles (for [`crate::view::InstanceView`]).
@@ -486,7 +691,50 @@ impl InstanceIndex {
             None => false,
         }
     }
+
+    /// Canonical per-relation content: `(key_len, arity, sorted rows,
+    /// block key → sorted rows)`, skipping relations with no rows (an empty
+    /// [`RelIndex`] entry is an artifact of mutation history, not content).
+    #[allow(clippy::type_complexity)]
+    fn canonical_rels(
+        &self,
+    ) -> BTreeMap<RelName, (usize, usize, Vec<Box<[Cst]>>, BTreeMap<Box<[Cst]>, Vec<Box<[Cst]>>>)>
+    {
+        self.rels
+            .iter()
+            .filter(|(_, r)| !r.all.is_empty())
+            .map(|(rel, r)| {
+                let mut rows = r.all.clone();
+                rows.sort_unstable();
+                let blocks = r
+                    .blocks
+                    .iter()
+                    .map(|(k, ids)| {
+                        let mut b: Vec<Box<[Cst]>> =
+                            ids.iter().map(|&i| r.all[i as usize].clone()).collect();
+                        b.sort_unstable();
+                        (k.clone(), b)
+                    })
+                    .collect();
+                (*rel, (r.key_len, r.arity, rows, blocks))
+            })
+            .collect()
+    }
 }
+
+/// Structural equality: domains, occurrence counts, and per-relation block
+/// content must match; physical row order (which is history-dependent under
+/// swap-remove maintenance) is canonicalized away. This is what the
+/// incremental-vs-rebuild differential tests compare.
+impl PartialEq for InstanceIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.adom == other.adom
+            && self.key_consts == other.key_consts
+            && self.canonical_rels() == other.canonical_rels()
+    }
+}
+
+impl Eq for InstanceIndex {}
 
 /// A candidate row set from `InstanceIndex::candidates`: either one block
 /// or a whole relation, borrowed — no rows are cloned.
@@ -724,11 +972,80 @@ mod tests {
     #[test]
     fn remove() {
         let mut db = db();
-        assert!(db.remove(&Fact::from_names("R", &["a", "2"])));
-        assert!(!db.remove(&Fact::from_names("R", &["a", "2"])));
+        assert!(db.remove(&Fact::from_names("R", &["a", "2"])).unwrap());
+        assert!(!db.remove(&Fact::from_names("R", &["a", "2"])).unwrap());
         assert_eq!(db.len(), 3);
         assert_eq!(db.block(RelName::new("R"), &[Cst::new("a")]).len(), 1);
         assert!(db.satisfies_pk());
+    }
+
+    #[test]
+    fn remove_arity_validated_like_insert() {
+        // Regression: remove used to silently return false on a wrong-arity
+        // fact for a known relation, asymmetric with insert.
+        let mut db = db();
+        assert!(matches!(
+            db.remove(&Fact::from_names("R", &["a"])),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+        assert!(db.remove(&Fact::from_names("Zzz", &["a"])).is_err());
+        assert_eq!(db.len(), 4, "failed removes must not mutate");
+    }
+
+    #[test]
+    fn epoch_counts_effective_mutations() {
+        let mut db = db();
+        let e0 = db.epoch();
+        assert!(!db.insert_named("R", &["a", "1"]).unwrap());
+        assert!(!db.remove(&Fact::from_names("R", &["zz", "zz"])).unwrap());
+        assert_eq!(db.epoch(), e0, "no-ops leave the epoch unchanged");
+        db.insert_named("R", &["c", "9"]).unwrap();
+        assert_eq!(db.epoch(), e0 + 1);
+        db.remove(&Fact::from_names("R", &["c", "9"])).unwrap();
+        assert_eq!(db.epoch(), e0 + 2);
+        // A clone keeps the epoch but gets a fresh identity.
+        let twin = db.clone();
+        assert_eq!(twin.epoch(), db.epoch());
+        assert_ne!(twin.uid(), db.uid());
+    }
+
+    #[test]
+    fn index_is_patched_in_place() {
+        let mut db = db();
+        db.index(); // force the build, then mutate through the patch path
+        db.insert_named("S", &["7", "q"]).unwrap();
+        db.remove(&Fact::from_names("R", &["a", "1"])).unwrap();
+        db.remove(&Fact::from_names("S", &["1", "x"])).unwrap();
+        db.insert_named("R", &["a", "1"]).unwrap();
+        assert_eq!(*db.index(), db.rebuild_index());
+        assert!(db.adom().contains(&Cst::new("q")));
+        assert!(!db.adom().contains(&Cst::new("x")), "adom must shrink");
+        // Emptied relation: the S-block of key 1 is gone.
+        assert!(db.block(RelName::new("S"), &[Cst::new("1")]).is_empty());
+    }
+
+    #[test]
+    fn apply_delta_is_validated_and_counted() {
+        use crate::delta::Delta;
+        let mut db = db();
+        let mut delta = Delta::new();
+        delta
+            .remove(Fact::from_names("R", &["a", "2"]))
+            .insert(Fact::from_names("S", &["2", "y"]))
+            .insert(Fact::from_names("S", &["2", "y"])); // duplicate: no-op
+        let e0 = db.epoch();
+        assert_eq!(db.apply(&delta).unwrap(), 2);
+        assert_eq!(db.epoch(), e0 + 2);
+        assert!(db.contains(&Fact::from_names("S", &["2", "y"])));
+
+        // A malformed op anywhere aborts the whole batch untouched.
+        let mut bad = Delta::new();
+        bad.insert(Fact::from_names("S", &["3", "z"]))
+            .remove(Fact::from_names("R", &["only-one"]));
+        let before = db.clone();
+        assert!(db.apply(&bad).is_err());
+        assert_eq!(db, before);
+        assert_eq!(db.epoch(), e0 + 2);
     }
 
     #[test]

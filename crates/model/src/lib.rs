@@ -26,6 +26,7 @@
 
 pub mod atom;
 pub mod binding;
+pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod fact;
@@ -40,6 +41,7 @@ pub mod view;
 
 pub use atom::Atom;
 pub use binding::{Binding, CompiledAtom, Slot, SlotTerm, Trail};
+pub use delta::{Delta, DeltaOp};
 pub use error::ModelError;
 pub use eval::{
     all_valuations, find_valuation, find_valuation_with, satisfies, AnchoredMatcher,

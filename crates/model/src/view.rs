@@ -167,8 +167,9 @@ impl<'a> InstanceView<'a> {
     /// cheap (the shared state sits behind `Arc`s and borrowed index
     /// handles), so one per worker thread is a few-pointer clone.
     ///
-    /// The split is deterministic and balanced: keys are assigned to parts
-    /// in the canonical (sorted) row order of the underlying index, in
+    /// The split is deterministic and balanced: the visible keys are
+    /// collected, sorted (the underlying row table is in arbitrary,
+    /// mutation-history-dependent order), and assigned to parts in
     /// contiguous ranges whose sizes differ by at most one. Returns exactly
     /// `min(n, #visible blocks)` parts — fewer than `n` only when `rel`
     /// has fewer than `n` visible blocks, and no parts at all when it has
@@ -178,27 +179,13 @@ impl<'a> InstanceView<'a> {
         let mut keys: Vec<Box<[Cst]>> = Vec::new();
         if self.visible.contains(&rel) {
             if let Some(r) = self.idx.rel(rel) {
-                // Rows are stored in canonical sorted order, so key
-                // prefixes of consecutive rows are grouped and sorted:
-                // first occurrences enumerate the visible keys in order.
-                let mut push = |row: &[Cst]| {
-                    let key = &row[..r.key_len];
-                    if keys.last().map(|k| &**k != key).unwrap_or(true) {
-                        keys.push(key.into());
-                    }
-                };
                 match self.filters.get(&rel) {
                     Some(f) => {
-                        for &i in &f.rows {
-                            push(&r.all[i as usize]);
-                        }
+                        keys.extend(f.keys.iter().filter(|k| r.blocks.contains_key(*k)).cloned());
                     }
-                    None => {
-                        for row in &r.all {
-                            push(row);
-                        }
-                    }
+                    None => keys.extend(r.blocks.keys().cloned()),
                 }
+                keys.sort_unstable();
             }
         }
         if keys.is_empty() {

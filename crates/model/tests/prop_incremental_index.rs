@@ -1,0 +1,164 @@
+//! Differential property tests for **incremental index maintenance**: on
+//! randomized insert/remove traces (including remove-then-reinsert, blocks
+//! emptied and refilled, and active-domain shrink), the in-place-patched
+//! [`Instance`] index must stay canonically equal to a from-scratch
+//! rebuild, the epoch must count exactly the effective mutations, and
+//! batch [`Instance::apply`] must agree with op-by-op application.
+
+use cqa_model::{Delta, Fact, Instance};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Small pools so the same fact is inserted, removed and reinserted often,
+/// blocks empty out, and constants leave the active domain entirely.
+const POOL: [&str; 4] = ["a", "b", "c", "d"];
+
+/// One trace step: insert (`op == 0`) or remove a fact of `R[2,1]`
+/// (`rel == 0`) or `S[3,2]`, drawn from the pool by index. (The vendored
+/// proptest has no `any::<bool>()`, so flags are `0..2usize`.)
+type Step = (usize, usize, usize, usize, usize);
+
+fn is_insert(&(op, ..): &Step) -> bool {
+    op == 0
+}
+
+fn fact_of(&(_, rel, a, b, c): &Step) -> Fact {
+    let p = |i: usize| POOL[i % POOL.len()];
+    if rel == 0 {
+        Fact::from_names("R", &[p(a), p(b)])
+    } else {
+        Fact::from_names("S", &[p(a), p(b), p(c)])
+    }
+}
+
+fn empty_db() -> Instance {
+    Instance::new(Arc::new(
+        cqa_model::parser::parse_schema("R[2,1] S[3,2]").unwrap(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
+    /// After every step of a mutation trace, the patched index equals a
+    /// from-scratch rebuild (canonical equality: same active domain, key
+    /// constants, rows and blocks — physical row order is free), and the
+    /// epoch advances iff the step changed the instance.
+    #[test]
+    fn patched_index_matches_rebuild_along_any_trace(
+        steps in proptest::collection::vec(
+            (0..2usize, 0..2usize, 0..POOL.len(), 0..POOL.len(), 0..POOL.len()),
+            0..40),
+    ) {
+        let mut db = empty_db();
+        // Force the cache into existence up front so every later step
+        // exercises the in-place patch path, not a lazy rebuild.
+        let _ = db.index();
+        for step in &steps {
+            let fact = fact_of(step);
+            let epoch_before = db.epoch();
+            let effective = if is_insert(step) {
+                db.insert(fact).unwrap()
+            } else {
+                db.remove(&fact).unwrap()
+            };
+            prop_assert_eq!(
+                db.epoch(),
+                epoch_before + u64::from(effective),
+                "epoch must count exactly the effective mutations"
+            );
+            prop_assert!(
+                *db.index() == db.rebuild_index(),
+                "patched index diverged from rebuild after {:?}",
+                step
+            );
+        }
+        // The derived views agree with the rebuild too.
+        let rebuilt = db.rebuild_index();
+        prop_assert_eq!(db.adom(), rebuilt.adom_set());
+        prop_assert_eq!(db.key_consts(), rebuilt.key_consts_set());
+    }
+
+    /// Batch `apply` ≡ op-by-op insert/remove: same final contents, same
+    /// effective-mutation count, same (canonical) index.
+    #[test]
+    fn apply_agrees_with_op_by_op_application(
+        prefix in proptest::collection::vec(
+            (Just(0usize), 0..2usize, 0..POOL.len(), 0..POOL.len(), 0..POOL.len()),
+            0..10),
+        steps in proptest::collection::vec(
+            (0..2usize, 0..2usize, 0..POOL.len(), 0..POOL.len(), 0..POOL.len()),
+            0..20),
+    ) {
+        // A shared non-empty starting point so removes sometimes hit.
+        let mut base = empty_db();
+        for step in &prefix {
+            base.insert(fact_of(step)).unwrap();
+        }
+        let _ = base.index();
+
+        let mut delta = Delta::new();
+        for step in &steps {
+            if is_insert(step) {
+                delta.insert(fact_of(step));
+            } else {
+                delta.remove(fact_of(step));
+            }
+        }
+
+        let mut batched = base.clone();
+        let effective = batched.apply(&delta).unwrap();
+
+        let mut one_by_one = base.clone();
+        let mut expected_effective = 0;
+        for step in &steps {
+            let fact = fact_of(step);
+            let changed = if is_insert(step) {
+                one_by_one.insert(fact).unwrap()
+            } else {
+                one_by_one.remove(&fact).unwrap()
+            };
+            expected_effective += usize::from(changed);
+        }
+
+        prop_assert_eq!(effective, expected_effective);
+        prop_assert_eq!(batched.len(), one_by_one.len());
+        prop_assert_eq!(batched.epoch(), one_by_one.epoch());
+        prop_assert!(
+            batched.symmetric_difference(&one_by_one).is_empty(),
+            "batched and op-by-op application disagree on contents"
+        );
+        prop_assert!(batched.rebuild_index() == one_by_one.rebuild_index());
+        prop_assert!(*batched.index() == batched.rebuild_index());
+    }
+
+    /// A remove-then-reinsert round trip is contents-neutral but never
+    /// epoch-neutral: the instance looks the same, the history does not.
+    #[test]
+    fn remove_reinsert_round_trip_is_content_neutral(
+        prefix in proptest::collection::vec(
+            (Just(0usize), 0..2usize, 0..POOL.len(), 0..POOL.len(), 0..POOL.len()),
+            1..12),
+        victim in 0..12usize,
+    ) {
+        let mut db = empty_db();
+        for step in &prefix {
+            db.insert(fact_of(step)).unwrap();
+        }
+        let _ = db.index();
+        let snapshot = db.rebuild_index();
+        let epoch = db.epoch();
+
+        let fact = fact_of(&prefix[victim % prefix.len()]);
+        prop_assert!(db.remove(&fact).unwrap());
+        prop_assert!(*db.index() == db.rebuild_index());
+        prop_assert!(db.insert(fact).unwrap());
+
+        prop_assert!(*db.index() == snapshot, "round trip must restore the index");
+        prop_assert_eq!(db.epoch(), epoch + 2, "two effective mutations");
+    }
+}

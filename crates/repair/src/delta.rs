@@ -13,7 +13,24 @@
 //! subset of `r ∖ db`. [`is_delta_repair`] does precisely this.
 
 use crate::limits::SearchLimits;
-use cqa_model::{Fact, FkSet, Instance};
+use cqa_model::{Delta, Fact, FkSet, Instance};
+
+/// The mutation batch ([`cqa_model::Delta`]) that carries `db` to `target`:
+/// removals of `db ∖ target` followed by insertions of `target ∖ db` — the
+/// literal `⊕`-difference as an applicable edit script. Applying it with
+/// [`Instance::apply`] turns `db` into (a content-equal copy of) `target`,
+/// which is how a repair chosen by the oracle becomes the input of an
+/// incremental re-answer session instead of a fresh solve.
+pub fn delta_to(db: &Instance, target: &Instance) -> Delta {
+    let mut delta = Delta::new();
+    for f in db.facts().filter(|f| !target.contains(f)) {
+        delta.remove(f);
+    }
+    for f in target.facts().filter(|f| !db.contains(f)) {
+        delta.insert(f);
+    }
+    delta
+}
 
 /// `r ⪯_db s`: is `r` at least as ⊕-close to `db` as `s`?
 pub fn closer_eq(db: &Instance, r: &Instance, s: &Instance) -> bool {
@@ -154,6 +171,26 @@ mod tests {
     use super::*;
     use cqa_model::parser::{parse_fks, parse_instance, parse_schema};
     use std::sync::Arc;
+
+    #[test]
+    fn delta_to_carries_db_onto_the_repair() {
+        let s = Arc::new(parse_schema("R[2,1] S[2,1] T[1,1]").unwrap());
+        let db = parse_instance(&s, "R(a,b) S(b,c)").unwrap();
+        let repair = parse_instance(&s, "R(a,b) S(b,1) T(1)").unwrap();
+
+        let delta = delta_to(&db, &repair);
+        // |db ∖ r| = 1 (S(b,c)), |r ∖ db| = 2 (S(b,1), T(1)).
+        assert_eq!(delta.len(), 3);
+
+        let mut patched = db.clone();
+        let effective = patched.apply(&delta).unwrap();
+        assert_eq!(effective, 3);
+        assert!(patched.symmetric_difference(&repair).is_empty());
+        assert_eq!(patched.len(), repair.len());
+
+        // The identity edit is empty, and applying it is a no-op.
+        assert!(delta_to(&db, &db).is_empty());
+    }
 
     #[test]
     fn preorder_basics() {

@@ -32,7 +32,7 @@ pub mod pk_repairs;
 
 pub use chase::{chase_fresh, ChaseError};
 pub use counting::{count_satisfying_pk_repairs, exact_satisfaction_ratio, sampled_satisfaction_ratio};
-pub use delta::{closer_eq, is_delta_repair, strictly_closer};
+pub use delta::{closer_eq, delta_to, is_delta_repair, strictly_closer};
 pub use limits::SearchLimits;
 pub use oracle::{candidate_space, CertaintyOracle, OracleOutcome};
 pub use pk_repairs::{count_pk_repairs, pk_certain, pk_repairs};

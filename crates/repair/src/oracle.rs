@@ -28,8 +28,9 @@ use std::fmt;
 pub enum OracleOutcome {
     /// Every ⊕-repair satisfies the query.
     Certain,
-    /// A falsifying ⊕-repair exists (witness included).
-    NotCertain(Instance),
+    /// A falsifying ⊕-repair exists (witness included; boxed — an
+    /// `Instance` with its patched index dwarfs the other variants).
+    NotCertain(Box<Instance>),
     /// Search limits were hit before a verdict was reached.
     Inconclusive(String),
 }
@@ -121,7 +122,7 @@ impl CertaintyOracle {
         let mut chosen: Vec<Fact> = Vec::new();
         let outcome = self.search(db, &cq, fks, &blocks, 0, &mut chosen, &mut inconclusive);
         match outcome {
-            Some(witness) => OracleOutcome::NotCertain(witness),
+            Some(witness) => OracleOutcome::NotCertain(Box::new(witness)),
             None => match inconclusive {
                 Some(why) => OracleOutcome::Inconclusive(why),
                 None => OracleOutcome::Certain,
@@ -139,7 +140,7 @@ impl CertaintyOracle {
         }
         for r in crate::pk_repairs::pk_repairs(db) {
             if !q.satisfies(&r) {
-                return OracleOutcome::NotCertain(r);
+                return OracleOutcome::NotCertain(Box::new(r));
             }
         }
         OracleOutcome::Certain

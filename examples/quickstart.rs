@@ -61,8 +61,8 @@ fn main() {
     // Repair the data: give o1 the first name Jeff everywhere and resolve
     // the dangling fact; the answer flips to yes.
     let mut clean = bib.db.clone();
-    clean.remove(&parse_fact("AUTHORS(o1, 'Jeffrey', 'Ullman')").unwrap());
-    clean.remove(&parse_fact("R(d1, o3)").unwrap());
+    clean.remove(&parse_fact("AUTHORS(o1, 'Jeffrey', 'Ullman')").unwrap()).unwrap();
+    clean.remove(&parse_fact("R(d1, o3)").unwrap()).unwrap();
     println!();
     println!(
         "after cleaning (drop the Jeffrey tuple and the dangling authorship): {}",

@@ -35,7 +35,7 @@ fn main() {
     );
     for gone in ["P(a)", "P(b)"] {
         let mut smaller = db.clone();
-        smaller.remove(&parse_fact(gone).unwrap());
+        smaller.remove(&parse_fact(gone).unwrap()).unwrap();
         println!("  … without {gone} → {}", solver.solve(&smaller).is_certain());
     }
 

@@ -58,10 +58,10 @@ pub mod prelude {
         pipeline::RewritePlan,
         problem::Problem,
         solver::{
-            ExecOptions, Evaluator, FallbackBudget, Route, RouteKind, Solver, SolverBuilder,
-            SolverError,
+            ExecOptions, Evaluator, FallbackBudget, IncrementalSolver, Route, RouteKind, Solver,
+            SolverBuilder, SolverError,
         },
-        verdict::{BackendKind, Certainty, Provenance, Verdict},
+        verdict::{BackendKind, Certainty, DeltaOutcome, Provenance, Verdict},
     };
     pub use cqa_repair::SearchLimits;
     pub use cqa_solvers::backend::Backend;
@@ -70,7 +70,8 @@ pub mod prelude {
         parse_fact, parse_fks, parse_instance, parse_query, parse_schema,
     };
     pub use cqa_model::{
-        Atom, Cst, Fact, FkSet, ForeignKey, Instance, Query, RelName, Schema, Term, Var,
+        Atom, Cst, Delta, DeltaOp, Fact, FkSet, ForeignKey, Instance, Query, RelName, Schema,
+        Term, Var,
     };
     pub use cqa_repair::oracle::{CertaintyOracle, OracleOutcome};
 }

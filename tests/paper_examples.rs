@@ -42,8 +42,8 @@ fn e1_figure1_bibliography() {
 
     // Repairing the inconsistency flips the answer.
     let mut clean = bib.db.clone();
-    clean.remove(&parse_fact("AUTHORS(o1, 'Jeffrey', 'Ullman')").unwrap());
-    clean.remove(&parse_fact("R(d1, o3)").unwrap());
+    clean.remove(&parse_fact("AUTHORS(o1, 'Jeffrey', 'Ullman')").unwrap()).unwrap();
+    clean.remove(&parse_fact("R(d1, o3)").unwrap()).unwrap();
     assert!(plan.answer(&clean));
     assert_eq!(
         oracle.is_certain(&clean, &bib.query, &bib.fks).as_bool(),
@@ -197,7 +197,7 @@ fn e9_section8_rewriting() {
     );
     for missing in ["P(a)", "P(b)"] {
         let mut db = yes.clone();
-        db.remove(&parse_fact(missing).unwrap());
+        db.remove(&parse_fact(missing).unwrap()).unwrap();
         assert!(!solver.solve(&db).is_certain(), "without {missing}");
         assert_eq!(
             oracle

@@ -53,7 +53,7 @@ proptest! {
         let inserted = work.insert(extra.clone()).unwrap();
         prop_assert_eq!(inserted, !was_present);
         prop_assert!(work.contains(&extra));
-        prop_assert!(work.remove(&extra));
+        prop_assert!(work.remove(&extra).unwrap());
         if was_present {
             // removing once leaves the original count minus one
             prop_assert_eq!(work.len(), db.len() - 1);

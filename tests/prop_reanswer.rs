@@ -1,0 +1,199 @@
+//! Differential harness for **delta-certainty**: on randomized mutation
+//! traces, [`IncrementalSolver::reanswer`] must agree with a from-scratch
+//! [`Solver::solve`] after every batch — across all three routes (the
+//! compiled FO plan, the poly-time backends, the budgeted fallback), and
+//! whatever mix of reuse rungs the session picks (unaffected, localized,
+//! recomputed). Traces include remove-then-reinsert round trips, emptied
+//! blocks, active-domain shrink and facts in a relation the problem never
+//! reads.
+
+use cqa::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Small value pool: block collisions, re-removals and reinserts are
+/// common.
+const POOL: [&str; 4] = ["c", "a", "b", "1"];
+
+/// One mutation: `(op, rel_pick, args...)` — `op == 0` inserts, else
+/// removes. Relations and arities are resolved per route.
+type Step = (usize, usize, usize, usize, usize);
+
+/// A trace: the initial instance as insert-only steps, then batches of
+/// mutations, each answered incrementally and differentially checked.
+fn arb_trace() -> impl Strategy<Value = (Vec<Step>, Vec<Vec<Step>>)> {
+    let step = (0..2usize, 0..8usize, 0..POOL.len(), 0..POOL.len(), 0..POOL.len());
+    let seed = (Just(0usize), 0..8usize, 0..POOL.len(), 0..POOL.len(), 0..POOL.len());
+    (
+        proptest::collection::vec(seed, 0..10),
+        proptest::collection::vec(proptest::collection::vec(step, 0..5), 0..6),
+    )
+}
+
+fn fact_for(rels: &[(&str, usize)], &(_, rel_pick, a, b, c): &Step) -> Fact {
+    let (rel, arity) = rels[rel_pick % rels.len()];
+    let picks = [a, b, c];
+    let args: Vec<&str> = (0..arity).map(|i| POOL[picks[i] % POOL.len()]).collect();
+    Fact::from_names(rel, &args)
+}
+
+fn delta_for(rels: &[(&str, usize)], steps: &[Step]) -> Delta {
+    let mut delta = Delta::new();
+    for step in steps {
+        let fact = fact_for(rels, step);
+        if step.0 == 0 {
+            delta.insert(fact);
+        } else {
+            delta.remove(fact);
+        }
+    }
+    delta
+}
+
+/// Runs a whole trace through one solver: incremental verdicts must match
+/// from-scratch verdicts (including *which* instances are inconclusive),
+/// and a session that applies its own deltas must never lose its prior.
+fn check_trace(
+    schema: &Arc<Schema>,
+    solver: &Solver,
+    rels: &[(&str, usize)],
+    seed: &[Step],
+    batches: &[Vec<Step>],
+) -> Result<(), TestCaseError> {
+    let mut db = Instance::new(schema.clone());
+    for step in seed {
+        db.insert(fact_for(rels, step)).unwrap();
+    }
+    let mut session = solver.incremental();
+    prop_assert_eq!(
+        session.solve(&db).certainty,
+        solver.solve(&db).certainty,
+        "initial session solve differs from scratch on {}",
+        db
+    );
+    for batch in batches {
+        let delta = delta_for(rels, batch);
+        let incremental = session.reanswer(&mut db, &delta).unwrap();
+        let scratch = solver.solve(&db);
+        prop_assert_eq!(
+            incremental.certainty,
+            scratch.certainty,
+            "incremental ({:?}) diverged from scratch after {} on {}",
+            incremental.provenance.delta,
+            delta,
+            db
+        );
+        // The session applied the delta itself, so its prior is always
+        // valid: a "no prior verdict" recompute here would mean the epoch
+        // protocol lost track of its own mutations.
+        prop_assert!(
+            incremental.provenance.delta
+                != Some(DeltaOutcome::Recomputed("no prior verdict for this instance state")),
+            "single-writer session must never see its own writes as stale"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
+    /// FO route (§8's query, plus an unread relation `Z`): the localized
+    /// residual-cache path and both recompute paths all agree with
+    /// from-scratch answers.
+    #[test]
+    fn fo_route_reanswer_matches_scratch(trace in arb_trace()) {
+        let (seed, batches) = trace;
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1] Z[1,1]").unwrap());
+        let problem = Problem::new(
+            parse_query(&s, "N('c',y), O(y), P(y)").unwrap(),
+            parse_fks(&s, "N[2] -> O").unwrap(),
+        )
+        .unwrap();
+        let solver = Solver::new(problem).unwrap();
+        prop_assert_eq!(solver.route().kind(), RouteKind::Fo);
+        let rels = [("N", 2), ("O", 1), ("P", 1), ("Z", 1)];
+        check_trace(&s, &solver, &rels, &seed, &batches)?;
+    }
+
+    /// Poly-time route (Proposition 16 shape): no localizable plan, so
+    /// every read-touching delta recomputes — and still agrees.
+    #[test]
+    fn poly_route_reanswer_matches_scratch(trace in arb_trace()) {
+        let (seed, batches) = trace;
+        let s = Arc::new(parse_schema("E[2,1] V[1,1] Z[1,1]").unwrap());
+        let problem = Problem::new(
+            parse_query(&s, "E(x,x), V(x)").unwrap(),
+            parse_fks(&s, "E[2] -> V").unwrap(),
+        )
+        .unwrap();
+        let solver = Solver::new(problem).unwrap();
+        prop_assert_eq!(solver.route().kind(), RouteKind::PolyTime);
+        let rels = [("E", 2), ("V", 1), ("Z", 1)];
+        check_trace(&s, &solver, &rels, &seed, &batches)?;
+    }
+
+    /// Fallback route (Example 13's q2 under a small budget): verdicts —
+    /// including inconclusive ones — match from-scratch, and inconclusive
+    /// priors are never reused.
+    #[test]
+    fn fallback_route_reanswer_matches_scratch(trace in arb_trace()) {
+        let (seed, batches) = trace;
+        let s = Arc::new(parse_schema("N[3,1] O[2,1] Z[1,1]").unwrap());
+        let problem = Problem::new(
+            parse_query(&s, "N(x,'c',y), O(y,w)").unwrap(),
+            parse_fks(&s, "N[3] -> O").unwrap(),
+        )
+        .unwrap();
+        let solver = Solver::builder(problem)
+            .options(ExecOptions::default().with_fallback(SearchLimits::small()))
+            .build()
+            .unwrap();
+        prop_assert_eq!(solver.route().kind(), RouteKind::Fallback);
+        let rels = [("N", 3), ("O", 2), ("Z", 1)];
+        check_trace(&s, &solver, &rels, &seed, &batches)?;
+    }
+
+    /// Out-of-band writes between re-answers: the epoch protocol detects
+    /// the stale prior and recomputes — never serving the memo.
+    #[test]
+    fn out_of_band_mutations_are_detected(trace in arb_trace()) {
+        let (seed, batches) = trace;
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1] Z[1,1]").unwrap());
+        let problem = Problem::new(
+            parse_query(&s, "N('c',y), O(y), P(y)").unwrap(),
+            parse_fks(&s, "N[2] -> O").unwrap(),
+        )
+        .unwrap();
+        let solver = Solver::new(problem).unwrap();
+        let rels = [("N", 2), ("O", 1), ("P", 1), ("Z", 1)];
+
+        let mut db = Instance::new(s.clone());
+        for step in &seed {
+            db.insert(fact_for(&rels, step)).unwrap();
+        }
+        let mut session = solver.incremental();
+        session.solve(&db);
+        for (i, batch) in batches.iter().enumerate() {
+            // Odd rounds mutate behind the session's back first.
+            let went_behind = i % 2 == 1 && db.insert_named("N", &["c", "oob"]).unwrap();
+            let delta = delta_for(&rels, batch);
+            let incremental = session.reanswer(&mut db, &delta).unwrap();
+            let scratch = solver.solve(&db);
+            prop_assert_eq!(incremental.certainty, scratch.certainty);
+            if went_behind {
+                prop_assert_eq!(
+                    incremental.provenance.delta,
+                    Some(DeltaOutcome::Recomputed("no prior verdict for this instance state")),
+                    "out-of-band write must be detected"
+                );
+                // Re-remove so later rounds can go behind the back again.
+                db.remove(&Fact::from_names("N", &["c", "oob"])).unwrap();
+            }
+        }
+    }
+}

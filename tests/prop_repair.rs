@@ -49,7 +49,7 @@ proptest! {
             // dropping any fact from a repair makes it non-maximal
             if let Some(f) = r.facts().next() {
                 let mut smaller = r.clone();
-                smaller.remove(&f);
+                smaller.remove(&f).unwrap();
                 prop_assert_eq!(is_delta_repair(&db, &smaller, &fks, &limits), Some(false));
             }
         }
