@@ -1,0 +1,564 @@
+//! The invariant verifier: walks the neutral IR and reports violations.
+//!
+//! | Invariant | Code(s) | Why it matters |
+//! |---|---|---|
+//! | dense slot numbering | `SlotOutOfRange`, `SlotGap` | bindings are flat arrays sized `n_slots`; a hole wastes a slot, an overflow reads out of bounds |
+//! | no use before bind | `UseBeforeBind` | an atom reading an unbound slot would unify against garbage |
+//! | α-freshness | `AlphaClash` | compiled shadowing relies on every binder owning a fresh slot; reuse corrupts outer scopes |
+//! | guard coverage / range restriction | `NotRangeRestricted` | a domain quantifier in a tree claiming guard-directed evaluation quantifies over an empty domain — silently wrong verdicts |
+//! | parameter composition | `ParamOutOfRange`, `ParamCompositionBroken`, `BindingNotCovered` | nested Lemma 45 residuals receive `parent params ++ ⃗x`; a mismatch shifts every argument |
+//! | ground probe keys | `NonGroundKey`, `KeyMismatch` | the per-block probe must resolve to a concrete block key |
+//! | schema conformance | `UnknownRelation`, `ArityMismatch`, `AnchorMismatch`, `RelationNotVisible` | precondition for shipping plans to external engines |
+
+use crate::diag::{AuditReport, Code};
+use crate::ir::{FNode, FormulaIr, OpIr, PatIr, PlanIr, QueryIr, TailIr};
+use cqa_model::binding::{CompiledAtom, Slot, SlotTerm};
+use cqa_model::Schema;
+
+/// Audits a compiled formula: slot hygiene, binder freshness and range
+/// restriction. Schema conformance of the atoms is checked by
+/// [`audit_plan`] when the formula sits in a plan tail (the formula alone
+/// carries no schema).
+pub fn audit_formula(f: &FormulaIr) -> AuditReport {
+    let mut report = AuditReport::new();
+    audit_formula_into(f, "formula", &mut report);
+    report
+}
+
+pub(crate) fn audit_formula_into(f: &FormulaIr, path: &str, report: &mut AuditReport) {
+    let mut cx = FormulaCx {
+        n_slots: f.n_slots,
+        bound: vec![false; f.n_slots],
+        ever: vec![false; f.n_slots],
+        report,
+    };
+    for (i, &p) in f.params.iter().enumerate() {
+        let path = format!("{path}.params[{i}]");
+        cx.report.tick();
+        if p as usize >= f.n_slots {
+            cx.report.push(
+                Code::SlotOutOfRange,
+                &path,
+                format!("parameter slot {p} out of range (n_slots = {})", f.n_slots),
+            );
+            continue;
+        }
+        if cx.ever[p as usize] {
+            cx.report.push(
+                Code::AlphaClash,
+                &path,
+                format!("slot {p} declared as a parameter twice"),
+            );
+            continue;
+        }
+        cx.bound[p as usize] = true;
+        cx.ever[p as usize] = true;
+    }
+    cx.walk(&f.root, path);
+    // Contiguity: every numbered slot must be bindable somewhere.
+    for s in 0..f.n_slots {
+        cx.report.tick();
+        if !cx.ever[s] {
+            cx.report.push(
+                Code::SlotGap,
+                path,
+                format!("slot {s} is never bound by a parameter, quantifier or guard"),
+            );
+        }
+    }
+    report.tick();
+    if f.root.needs_domain() && !f.uses_domain {
+        report.push(
+            Code::NotRangeRestricted,
+            path,
+            "tree contains an active-domain quantifier but claims guard-directed \
+             evaluation (uses_domain = false): the quantifier would range over nothing",
+        );
+    }
+}
+
+struct FormulaCx<'r> {
+    n_slots: usize,
+    /// Slots bound in the current scope (params stay bound throughout).
+    bound: Vec<bool>,
+    /// Slots that have had a binder site anywhere (α-freshness).
+    ever: Vec<bool>,
+    report: &'r mut AuditReport,
+}
+
+impl FormulaCx<'_> {
+    fn use_slot(&mut self, s: Slot, path: &str) {
+        self.report.tick();
+        if s as usize >= self.n_slots {
+            self.report.push(
+                Code::SlotOutOfRange,
+                path,
+                format!("slot {s} out of range (n_slots = {})", self.n_slots),
+            );
+        } else if !self.bound[s as usize] {
+            self.report.push(
+                Code::UseBeforeBind,
+                path,
+                format!("slot {s} is read but no enclosing binder binds it"),
+            );
+        }
+    }
+
+    fn use_term(&mut self, t: SlotTerm, path: &str) {
+        if let SlotTerm::Slot(s) = t {
+            self.use_slot(s, path);
+        }
+    }
+
+    fn use_atom(&mut self, a: &CompiledAtom, path: &str) {
+        for &t in &a.terms {
+            self.use_term(t, path);
+        }
+    }
+
+    /// Binds `s` at a fresh binder site; returns whether it was newly
+    /// bound (and must be unbound when the scope closes).
+    fn bind(&mut self, s: Slot, path: &str) -> bool {
+        self.report.tick();
+        if s as usize >= self.n_slots {
+            self.report.push(
+                Code::SlotOutOfRange,
+                path,
+                format!("binder slot {s} out of range (n_slots = {})", self.n_slots),
+            );
+            return false;
+        }
+        if self.ever[s as usize] {
+            self.report.push(
+                Code::AlphaClash,
+                path,
+                format!("slot {s} already has a binder site — compiled shadowing must rename"),
+            );
+            return false;
+        }
+        self.bound[s as usize] = true;
+        self.ever[s as usize] = true;
+        true
+    }
+
+    fn unbind(&mut self, newly: &[Slot]) {
+        for &s in newly {
+            self.bound[s as usize] = false;
+        }
+    }
+
+    /// Binds the guard's unbound slots; already-bound slots act as filters
+    /// and stay untouched.
+    fn bind_guard(&mut self, guard: &CompiledAtom, path: &str) -> Vec<Slot> {
+        let mut newly = Vec::new();
+        for &t in &guard.terms {
+            if let SlotTerm::Slot(s) = t {
+                self.report.tick();
+                if s as usize >= self.n_slots {
+                    self.report.push(
+                        Code::SlotOutOfRange,
+                        path,
+                        format!("guard slot {s} out of range (n_slots = {})", self.n_slots),
+                    );
+                } else if !self.bound[s as usize] {
+                    if self.ever[s as usize] {
+                        self.report.push(
+                            Code::AlphaClash,
+                            path,
+                            format!("guard rebinds slot {s} bound at another site"),
+                        );
+                    } else {
+                        self.bound[s as usize] = true;
+                        self.ever[s as usize] = true;
+                        newly.push(s);
+                    }
+                }
+            }
+        }
+        newly
+    }
+
+    fn walk(&mut self, node: &FNode, path: &str) {
+        match node {
+            FNode::True | FNode::False => {}
+            FNode::Atom(a) => self.use_atom(a, path),
+            FNode::Eq(l, r) => {
+                self.use_term(*l, path);
+                self.use_term(*r, path);
+            }
+            FNode::Not(g) => self.walk(g, path),
+            FNode::And(gs) | FNode::Or(gs) => {
+                for (i, g) in gs.iter().enumerate() {
+                    self.walk(g, &format!("{path}[{i}]"));
+                }
+            }
+            FNode::Implies(l, r) => {
+                self.walk(l, &format!("{path}.lhs"));
+                self.walk(r, &format!("{path}.rhs"));
+            }
+            FNode::Exists(slots, body) | FNode::Forall(slots, body) => {
+                let mut newly = Vec::new();
+                for &s in slots {
+                    if self.bind(s, path) {
+                        newly.push(s);
+                    }
+                }
+                self.walk(body, &format!("{path}.body"));
+                self.unbind(&newly);
+            }
+            FNode::ExistsGuarded(guard, body) | FNode::ForallGuarded(guard, body) => {
+                // Filter positions of the guard are reads.
+                for &t in &guard.terms {
+                    if let SlotTerm::Slot(s) = t {
+                        if (s as usize) < self.n_slots && self.bound[s as usize] {
+                            self.report.tick(); // counted as a checked read
+                        }
+                    }
+                }
+                let newly = self.bind_guard(guard, path);
+                self.walk(body, &format!("{path}.body"));
+                self.unbind(&newly);
+            }
+        }
+    }
+}
+
+/// Audits a compiled conjunctive query against `schema`: atom conformance
+/// plus slot-numbering density.
+pub fn audit_query(q: &QueryIr, schema: &Schema) -> AuditReport {
+    let mut report = AuditReport::new();
+    audit_query_into(q, schema, "query", &mut report);
+    report
+}
+
+pub(crate) fn audit_query_into(q: &QueryIr, schema: &Schema, path: &str, report: &mut AuditReport) {
+    report.tick();
+    if q.n_params > q.n_slots {
+        report.push(
+            Code::ParamOutOfRange,
+            path,
+            format!("{} parameter slots but only {} slots", q.n_params, q.n_slots),
+        );
+    }
+    let mut seen = vec![false; q.n_slots];
+    for s in seen.iter_mut().take(q.n_params) {
+        *s = true;
+    }
+    for (i, a) in q.atoms.iter().enumerate() {
+        let apath = format!("{path}.atoms[{i}]");
+        report.tick();
+        match schema.signature(a.rel) {
+            None => {
+                report.push(
+                    Code::UnknownRelation,
+                    &apath,
+                    format!("relation {} is not in the schema", a.rel),
+                );
+            }
+            Some(sig) => {
+                report.tick();
+                if a.terms.len() != sig.arity {
+                    report.push(
+                        Code::ArityMismatch,
+                        &apath,
+                        format!("{} terms for arity-{} relation {}", a.terms.len(), sig.arity, a.rel),
+                    );
+                }
+            }
+        }
+        for &t in &a.terms {
+            if let SlotTerm::Slot(s) = t {
+                report.tick();
+                if s as usize >= q.n_slots {
+                    report.push(
+                        Code::SlotOutOfRange,
+                        &apath,
+                        format!("slot {s} out of range (n_slots = {})", q.n_slots),
+                    );
+                } else {
+                    seen[s as usize] = true;
+                }
+            }
+        }
+    }
+    for (s, seen) in seen.iter().enumerate() {
+        report.tick();
+        if !seen {
+            report.push(
+                Code::SlotGap,
+                path,
+                format!("slot {s} occurs in no atom and is not a parameter"),
+            );
+        }
+    }
+}
+
+/// Audits a compiled plan: op/tail schema conformance, visibility,
+/// parameter composition across nested Lemma 45 steps, and (recursively)
+/// every embedded formula and relevance query.
+pub fn audit_plan(p: &PlanIr) -> AuditReport {
+    let mut report = AuditReport::new();
+    audit_plan_into(p, "plan", &mut report);
+    report
+}
+
+fn audit_plan_into(p: &PlanIr, path: &str, report: &mut AuditReport) {
+    let schema = &*p.schema;
+    let visible = |rel, what: &str, path: &str, report: &mut AuditReport| {
+        report.tick();
+        if !p.rels.contains(&rel) {
+            report.push(
+                Code::RelationNotVisible,
+                path,
+                format!("{what} relation {rel} is outside the plan's restriction set"),
+            );
+        }
+        report.tick();
+        if schema.signature(rel).is_none() {
+            report.push(
+                Code::UnknownRelation,
+                path,
+                format!("{what} relation {rel} is not in the schema"),
+            );
+        }
+    };
+    for (i, op) in p.ops.iter().enumerate() {
+        let opath = format!("{path}.ops[{i}]");
+        match op {
+            OpIr::FilterRelevant {
+                drop,
+                filter,
+                relevance,
+                anchor,
+            } => {
+                visible(*filter, "filtered", &opath, report);
+                visible(*drop, "dropped", &opath, report);
+                report.tick();
+                match relevance.atoms.get(*anchor) {
+                    None => report.push(
+                        Code::AnchorMismatch,
+                        &opath,
+                        format!("anchor index {anchor} out of range ({} atoms)", relevance.atoms.len()),
+                    ),
+                    Some(a) if a.rel != *filter => report.push(
+                        Code::AnchorMismatch,
+                        &opath,
+                        format!("anchor atom is over {} but the op filters {filter}", a.rel),
+                    ),
+                    Some(_) => {}
+                }
+                report.tick();
+                if relevance.n_params != p.n_params {
+                    report.push(
+                        Code::ParamCompositionBroken,
+                        &opath,
+                        format!(
+                            "relevance query expects {} parameters, plan has {}",
+                            relevance.n_params, p.n_params
+                        ),
+                    );
+                }
+                audit_query_into(relevance, schema, &format!("{opath}.relevance"), report);
+            }
+            OpIr::FilterNonDangling {
+                drop,
+                filter,
+                outgoing,
+            } => {
+                visible(*filter, "filtered", &opath, report);
+                visible(*drop, "dropped", &opath, report);
+                for (j, fk) in outgoing.iter().enumerate() {
+                    audit_fk(fk, Some(*filter), schema, &format!("{opath}.outgoing[{j}]"), report);
+                }
+            }
+        }
+    }
+    match &p.tail {
+        TailIr::Kw { formula, free_map } => {
+            let fpath = format!("{path}.tail.formula");
+            audit_formula_into(formula, &fpath, report);
+            report.tick();
+            if free_map.len() != formula.params.len() {
+                report.push(
+                    Code::ParamCompositionBroken,
+                    &fpath,
+                    format!(
+                        "free_map feeds {} slots but the formula has {} free slots",
+                        free_map.len(),
+                        formula.params.len()
+                    ),
+                );
+            }
+            for (i, &arg) in free_map.iter().enumerate() {
+                report.tick();
+                if arg >= p.n_params {
+                    report.push(
+                        Code::ParamOutOfRange,
+                        &fpath,
+                        format!("free_map[{i}] = {arg} but the plan has {} parameters", p.n_params),
+                    );
+                }
+            }
+            for a in formula.root.atoms() {
+                visible(a.rel, "formula", &fpath, report);
+                report.tick();
+                if let Some(sig) = schema.signature(a.rel) {
+                    if a.terms.len() != sig.arity {
+                        report.push(
+                            Code::ArityMismatch,
+                            &fpath,
+                            format!("{} terms for arity-{} relation {}", a.terms.len(), sig.arity, a.rel),
+                        );
+                    }
+                }
+            }
+        }
+        TailIr::Lemma45(l) => {
+            let lpath = format!("{path}.tail");
+            visible(l.rel, "block", &lpath, report);
+            let sig = schema.signature(l.rel);
+            if let Some(sig) = sig {
+                report.tick();
+                if l.pattern.len() != sig.arity {
+                    report.push(
+                        Code::ArityMismatch,
+                        &lpath,
+                        format!("pattern has {} terms for arity-{} relation {}", l.pattern.len(), sig.arity, l.rel),
+                    );
+                }
+                report.tick();
+                if l.key.len() != sig.key_len {
+                    report.push(
+                        Code::KeyMismatch,
+                        &lpath,
+                        format!("key has {} terms but {} has key length {}", l.key.len(), l.rel, sig.key_len),
+                    );
+                } else if l.key.as_slice() != &l.pattern[..l.key.len().min(l.pattern.len())] {
+                    report.push(
+                        Code::KeyMismatch,
+                        &lpath,
+                        "key is not the key-length prefix of the pattern",
+                    );
+                }
+            }
+            for (i, t) in l.key.iter().enumerate() {
+                report.tick();
+                if let PatIr::X(k) = t {
+                    report.push(
+                        Code::NonGroundKey,
+                        &lpath,
+                        format!("key position {i} is the block-bound placeholder x{k}; the probe key would not be ground"),
+                    );
+                }
+            }
+            let mut xs_seen = vec![false; l.n_xs];
+            for (i, t) in l.pattern.iter().enumerate() {
+                report.tick();
+                match *t {
+                    PatIr::Cst(_) => {}
+                    PatIr::Param(j) => {
+                        if j >= p.n_params {
+                            report.push(
+                                Code::ParamOutOfRange,
+                                &lpath,
+                                format!("pattern position {i} reads parameter {j} but the plan has {}", p.n_params),
+                            );
+                        }
+                    }
+                    PatIr::X(k) => {
+                        if k >= l.n_xs {
+                            report.push(
+                                Code::ParamOutOfRange,
+                                &lpath,
+                                format!("pattern position {i} binds x{k} but the step declares n_xs = {}", l.n_xs),
+                            );
+                        } else {
+                            xs_seen[k] = true;
+                        }
+                    }
+                }
+            }
+            for (k, seen) in xs_seen.iter().enumerate() {
+                report.tick();
+                if !seen {
+                    report.push(
+                        Code::BindingNotCovered,
+                        &lpath,
+                        format!("x{k} never occurs in the pattern; no block row can bind it"),
+                    );
+                }
+            }
+            for (j, fk) in l.outgoing.iter().enumerate() {
+                audit_fk(fk, Some(l.rel), schema, &format!("{lpath}.outgoing[{j}]"), report);
+            }
+            report.tick();
+            if l.sub.n_params != p.n_params + l.n_xs {
+                report.push(
+                    Code::ParamCompositionBroken,
+                    &lpath,
+                    format!(
+                        "residual plan expects {} parameters; parent params ({}) + ⃗x ({}) = {}",
+                        l.sub.n_params,
+                        p.n_params,
+                        l.n_xs,
+                        p.n_params + l.n_xs
+                    ),
+                );
+            }
+            audit_plan_into(&l.sub, &format!("{lpath}.sub"), report);
+        }
+    }
+}
+
+fn audit_fk(
+    fk: &cqa_model::ForeignKey,
+    expect_from: Option<cqa_model::RelName>,
+    schema: &Schema,
+    path: &str,
+    report: &mut AuditReport,
+) {
+    report.tick();
+    if let Some(from) = expect_from {
+        if fk.from != from {
+            report.push(
+                Code::KeyMismatch,
+                path,
+                format!("outgoing fk sources {} but the step reads {from}", fk.from),
+            );
+        }
+    }
+    report.tick();
+    match schema.signature(fk.from) {
+        None => report.push(
+            Code::UnknownRelation,
+            path,
+            format!("fk source {} is not in the schema", fk.from),
+        ),
+        Some(sig) => {
+            if fk.pos == 0 || fk.pos > sig.arity {
+                report.push(
+                    Code::ArityMismatch,
+                    path,
+                    format!("fk position {} out of range for arity-{} {}", fk.pos, sig.arity, fk.from),
+                );
+            }
+        }
+    }
+    report.tick();
+    match schema.signature(fk.to) {
+        None => report.push(
+            Code::UnknownRelation,
+            path,
+            format!("fk target {} is not in the schema", fk.to),
+        ),
+        Some(sig) => {
+            if sig.key_len != 1 {
+                report.push(
+                    Code::ArityMismatch,
+                    path,
+                    format!("fk target {} has key length {} (unary foreign keys require 1)", fk.to, sig.key_len),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Diagnostics: violation codes, locations, and the audit report.
+
+use std::fmt;
+
+/// The class of an IR invariant violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Code {
+    /// A slot index is `≥ n_slots` — the slot numbering is not dense
+    /// upward.
+    SlotOutOfRange,
+    /// A slot in `0..n_slots` is never bound by a parameter, quantifier or
+    /// guard — the numbering has a hole (contiguity violated downward).
+    SlotGap,
+    /// A slot is read (in an atom or equality) at a point where no
+    /// enclosing binder has bound it.
+    UseBeforeBind,
+    /// A slot is bound at two distinct binder sites (or a quantifier
+    /// rebinds a parameter slot) — α-renaming freshness violated.
+    AlphaClash,
+    /// A domain quantifier appears in a tree whose `uses_domain` flag is
+    /// `false`: evaluation would skip building the active domain and
+    /// quantify over nothing — the formula is not range-restricted under
+    /// its claimed guard-directed strategy.
+    NotRangeRestricted,
+    /// A parameter (or Lemma 45 `⃗x`) index is out of range for its scope.
+    ParamOutOfRange,
+    /// Nested parameter scopes do not compose: a residual plan does not
+    /// expect exactly its parent's parameters plus the step's `⃗x` slots,
+    /// or a formula's free slots do not match the plan's argument map.
+    ParamCompositionBroken,
+    /// A Lemma 45 `⃗x` slot never occurs in the step's atom pattern, so a
+    /// block row can never bind it.
+    BindingNotCovered,
+    /// A Lemma 45 key pattern contains an `⃗x` placeholder — the per-block
+    /// probe key would not be ground at evaluation time.
+    NonGroundKey,
+    /// A Lemma 45 key pattern is not the key-length prefix of the step's
+    /// atom pattern.
+    KeyMismatch,
+    /// A relevance query's anchor atom does not match the filtered
+    /// relation.
+    AnchorMismatch,
+    /// A relation is not declared by the schema in scope.
+    UnknownRelation,
+    /// A term list's length disagrees with the relation's declared arity
+    /// (or a foreign-key position/target shape is invalid).
+    ArityMismatch,
+    /// An operation or tail reads a relation that the plan's restriction
+    /// has already made invisible.
+    RelationNotVisible,
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Code::SlotOutOfRange => "slot-out-of-range",
+            Code::SlotGap => "slot-gap",
+            Code::UseBeforeBind => "use-before-bind",
+            Code::AlphaClash => "alpha-clash",
+            Code::NotRangeRestricted => "not-range-restricted",
+            Code::ParamOutOfRange => "param-out-of-range",
+            Code::ParamCompositionBroken => "param-composition-broken",
+            Code::BindingNotCovered => "binding-not-covered",
+            Code::NonGroundKey => "non-ground-key",
+            Code::KeyMismatch => "key-mismatch",
+            Code::AnchorMismatch => "anchor-mismatch",
+            Code::UnknownRelation => "unknown-relation",
+            Code::ArityMismatch => "arity-mismatch",
+            Code::RelationNotVisible => "relation-not-visible",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One invariant violation, located by an IR path such as
+/// `plan.tail.sub.ops[0]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violation class.
+    pub code: Code,
+    /// Where in the IR the violation sits.
+    pub path: String,
+    /// A human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at {}: {}", self.code, self.path, self.message)
+    }
+}
+
+/// The outcome of auditing one IR artifact: how many invariant checks ran
+/// and every violation found.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Number of individual invariant checks evaluated.
+    pub checks: usize,
+    /// The violations, in IR walk order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// An empty report.
+    pub fn new() -> AuditReport {
+        AuditReport::default()
+    }
+
+    /// Whether no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether some violation carries `code`.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Records that one invariant check ran.
+    pub(crate) fn tick(&mut self) {
+        self.checks += 1;
+    }
+
+    /// Records a violation.
+    pub(crate) fn push(&mut self, code: Code, path: &str, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            path: path.to_string(),
+            message: message.into(),
+        });
+    }
+
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "audit clean: {} invariant checks, 0 violations", self.checks)
+        } else {
+            writeln!(
+                f,
+                "audit FAILED: {} invariant checks, {} violation(s):",
+                self.checks,
+                self.diagnostics.len()
+            )?;
+            for d in &self.diagnostics {
+                writeln!(f, "  {d}")?;
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Deliberately malformed IR fixtures.
+//!
+//! Compilation in this workspace is correct by construction, so an invalid
+//! plan can never be produced from user input — which would leave the
+//! auditor's rejection paths untested and untestable from the CLI. These
+//! named fixtures construct each violation class directly in the neutral
+//! IR; `cqa analyze --fixture <name>` audits one and exits nonzero, and the
+//! test suite asserts every fixture is rejected with its expected
+//! diagnostic while the [`good_formula`]/[`good_plan`] baselines stay
+//! clean.
+
+use crate::checks::{audit_formula, audit_plan};
+use crate::diag::{AuditReport, Code};
+use crate::ir::{FNode, FormulaIr, L45Ir, OpIr, PatIr, PlanIr, QueryIr, TailIr};
+use cqa_model::binding::{CompiledAtom, SlotTerm};
+use cqa_model::{Cst, ForeignKey, RelName, Schema};
+use std::sync::Arc;
+
+fn rel(n: &str) -> RelName {
+    RelName::new(n)
+}
+
+fn atom(r: &str, terms: &[SlotTerm]) -> CompiledAtom {
+    CompiledAtom {
+        rel: rel(r),
+        terms: terms.to_vec(),
+    }
+}
+
+fn slot(s: u32) -> SlotTerm {
+    SlotTerm::Slot(s)
+}
+
+fn schema() -> Arc<Schema> {
+    let mut s = Schema::new();
+    s.add("N", 2, 1).expect("fixture schema");
+    s.add("O", 1, 1).expect("fixture schema");
+    s.add("P", 1, 1).expect("fixture schema");
+    Arc::new(s)
+}
+
+/// A well-formed formula the auditor accepts: `∀(s0,s1) ∈ N. O(s1)`.
+pub fn good_formula() -> FormulaIr {
+    FormulaIr {
+        root: FNode::ForallGuarded(
+            atom("N", &[slot(0), slot(1)]),
+            Box::new(FNode::Atom(atom("O", &[slot(1)]))),
+        ),
+        n_slots: 2,
+        params: Vec::new(),
+        uses_domain: false,
+    }
+}
+
+/// A well-formed plan the auditor accepts: a ground-key Lemma 45 step over
+/// `N` with residual `O(x) ∧ P(x)`.
+pub fn good_plan() -> PlanIr {
+    good_plan_with(|_| {})
+}
+
+fn good_plan_with(tweak: impl FnOnce(&mut L45Ir)) -> PlanIr {
+    let schema = schema();
+    let mut l45 = L45Ir {
+        rel: rel("N"),
+        key: vec![PatIr::Cst(Cst::new("c"))],
+        pattern: vec![PatIr::Cst(Cst::new("c")), PatIr::X(0)],
+        n_xs: 1,
+        outgoing: vec![ForeignKey::new(rel("N"), 2, rel("O"))],
+        sub: PlanIr {
+            schema: schema.clone(),
+            rels: [rel("O"), rel("P")].into(),
+            ops: Vec::new(),
+            tail: TailIr::Kw {
+                formula: FormulaIr {
+                    root: FNode::And(vec![
+                        FNode::Atom(atom("O", &[slot(0)])),
+                        FNode::Atom(atom("P", &[slot(0)])),
+                    ]),
+                    n_slots: 1,
+                    params: vec![0],
+                    uses_domain: false,
+                },
+                free_map: vec![0],
+            },
+            n_params: 1,
+        },
+    };
+    tweak(&mut l45);
+    PlanIr {
+        schema,
+        rels: [rel("N"), rel("O"), rel("P")].into(),
+        ops: Vec::new(),
+        tail: TailIr::Lemma45(Box::new(l45)),
+        n_params: 0,
+    }
+}
+
+/// The IR under a fixture: a formula or a full plan.
+#[derive(Clone, Debug)]
+pub enum FixtureIr {
+    /// A compiled-formula fixture.
+    Formula(FormulaIr),
+    /// A compiled-plan fixture.
+    Plan(PlanIr),
+}
+
+/// One named malformed-IR fixture.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// The CLI-addressable name.
+    pub name: &'static str,
+    /// The diagnostic code the auditor must produce.
+    pub expect: Code,
+    /// What is broken, for the CLI listing.
+    pub describe: &'static str,
+    /// The malformed IR itself.
+    pub ir: FixtureIr,
+}
+
+impl Fixture {
+    /// Audits the fixture's IR.
+    pub fn audit(&self) -> AuditReport {
+        match &self.ir {
+            FixtureIr::Formula(f) => audit_formula(f),
+            FixtureIr::Plan(p) => audit_plan(p),
+        }
+    }
+}
+
+/// All fixtures, one per violation class.
+pub fn all() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            name: "use-before-bind",
+            expect: Code::UseBeforeBind,
+            describe: "a conjunct reads slot 0 before the sibling guard binds it",
+            ir: FixtureIr::Formula(FormulaIr {
+                root: FNode::And(vec![
+                    FNode::Atom(atom("O", &[slot(0)])),
+                    FNode::ExistsGuarded(atom("N", &[slot(0), slot(1)]), Box::new(FNode::True)),
+                ]),
+                n_slots: 2,
+                params: Vec::new(),
+                uses_domain: false,
+            }),
+        },
+        Fixture {
+            name: "slot-gap",
+            expect: Code::SlotGap,
+            describe: "n_slots = 3 but slot 2 has no binder anywhere",
+            ir: FixtureIr::Formula(FormulaIr {
+                root: FNode::ExistsGuarded(
+                    atom("N", &[slot(0), slot(1)]),
+                    Box::new(FNode::True),
+                ),
+                n_slots: 3,
+                params: Vec::new(),
+                uses_domain: false,
+            }),
+        },
+        Fixture {
+            name: "alpha-clash",
+            expect: Code::AlphaClash,
+            describe: "two sibling guards bind the same slots — α-renaming skipped",
+            ir: FixtureIr::Formula(FormulaIr {
+                root: FNode::And(vec![
+                    FNode::ExistsGuarded(atom("N", &[slot(0), slot(1)]), Box::new(FNode::True)),
+                    FNode::ExistsGuarded(atom("N", &[slot(0), slot(1)]), Box::new(FNode::True)),
+                ]),
+                n_slots: 2,
+                params: Vec::new(),
+                uses_domain: false,
+            }),
+        },
+        Fixture {
+            name: "not-range-restricted",
+            expect: Code::NotRangeRestricted,
+            describe: "an active-domain ∃ in a tree claiming guard-directed evaluation",
+            ir: FixtureIr::Formula(FormulaIr {
+                root: FNode::Exists(vec![0], Box::new(FNode::Atom(atom("O", &[slot(0)])))),
+                n_slots: 1,
+                params: Vec::new(),
+                uses_domain: false,
+            }),
+        },
+        Fixture {
+            name: "param-composition-broken",
+            expect: Code::ParamCompositionBroken,
+            describe: "the Lemma 45 residual expects 2 parameters; parent (0) + ⃗x (1) = 1",
+            ir: FixtureIr::Plan(good_plan_with(|l| {
+                l.sub.n_params = 2;
+            })),
+        },
+        Fixture {
+            name: "non-ground-key",
+            expect: Code::NonGroundKey,
+            describe: "the Lemma 45 probe key contains a block-bound ⃗x placeholder",
+            ir: FixtureIr::Plan(good_plan_with(|l| {
+                l.key = vec![PatIr::X(0)];
+                l.pattern = vec![PatIr::X(0), PatIr::X(0)];
+            })),
+        },
+        Fixture {
+            name: "key-mismatch",
+            expect: Code::KeyMismatch,
+            describe: "the probe key is not the key-length prefix of the atom pattern",
+            ir: FixtureIr::Plan(good_plan_with(|l| {
+                l.key = vec![PatIr::Cst(Cst::new("d"))];
+            })),
+        },
+        Fixture {
+            name: "param-out-of-range",
+            expect: Code::ParamOutOfRange,
+            describe: "the pattern reads parameter 3 of a parameterless plan",
+            ir: FixtureIr::Plan(good_plan_with(|l| {
+                l.key = vec![PatIr::Param(3)];
+                l.pattern = vec![PatIr::Param(3), PatIr::X(0)];
+            })),
+        },
+        Fixture {
+            name: "arity-mismatch",
+            expect: Code::ArityMismatch,
+            describe: "a 3-term pattern over an arity-2 relation",
+            ir: FixtureIr::Plan(good_plan_with(|l| {
+                l.pattern = vec![PatIr::Cst(Cst::new("c")), PatIr::X(0), PatIr::X(0)];
+            })),
+        },
+        Fixture {
+            name: "binding-not-covered",
+            expect: Code::BindingNotCovered,
+            describe: "the step declares two ⃗x slots but the pattern binds only x0",
+            ir: FixtureIr::Plan(good_plan_with(|l| {
+                l.n_xs = 2;
+                l.sub.n_params = 2;
+            })),
+        },
+        Fixture {
+            name: "unknown-relation",
+            expect: Code::UnknownRelation,
+            describe: "the block relation is not declared by the schema",
+            ir: FixtureIr::Plan({
+                let mut p = good_plan_with(|l| {
+                    l.rel = rel("Zz");
+                    l.outgoing.clear();
+                });
+                p.rels.insert(rel("Zz"));
+                p
+            }),
+        },
+        Fixture {
+            name: "anchor-mismatch",
+            expect: Code::AnchorMismatch,
+            describe: "a relevance query anchored on an atom over the wrong relation",
+            ir: FixtureIr::Plan(PlanIr {
+                schema: schema(),
+                rels: [rel("N"), rel("O"), rel("P")].into(),
+                ops: vec![OpIr::FilterRelevant {
+                    drop: rel("P"),
+                    filter: rel("N"),
+                    relevance: QueryIr {
+                        atoms: vec![atom("O", &[slot(0)])],
+                        n_slots: 1,
+                        n_params: 0,
+                    },
+                    anchor: 0,
+                }],
+                tail: TailIr::Kw {
+                    formula: FormulaIr {
+                        root: FNode::True,
+                        n_slots: 0,
+                        params: Vec::new(),
+                        uses_domain: false,
+                    },
+                    free_map: Vec::new(),
+                },
+                n_params: 0,
+            }),
+        },
+    ]
+}
+
+/// Looks a fixture up by its CLI name.
+pub fn by_name(name: &str) -> Option<Fixture> {
+    all().into_iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_are_clean() {
+        let f = audit_formula(&good_formula());
+        assert!(f.is_clean(), "{f}");
+        let p = audit_plan(&good_plan());
+        assert!(p.is_clean(), "{p}");
+    }
+
+    #[test]
+    fn every_fixture_is_rejected_with_its_code() {
+        for fx in all() {
+            let report = fx.audit();
+            assert!(
+                !report.is_clean(),
+                "fixture {} was not rejected",
+                fx.name
+            );
+            assert!(
+                report.has(fx.expect),
+                "fixture {} expected {} but got: {report}",
+                fx.name,
+                fx.expect
+            );
+        }
+    }
+
+    #[test]
+    fn fixture_names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all().len());
+    }
+
+    #[test]
+    fn good_plan_read_set_is_block_local_on_n() {
+        let rs = crate::readset::infer(&good_plan());
+        assert!(rs.may_read(rel("N"), &[Cst::new("c")]));
+        assert!(!rs.may_read(rel("N"), &[Cst::new("d")]));
+        assert!(rs.is_whole(rel("O")));
+        assert!(rs.is_whole(rel("P")));
+    }
+}

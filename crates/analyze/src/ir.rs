@@ -1,0 +1,219 @@
+//! The neutral IR the auditor walks.
+//!
+//! The compiled artifacts of `cqa-fo` and `cqa-core` keep their internals
+//! private (slot trees, reduction ops); each producing crate converts into
+//! this crate-public mirror via a `to_ir()` method, so the auditor and the
+//! read-set inference see one shared shape without a dependency cycle
+//! (`cqa-analyze` depends only on `cqa-model`; the producers depend on
+//! `cqa-analyze`).
+
+use cqa_model::binding::{CompiledAtom, Slot, SlotTerm};
+use cqa_model::eval::CompiledQuery;
+use cqa_model::{Cst, ForeignKey, RelName, Schema};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A node of a compiled formula tree (mirror of `cqa-fo`'s private node
+/// type).
+#[derive(Clone, Debug)]
+pub enum FNode {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// A relational atom over slot-numbered terms.
+    Atom(CompiledAtom),
+    /// Equality of two slot terms.
+    Eq(SlotTerm, SlotTerm),
+    /// Negation.
+    Not(Box<FNode>),
+    /// N-ary conjunction.
+    And(Vec<FNode>),
+    /// N-ary disjunction.
+    Or(Vec<FNode>),
+    /// Implication.
+    Implies(Box<FNode>, Box<FNode>),
+    /// Active-domain existential over `slots`.
+    Exists(Vec<Slot>, Box<FNode>),
+    /// Guarded existential: the guard atom binds its unbound slots.
+    ExistsGuarded(CompiledAtom, Box<FNode>),
+    /// Active-domain universal over `slots`.
+    Forall(Vec<Slot>, Box<FNode>),
+    /// Guarded universal: the guard atom binds its unbound slots.
+    ForallGuarded(CompiledAtom, Box<FNode>),
+}
+
+impl FNode {
+    /// Every relational atom in the tree, guards included, in walk order.
+    pub fn atoms(&self) -> Vec<&CompiledAtom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a CompiledAtom>) {
+        match self {
+            FNode::True | FNode::False | FNode::Eq(_, _) => {}
+            FNode::Atom(a) => out.push(a),
+            FNode::Not(g) => g.collect_atoms(out),
+            FNode::And(gs) | FNode::Or(gs) => {
+                for g in gs {
+                    g.collect_atoms(out);
+                }
+            }
+            FNode::Implies(l, r) => {
+                l.collect_atoms(out);
+                r.collect_atoms(out);
+            }
+            FNode::Exists(_, b) | FNode::Forall(_, b) => b.collect_atoms(out),
+            FNode::ExistsGuarded(g, b) | FNode::ForallGuarded(g, b) => {
+                out.push(g);
+                b.collect_atoms(out);
+            }
+        }
+    }
+
+    /// Whether evaluating the tree requires the active domain — mirrors the
+    /// producer's flag computation: any quantifier with a non-empty
+    /// unguarded slot list.
+    pub fn needs_domain(&self) -> bool {
+        match self {
+            FNode::True | FNode::False | FNode::Atom(_) | FNode::Eq(_, _) => false,
+            FNode::Exists(slots, body) | FNode::Forall(slots, body) => {
+                !slots.is_empty() || body.needs_domain()
+            }
+            FNode::Not(g) => g.needs_domain(),
+            FNode::And(gs) | FNode::Or(gs) => gs.iter().any(FNode::needs_domain),
+            FNode::Implies(l, r) => l.needs_domain() || r.needs_domain(),
+            FNode::ExistsGuarded(_, cont) | FNode::ForallGuarded(_, cont) => cont.needs_domain(),
+        }
+    }
+}
+
+/// A compiled formula: the tree plus its slot-numbering metadata.
+#[derive(Clone, Debug)]
+pub struct FormulaIr {
+    /// The root node.
+    pub root: FNode,
+    /// Total number of slots the tree numbers.
+    pub n_slots: usize,
+    /// The free (parameter) slots, bound from an argument slice before
+    /// evaluation starts.
+    pub params: Vec<Slot>,
+    /// Whether the producer flagged the tree as needing the active domain.
+    pub uses_domain: bool,
+}
+
+/// A compiled conjunctive query: slot-numbered atoms plus slot counts.
+#[derive(Clone, Debug)]
+pub struct QueryIr {
+    /// The slot-compiled atoms.
+    pub atoms: Vec<CompiledAtom>,
+    /// Total number of slots.
+    pub n_slots: usize,
+    /// Leading slots bound as parameters before the join starts.
+    pub n_params: usize,
+}
+
+impl From<&CompiledQuery> for QueryIr {
+    fn from(q: &CompiledQuery) -> QueryIr {
+        QueryIr {
+            atoms: q.atoms().to_vec(),
+            n_slots: q.vars().len(),
+            n_params: q.n_params(),
+        }
+    }
+}
+
+/// A pattern term of a Lemma 45 step: a constant, a reference to one of the
+/// plan's parameters, or one of the step's own `⃗x` binding positions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatIr {
+    /// A ground constant.
+    Cst(Cst),
+    /// The `i`-th plan parameter.
+    Param(usize),
+    /// The `k`-th `⃗x` slot bound from the block row.
+    X(usize),
+}
+
+/// A reduction operation preceding the plan tail (mirror of `cqa-core`'s
+/// private op type).
+#[derive(Clone, Debug)]
+pub enum OpIr {
+    /// Lemma 37/40 "remove object–object cycle" step: keep the blocks of
+    /// `filter` whose anchor fact extends to a match of `relevance`, then
+    /// hide `drop`.
+    FilterRelevant {
+        /// The relation hidden after filtering.
+        drop: RelName,
+        /// The relation whose blocks are filtered.
+        filter: RelName,
+        /// The relevance query deciding which blocks survive.
+        relevance: QueryIr,
+        /// Index of the atom of `relevance` anchored on `filter`.
+        anchor: usize,
+    },
+    /// Lemma 37/40 "remove dangling objects" step: keep the blocks of
+    /// `filter` with at least one non-dangling row, then hide `drop`.
+    FilterNonDangling {
+        /// The relation hidden after filtering.
+        drop: RelName,
+        /// The relation whose blocks are filtered.
+        filter: RelName,
+        /// The foreign keys a surviving row must satisfy.
+        outgoing: Vec<ForeignKey>,
+    },
+}
+
+/// The tail of a compiled plan.
+#[derive(Clone, Debug)]
+pub enum TailIr {
+    /// The Koutris–Wijsen rewriting: a compiled formula evaluated over the
+    /// reduced view, its free slots fed from the plan's parameters through
+    /// `free_map`.
+    Kw {
+        /// The compiled rewriting.
+        formula: FormulaIr,
+        /// `free_map[i]` is the plan-parameter index feeding the formula's
+        /// `i`-th free slot.
+        free_map: Vec<usize>,
+    },
+    /// A nested Lemma 45 reduction step.
+    Lemma45(Box<L45Ir>),
+}
+
+/// A Lemma 45 step: for every row of the block `rel(key, ∗)`, bind the
+/// step's `⃗x` slots from the row and evaluate the residual plan.
+#[derive(Clone, Debug)]
+pub struct L45Ir {
+    /// The block relation.
+    pub rel: RelName,
+    /// The ground (at evaluation time) probe key — the key-length prefix
+    /// of `pattern`.
+    pub key: Vec<PatIr>,
+    /// The full atom pattern a block row must match.
+    pub pattern: Vec<PatIr>,
+    /// Number of `⃗x` slots the pattern binds.
+    pub n_xs: usize,
+    /// Foreign keys a block row must satisfy (non-dangling test).
+    pub outgoing: Vec<ForeignKey>,
+    /// The residual plan, expecting the parent's parameters plus the `⃗x`
+    /// bindings.
+    pub sub: PlanIr,
+}
+
+/// A compiled reduction plan (mirror of `cqa-core`'s private plan type).
+#[derive(Clone, Debug)]
+pub struct PlanIr {
+    /// The schema the plan was compiled against.
+    pub schema: Arc<Schema>,
+    /// The relations the plan restricts its view to.
+    pub rels: BTreeSet<RelName>,
+    /// The reduction operations, applied in order.
+    pub ops: Vec<OpIr>,
+    /// The tail evaluated over the reduced view.
+    pub tail: TailIr,
+    /// The number of parameters the plan expects.
+    pub n_params: usize,
+}

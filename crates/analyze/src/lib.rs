@@ -1,0 +1,45 @@
+//! Static analysis over the compiled CQA IR.
+//!
+//! The Appendix E reduction pipeline compiles into three artifacts —
+//! slot-numbered formulas (`cqa-fo`), slot-backtracking conjunctive queries
+//! ([`cqa_model::eval::CompiledQuery`]) and view-backed reduction plans
+//! (`cqa-core`). Their invariants (dense slot numbering, no use before
+//! bind, α-renaming freshness, guard coverage, parameter composition
+//! across nested Lemma 45 steps, range restriction) are enforced only *by
+//! construction*; this crate re-checks them on a neutral [`ir`]
+//! representation so compilation bugs surface as diagnostics instead of
+//! wrong certainty verdicts, and so plans can eventually be shipped to
+//! external engines (SQL/Datalog emission needs exactly the safety /
+//! range-restriction precondition audited here).
+//!
+//! Two analyses are provided:
+//!
+//! * **invariant auditing** ([`checks`]) — walks [`ir::FormulaIr`],
+//!   [`ir::QueryIr`] and [`ir::PlanIr`] and produces an
+//!   [`diag::AuditReport`]; the producing crates run it behind
+//!   `debug_assert!` at every compile;
+//! * **read-set inference** ([`readset`]) — computes the exact set of
+//!   (relation, block-key) pairs a compiled plan can touch, which the
+//!   incremental solver's *Unaffected* rung consumes to skip re-answering
+//!   for deltas that only touch unread blocks. Compiled plans are pure
+//!   readers — their write-set is empty by construction (mutation happens
+//!   only through `Delta` application) — so only read-sets are inferred.
+//!
+//! The dynamic counterpart is [`cqa_model::ReadLog`]: a recording hook on
+//! `InstanceView` that captures the probes of a real execution, letting a
+//! differential test assert every recorded probe is covered by the
+//! statically inferred [`readset::ReadSet`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod diag;
+pub mod fixtures;
+pub mod ir;
+pub mod readset;
+
+pub use checks::{audit_formula, audit_plan, audit_query};
+pub use diag::{AuditReport, Code, Diagnostic};
+pub use ir::{FNode, FormulaIr, L45Ir, OpIr, PatIr, PlanIr, QueryIr, TailIr};
+pub use readset::{AccessPattern, ReadSet};

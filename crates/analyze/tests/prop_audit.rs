@@ -1,0 +1,215 @@
+//! Property tests for the invariant auditor's *rejection* paths: randomly
+//! constructed malformed IR — unbound slot reads, domain quantifiers with a
+//! cleared range-restriction flag, inflated slot counts, broken Lemma 45
+//! parameter composition — must each be rejected with the right
+//! [`Code`], never accepted and never misclassified. (The acceptance
+//! direction is covered for free: every real compile in the workspace runs
+//! the audit behind `debug_assert!`.)
+
+use cqa_analyze::{audit_formula, audit_plan, Code, FNode, FormulaIr, L45Ir, PatIr, PlanIr, TailIr};
+use cqa_model::binding::{CompiledAtom, SlotTerm};
+use cqa_model::{Cst, ForeignKey, RelName, Schema};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn rel(n: &str) -> RelName {
+    RelName::new(n)
+}
+
+fn atom(r: &str, slots: &[u32]) -> CompiledAtom {
+    CompiledAtom {
+        rel: rel(r),
+        terms: slots.iter().map(|&s| SlotTerm::Slot(s)).collect(),
+    }
+}
+
+fn schema() -> Arc<Schema> {
+    let mut s = Schema::new();
+    s.add("N", 2, 1).expect("schema");
+    s.add("O", 1, 1).expect("schema");
+    s.add("P", 1, 1).expect("schema");
+    Arc::new(s)
+}
+
+/// A well-formed plan skeleton: `good_plan`'s shape (ground-key Lemma 45
+/// over `N`, residual `O(x) ∧ P(x)`), rebuilt from the public IR types so
+/// the tests can bend any field.
+fn plan_with(tweak: impl FnOnce(&mut L45Ir)) -> PlanIr {
+    let schema = schema();
+    let mut l45 = L45Ir {
+        rel: rel("N"),
+        key: vec![PatIr::Cst(Cst::new("c"))],
+        pattern: vec![PatIr::Cst(Cst::new("c")), PatIr::X(0)],
+        n_xs: 1,
+        outgoing: vec![ForeignKey::new(rel("N"), 2, rel("O"))],
+        sub: PlanIr {
+            schema: schema.clone(),
+            rels: [rel("O"), rel("P")].into(),
+            ops: Vec::new(),
+            tail: TailIr::Kw {
+                formula: FormulaIr {
+                    root: FNode::And(vec![
+                        FNode::Atom(atom("O", &[0])),
+                        FNode::Atom(atom("P", &[0])),
+                    ]),
+                    n_slots: 1,
+                    params: vec![0],
+                    uses_domain: false,
+                },
+                free_map: vec![0],
+            },
+            n_params: 1,
+        },
+    };
+    tweak(&mut l45);
+    PlanIr {
+        schema,
+        rels: [rel("N"), rel("O"), rel("P")].into(),
+        ops: Vec::new(),
+        tail: TailIr::Lemma45(Box::new(l45)),
+        n_params: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
+    /// Bind every slot except a victim, then read the victim in one of the
+    /// conjuncts: whatever the slot count and position, the auditor must
+    /// report `use-before-bind` (and, since the victim has no binder
+    /// anywhere, `slot-gap` for the hole).
+    #[test]
+    fn reading_an_unbound_slot_is_rejected(n_slots in 2u32..7, victim_pick in 0u32..7) {
+        let victim = victim_pick % n_slots;
+        let bound: Vec<u32> = (0..n_slots).filter(|s| *s != victim).collect();
+        let mut conjuncts: Vec<FNode> =
+            bound.iter().map(|&s| FNode::Atom(atom("O", &[s]))).collect();
+        conjuncts.push(FNode::Atom(atom("P", &[victim])));
+        let f = FormulaIr {
+            root: FNode::Exists(bound, Box::new(FNode::And(conjuncts))),
+            n_slots: n_slots as usize,
+            params: Vec::new(),
+            uses_domain: false,
+        };
+        let report = audit_formula(&f);
+        prop_assert!(report.has(Code::UseBeforeBind), "{report}");
+        prop_assert!(report.has(Code::SlotGap), "{report}");
+    }
+
+    /// A plain (active-domain) quantifier nested at any depth under guards
+    /// contradicts a cleared `uses_domain` flag: evaluation would quantify
+    /// over an unbuilt domain. The same tree with the flag set is clean.
+    #[test]
+    fn domain_quantifier_with_cleared_flag_is_rejected(
+        depth in 0usize..4,
+        forall_pick in 0usize..2,
+    ) {
+        let forall = forall_pick == 1;
+        // Innermost: ∃/∀ s_{depth} reading it — the domain quantifier.
+        let inner_slot = depth as u32;
+        let body = Box::new(FNode::Atom(atom("O", &[inner_slot])));
+        let mut node = if forall {
+            FNode::Forall(vec![inner_slot], body)
+        } else {
+            FNode::Exists(vec![inner_slot], body)
+        };
+        // Wrap in `depth` guarded quantifiers so the violation is not at
+        // the root.
+        for s in (0..depth as u32).rev() {
+            node = FNode::ExistsGuarded(atom("P", &[s]), Box::new(node));
+        }
+        let make = |uses_domain| FormulaIr {
+            root: node.clone(),
+            n_slots: depth + 1,
+            params: Vec::new(),
+            uses_domain,
+        };
+        let report = audit_formula(&make(false));
+        prop_assert!(report.has(Code::NotRangeRestricted), "{report}");
+        prop_assert!(!report.has(Code::UseBeforeBind), "{report}");
+        let clean = audit_formula(&make(true));
+        prop_assert!(clean.is_clean(), "flag set must be accepted: {clean}");
+    }
+
+    /// Inflating `n_slots` past the binders leaves holes: every inflation
+    /// amount yields `slot-gap` and nothing else.
+    #[test]
+    fn inflated_slot_counts_are_rejected(extra in 1usize..5) {
+        let f = FormulaIr {
+            root: FNode::ForallGuarded(
+                atom("N", &[0, 1]),
+                Box::new(FNode::Atom(atom("O", &[1]))),
+            ),
+            n_slots: 2 + extra,
+            params: Vec::new(),
+            uses_domain: false,
+        };
+        let report = audit_formula(&f);
+        prop_assert!(report.has(Code::SlotGap), "{report}");
+        prop_assert_eq!(report.diagnostics.len(), extra, "one gap per missing binder");
+    }
+
+    /// Every wrong residual parameter count (`sub.n_params ≠ parent 0 +
+    /// ⃗x 1`) breaks Lemma 45 parameter composition — the auditor pins the
+    /// exact arithmetic, accepting only the correct count.
+    #[test]
+    fn broken_parameter_composition_is_rejected(wrong in 0usize..6) {
+        let plan = plan_with(|l| {
+            l.sub.n_params = wrong;
+            // Keep the residual internally consistent at its (wrong)
+            // parameter count, so the *composition* check is what fires.
+            if let TailIr::Kw { formula, free_map } = &mut l.sub.tail {
+                formula.params = (0..wrong as u32).collect();
+                formula.n_slots = wrong.max(1);
+                formula.root = FNode::And(
+                    (0..wrong.max(1) as u32)
+                        .map(|s| FNode::Atom(atom("O", &[s])))
+                        .collect(),
+                );
+                *free_map = (0..wrong).collect();
+            }
+        });
+        let report = audit_plan(&plan);
+        if wrong == 1 {
+            prop_assert!(report.is_clean(), "correct composition rejected: {report}");
+        } else {
+            prop_assert!(report.has(Code::ParamCompositionBroken), "{report}");
+        }
+    }
+
+    /// A parameter index at or past the scope's count is out of range
+    /// wherever it appears in the step's key/pattern.
+    #[test]
+    fn out_of_range_parameters_are_rejected(idx in 0usize..6) {
+        // The outer plan is parameterless: every `Param(idx)` is invalid.
+        let plan = plan_with(|l| {
+            l.key = vec![PatIr::Param(idx)];
+            l.pattern = vec![PatIr::Param(idx), PatIr::X(0)];
+        });
+        let report = audit_plan(&plan);
+        prop_assert!(report.has(Code::ParamOutOfRange), "{report}");
+    }
+}
+
+/// The proptest shrinker must never be able to shrink a malformed fixture
+/// into acceptance: the full fixture corpus stays rejected under repeated
+/// audits (auditing is pure).
+#[test]
+fn fixture_corpus_is_stably_rejected() {
+    for fixture in cqa_analyze::fixtures::all() {
+        for _ in 0..3 {
+            let report = fixture.audit();
+            assert!(!report.is_clean(), "{} accepted", fixture.name);
+            assert!(
+                report.has(fixture.expect),
+                "{}: expected {}, got {report}",
+                fixture.name,
+                fixture.expect
+            );
+        }
+    }
+}

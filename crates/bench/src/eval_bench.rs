@@ -280,6 +280,11 @@ pub fn nested_l45_instance(s: &Arc<Schema>, n: usize) -> Instance {
     db
 }
 
+/// Paired repeats of the solver-routing measurement per size; the reported
+/// row is the median by overhead, damping scheduler noise in what is a
+/// ratio of two near-identical timings.
+const ROUTING_REPEATS: usize = 5;
+
 /// Runs the benchmark at the given sizes (ascending): `sizes` for the
 /// formula workload, `plan_sizes` for the plan workload. `budget` bounds
 /// the measurement time per engine per size.
@@ -368,6 +373,7 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
     // run the identical single-threaded compiled-plan execution) vs
     // calling the compiled plan directly. Measures pure facade cost:
     // route dispatch, policy read, verdict + provenance construction.
+    // Each size takes the median of `ROUTING_REPEATS` paired runs.
     let solver = Solver::builder(nested_l45_problem())
         .options(ExecOptions::sequential())
         .build()
@@ -381,16 +387,28 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
             "solver facade and direct plan disagree at n={n}"
         );
         db.index();
-        let direct_t = measure(budget, || cplan.answer(&db));
-        let solver_t = measure(budget, || solver.solve(&db).is_certain());
+        // The overhead is a ratio of two near-identical sub-microsecond
+        // timings, so a single (direct, solver) pair is at the mercy of
+        // scheduler noise: repeat the paired measurement and keep the
+        // median repeat, which is what the acceptance metric reads.
+        let mut repeats: Vec<(Duration, Duration, f64)> = (0..ROUTING_REPEATS)
+            .map(|_| {
+                let direct_t = measure(budget, || cplan.answer(&db));
+                let solver_t = measure(budget, || solver.solve(&db).is_certain());
+                let pct = (solver_t.as_secs_f64() / direct_t.as_secs_f64().max(f64::EPSILON)
+                    - 1.0)
+                    * 100.0;
+                (direct_t, solver_t, pct)
+            })
+            .collect();
+        repeats.sort_by(|a, b| a.2.total_cmp(&b.2));
+        let (direct_t, solver_t, overhead_pct) = repeats[repeats.len() / 2];
         solver_routing_rows.push(SolverRoutingRow {
             n_blocks: n,
             facts: db.len(),
             direct_ns: direct_t.as_nanos(),
             solver_ns: solver_t.as_nanos(),
-            overhead_pct: (solver_t.as_secs_f64() / direct_t.as_secs_f64().max(f64::EPSILON)
-                - 1.0)
-                * 100.0,
+            overhead_pct,
         });
     }
     let solver_routing_overhead = solver_routing_rows

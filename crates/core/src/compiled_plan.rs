@@ -67,13 +67,15 @@
 use crate::parallel::ParallelPolicy;
 use crate::pipeline::{RewritePlan, StepAction, Tail};
 use crate::problem::Problem;
+use cqa_analyze::{AuditReport, L45Ir, OpIr, PatIr, PlanIr, QueryIr, ReadSet, TailIr};
 use cqa_fo::CompiledFormula;
 use cqa_model::{
-    CompiledQuery, Cst, ForeignKey, Instance, InstanceView, RelName, Term, Var,
+    CompiledQuery, Cst, ForeignKey, Instance, InstanceView, ReadLog, RelName, Schema, Term, Var,
 };
 use rayon_lite::ThreadPool;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a plan could not be compiled into its view-backed executable form.
 #[derive(Clone, Debug)]
@@ -185,6 +187,9 @@ struct CompiledLemma45 {
 /// [`InstanceView`]s. See the module docs.
 #[derive(Clone, Debug)]
 pub struct CompiledPlan {
+    /// The schema of the (possibly frozen) query at this level — kept for
+    /// static analysis (audits and read-set inference are schema-driven).
+    schema: Arc<Schema>,
     /// The relations of the (possibly frozen) query at this level; the
     /// initial view restriction.
     rels: BTreeSet<RelName>,
@@ -298,12 +303,75 @@ impl CompiledPlan {
                 }))
             }
         };
-        Ok(CompiledPlan {
+        let compiled = CompiledPlan {
+            schema: plan.problem.query().schema().clone(),
             rels,
             ops,
             tail,
             n_params: params.len(),
-        })
+        };
+        #[cfg(debug_assertions)]
+        {
+            let report = compiled.audit();
+            debug_assert!(
+                report.is_clean(),
+                "compiled plan failed its IR audit:\n{report}"
+            );
+        }
+        Ok(compiled)
+    }
+
+    /// Converts the compiled plan (and, recursively, its residual plans)
+    /// into the neutral `cqa-analyze` IR.
+    pub fn to_ir(&self) -> PlanIr {
+        PlanIr {
+            schema: self.schema.clone(),
+            rels: self.rels.clone(),
+            ops: self.ops.iter().map(CompiledOp::to_ir).collect(),
+            tail: match &self.tail {
+                CompiledTail::Kw { formula, free_map } => TailIr::Kw {
+                    formula: formula.to_ir(),
+                    free_map: free_map.clone(),
+                },
+                CompiledTail::Lemma45(l) => TailIr::Lemma45(Box::new(L45Ir {
+                    rel: l.rel,
+                    key: l.key.iter().copied().map(PatTerm::to_ir).collect(),
+                    pattern: l.pattern.iter().copied().map(PatTerm::to_ir).collect(),
+                    n_xs: l.n_xs,
+                    outgoing: l.outgoing.clone(),
+                    sub: l.sub.to_ir(),
+                })),
+            },
+            n_params: self.n_params,
+        }
+    }
+
+    /// Audits the compiled plan's IR invariants — schema conformance,
+    /// parameter composition across nested Lemma 45 levels, ground probe
+    /// keys, and every embedded formula and relevance query (see
+    /// `cqa_analyze::checks`). Run behind `debug_assert!` at every compile;
+    /// callable explicitly for reports (`cqa analyze`).
+    pub fn audit(&self) -> AuditReport {
+        cqa_analyze::audit_plan(&self.to_ir())
+    }
+
+    /// The statically inferred read-set: the exact (relation, block-key)
+    /// pairs this plan can touch. Sound — any fact able to influence the
+    /// answer lands in a covered block — and strictly tighter than
+    /// [`CompiledPlan::reads`] whenever a Lemma 45 tail probes a ground
+    /// key: there the block relation contributes `blocks {key}` instead of
+    /// a whole-relation read, so the incremental solver can ignore deltas
+    /// to that relation's *other* blocks.
+    pub fn read_set(&self) -> ReadSet {
+        cqa_analyze::readset::infer(&self.to_ir())
+    }
+
+    /// [`CompiledPlan::answer`] with every view probe recorded into `log` —
+    /// the instrumentation side of the read-set soundness tests.
+    pub fn answer_traced(&self, db: &Instance, log: &Arc<ReadLog>) -> bool {
+        assert_eq!(self.n_params, 0, "tracing answers parameterless plans");
+        let view = InstanceView::new(db).with_read_log(log.clone());
+        self.eval(&view, &[], ParCtx::SEQUENTIAL)
     }
 
     /// Number of parameters this plan expects.
@@ -437,6 +505,16 @@ impl CompiledPlan {
     }
 }
 
+impl PatTerm {
+    fn to_ir(self) -> PatIr {
+        match self {
+            PatTerm::Cst(c) => PatIr::Cst(c),
+            PatTerm::Param(i) => PatIr::Param(i),
+            PatTerm::X(k) => PatIr::X(k),
+        }
+    }
+}
+
 /// Compiles the terms of a (frozen) Lemma 45 atom into a match pattern.
 fn compile_pattern(
     terms: &[Term],
@@ -464,6 +542,31 @@ fn compile_pattern(
 }
 
 impl CompiledOp {
+    fn to_ir(&self) -> OpIr {
+        match self {
+            CompiledOp::FilterRelevant {
+                drop,
+                filter,
+                relevance,
+                anchor,
+            } => OpIr::FilterRelevant {
+                drop: *drop,
+                filter: *filter,
+                relevance: QueryIr::from(relevance),
+                anchor: *anchor,
+            },
+            CompiledOp::FilterNonDangling {
+                drop,
+                filter,
+                outgoing,
+            } => OpIr::FilterNonDangling {
+                drop: *drop,
+                filter: *filter,
+                outgoing: outgoing.clone(),
+            },
+        }
+    }
+
     /// Applies the step to the view: evaluates the block predicate over the
     /// *incoming* view (the reductions read the pre-step database), then
     /// hides the removed relation and installs the surviving-block filter.

@@ -59,6 +59,7 @@ use crate::parallel::ParallelPolicy;
 use crate::pipeline::RewritePlan;
 use crate::problem::Problem;
 use crate::verdict::{BackendKind, Certainty, DeltaOutcome, Provenance, Verdict};
+use cqa_analyze::ReadSet;
 use cqa_model::schema::RelName;
 use cqa_model::{Delta, Instance, ModelError};
 use cqa_repair::{CertaintyOracle, OracleOutcome, SearchLimits};
@@ -520,9 +521,22 @@ impl Solver {
             reads.insert(fk.from);
             reads.insert(fk.to);
         }
+        // Per-block precision is only provable for a compiled,
+        // parameter-free FO plan (the static analyzer walks its IR); every
+        // other backend reads the raw instance, so its read-set is the
+        // whole-relation closure of `reads` — exactly the old rel-level
+        // Unaffected condition.
+        let read_set = match &self.route {
+            Route::FoPlan(r) => match &r.compiled {
+                Some(c) if c.n_params() == 0 => c.read_set(),
+                _ => ReadSet::whole_over(reads.iter().copied()),
+            },
+            _ => ReadSet::whole_over(reads.iter().copied()),
+        };
         IncrementalSolver {
             solver: self,
             reads,
+            read_set,
             state: None,
         }
     }
@@ -734,11 +748,13 @@ struct SessionState {
 ///
 /// Three outcomes, recorded in [`Provenance::delta`]:
 ///
-/// * [`DeltaOutcome::Unaffected`] — the delta touches no relation the
-///   problem reads (query atoms, foreign-key sources and targets) and the
-///   prior verdict was definite, so it is reused outright. Inconclusive
-///   verdicts are **never** reused this way: the fallback oracle's budget
-///   exhaustion depends on blocks the query does not mention.
+/// * [`DeltaOutcome::Unaffected`] — no fact of the delta lands in a
+///   (relation, block) of the statically inferred [`ReadSet`]
+///   ([`IncrementalSolver::read_set`]; block-precise on the compiled FO
+///   route, whole-relation elsewhere) and the prior verdict was definite,
+///   so it is reused outright. Inconclusive verdicts are **never** reused
+///   this way: the fallback oracle's budget exhaustion depends on blocks
+///   the query does not mention.
 /// * [`DeltaOutcome::Localized`] — the compiled plan is Δ-localizable (a
 ///   parameter-free Lemma 45 tail over one ground-key block, with no
 ///   self-references; see [`CompiledPlan::localizable_rel`]) and the delta
@@ -784,6 +800,11 @@ pub struct IncrementalSolver<'s> {
     /// the verdict: the query's atoms plus each foreign key's source and
     /// target.
     reads: BTreeSet<RelName>,
+    /// The statically inferred read-set: on the compiled FO route this is
+    /// [`CompiledPlan::read_set`] — per-*block* precise where a Lemma 45
+    /// tail probes a ground key — and on every other route the
+    /// whole-relation closure of `reads`.
+    read_set: ReadSet,
     state: Option<SessionState>,
 }
 
@@ -797,6 +818,33 @@ impl<'s> IncrementalSolver<'s> {
     /// deltas disjoint from this set are [`DeltaOutcome::Unaffected`].
     pub fn reads(&self) -> &BTreeSet<RelName> {
         &self.reads
+    }
+
+    /// The statically inferred read-set the *Unaffected* rung fires on: a
+    /// delta none of whose facts the set [`ReadSet::may_read`] reuses the
+    /// prior definite verdict outright. On the compiled FO route this is
+    /// block-precise (a ground-key Lemma 45 probe admits deltas to *other*
+    /// blocks of the same relation); elsewhere it is whole-relation.
+    pub fn read_set(&self) -> &ReadSet {
+        &self.read_set
+    }
+
+    /// Whether no fact of `delta` can be read by the plan, per the inferred
+    /// [`ReadSet`]. A fact is judged by its key prefix (cut at the
+    /// relation's declared key length); an undeclared relation is
+    /// conservatively treated as readable.
+    fn delta_unread(&self, delta: &Delta) -> bool {
+        let schema = self.solver.problem.query().schema();
+        delta.ops().iter().all(|op| {
+            let fact = op.fact();
+            match schema.signature(fact.rel) {
+                Some(sig) => {
+                    let key = &fact.args[..sig.key_len.min(fact.args.len())];
+                    !self.read_set.may_read(fact.rel, key)
+                }
+                None => false,
+            }
+        })
     }
 
     /// The verdict of the most recent [`solve`] / [`reanswer`], if any.
@@ -840,11 +888,14 @@ impl<'s> IncrementalSolver<'s> {
                 )),
             ));
         }
-        // Rung 1 — Unaffected: the delta is disjoint from everything the
-        // problem reads and the prior verdict is definite. (Inconclusive
-        // is excluded: whether the oracle's budget suffices depends on
-        // blocks the query never mentions.)
-        if touched.iter().all(|r| !self.reads.contains(r)) {
+        // Rung 1 — Unaffected: no fact of the delta lands in a (relation,
+        // block) the inferred read-set says the plan can read, and the
+        // prior verdict is definite. (Inconclusive is excluded: whether
+        // the oracle's budget suffices depends on blocks the query never
+        // mentions.) On the compiled FO route this is per-block — a delta
+        // to N(d,·) under a plan probing only the N('c') block reuses the
+        // verdict even though N itself is a read relation.
+        if self.delta_unread(delta) {
             let state = self.state.as_mut().expect("prior_valid checked");
             if state.verdict.as_bool().is_some() {
                 state.epoch = db.epoch();
@@ -1239,6 +1290,55 @@ mod tests {
                 "no prior verdict for this instance state"
             ))
         );
+    }
+
+    #[test]
+    fn incremental_unaffected_rung_is_block_precise_on_the_fo_route() {
+        use cqa_model::parser::parse_fact;
+        use cqa_model::Cst;
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+        let solver = Solver::new(problem(&s, "N('c',y), O(y), P(y)", "N[2] -> O")).unwrap();
+        let mut db = parse_instance(&s, "N(c,a) N(c,b) O(a) P(a) P(b)").unwrap();
+        let mut session = solver.incremental();
+
+        // The inferred read-set is strictly tighter than `reads()`: N is a
+        // read relation, but only its 'c' block can be probed.
+        let n = RelName::new("N");
+        assert!(session.reads().contains(&n));
+        assert!(session.read_set().may_read(n, &[Cst::new("c")]));
+        assert!(!session.read_set().may_read(n, &[Cst::new("d")]));
+
+        assert!(session.solve(&db).is_certain());
+
+        // A delta confined to the N('d') block — same relation, different
+        // block — now reuses the verdict outright, where the rel-level
+        // condition would have gone to the Localized rung.
+        let mut dd = Delta::new();
+        dd.insert(parse_fact("N(d,q)").unwrap());
+        dd.insert(parse_fact("N(d,r)").unwrap());
+        let v = session.reanswer(&mut db, &dd).unwrap();
+        assert_eq!(v.provenance.delta, Some(DeltaOutcome::Unaffected));
+        assert_eq!(v.as_bool(), Some(true));
+        // ... and the reused verdict matches a from-scratch solve.
+        assert_eq!(solver.solve(&db).as_bool(), Some(true));
+
+        // Removing one of them again: still unaffected, still correct.
+        let mut dr = Delta::new();
+        dr.remove(parse_fact("N(d,q)").unwrap());
+        let v = session.reanswer(&mut db, &dr).unwrap();
+        assert_eq!(v.provenance.delta, Some(DeltaOutcome::Unaffected));
+        assert_eq!(v.as_bool(), Some(true));
+
+        // A delta inside the probed block does NOT reuse: it localizes and
+        // flips the verdict.
+        let mut dc = Delta::new();
+        dc.insert(parse_fact("N(c,e)").unwrap());
+        let v = session.reanswer(&mut db, &dc).unwrap();
+        assert_eq!(v.as_bool(), Some(false));
+        assert!(matches!(
+            v.provenance.delta,
+            Some(DeltaOutcome::Localized { .. })
+        ));
     }
 
     #[test]

@@ -96,8 +96,9 @@ impl fmt::Display for BackendKind {
 /// rather than silently recomputing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeltaOutcome {
-    /// The delta did not intersect anything the problem reads; the prior
-    /// verdict was reused outright.
+    /// The delta did not intersect anything the problem reads — judged
+    /// against the statically inferred read-set, which is block-precise on
+    /// the compiled FO route — so the prior verdict was reused outright.
     Unaffected,
     /// The delta was localized to the blocks it touches: `reused` residual
     /// verdicts were taken from the session cache, `evaluated` were

@@ -107,14 +107,40 @@ impl CompiledFormula {
         let root = c.go(f);
         debug_assert!(c.env.len() == free.len(), "scopes must be balanced");
         let uses_domain = uses_domain(&root);
-        CompiledFormula {
+        let compiled = CompiledFormula {
             root,
             strategy,
             n_slots: c.n_slots,
             free,
             consts: f.consts().into_iter().collect(),
             uses_domain,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let report = compiled.audit();
+            debug_assert!(
+                report.is_clean(),
+                "compiled formula failed its IR audit:\n{report}"
+            );
         }
+        compiled
+    }
+
+    /// Converts the compiled tree into the neutral `cqa-analyze` IR.
+    pub fn to_ir(&self) -> cqa_analyze::FormulaIr {
+        cqa_analyze::FormulaIr {
+            root: node_ir(&self.root),
+            n_slots: self.n_slots,
+            params: self.free.iter().map(|&(_, s)| s).collect(),
+            uses_domain: self.uses_domain,
+        }
+    }
+
+    /// Audits the compiled tree's slot/binder/range-restriction invariants
+    /// (see `cqa_analyze::checks`). Run behind `debug_assert!` at every
+    /// compile; callable explicitly for reports.
+    pub fn audit(&self) -> cqa_analyze::AuditReport {
+        cqa_analyze::audit_formula(&self.to_ir())
     }
 
     /// The strategy this formula was compiled for.
@@ -351,6 +377,25 @@ impl Compiler {
 }
 
 /// Whether any node of the tree iterates the active domain.
+/// Mirrors the private [`Node`] tree into the analysis IR.
+fn node_ir(n: &Node) -> cqa_analyze::FNode {
+    use cqa_analyze::FNode;
+    match n {
+        Node::True => FNode::True,
+        Node::False => FNode::False,
+        Node::Atom(a) => FNode::Atom(a.clone()),
+        Node::Eq(l, r) => FNode::Eq(*l, *r),
+        Node::Not(g) => FNode::Not(Box::new(node_ir(g))),
+        Node::And(gs) => FNode::And(gs.iter().map(node_ir).collect()),
+        Node::Or(gs) => FNode::Or(gs.iter().map(node_ir).collect()),
+        Node::Implies(l, r) => FNode::Implies(Box::new(node_ir(l)), Box::new(node_ir(r))),
+        Node::Exists(slots, b) => FNode::Exists(slots.clone(), Box::new(node_ir(b))),
+        Node::ExistsGuarded(g, b) => FNode::ExistsGuarded(g.clone(), Box::new(node_ir(b))),
+        Node::Forall(slots, b) => FNode::Forall(slots.clone(), Box::new(node_ir(b))),
+        Node::ForallGuarded(g, b) => FNode::ForallGuarded(g.clone(), Box::new(node_ir(b))),
+    }
+}
+
 fn uses_domain(node: &Node) -> bool {
     match node {
         Node::True | Node::False | Node::Atom(_) | Node::Eq(_, _) => false,

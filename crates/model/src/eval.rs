@@ -142,6 +142,18 @@ impl CompiledQuery {
         &self.vars
     }
 
+    /// The slot-compiled atoms, in query order — exposed for static
+    /// analysis (`cqa-analyze` converts them into its neutral IR).
+    pub fn atoms(&self) -> &[CompiledAtom] {
+        &self.atoms
+    }
+
+    /// The number of leading parameter slots (see
+    /// [`CompiledQuery::with_params`]).
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
     /// The index of the (unique, queries being self-join-free) atom over
     /// `rel`, if any.
     pub fn atom_index(&self, rel: crate::schema::RelName) -> Option<usize> {

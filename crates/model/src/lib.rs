@@ -54,4 +54,4 @@ pub use intern::{Cst, Sym, Var};
 pub use query::Query;
 pub use schema::{Position, RelName, Schema, Signature};
 pub use term::Term;
-pub use view::{FactSource, InstanceView, RenameTable};
+pub use view::{FactSource, InstanceView, ReadLog, RenameTable};

@@ -86,6 +86,55 @@ struct BlockFilter {
     rows: Vec<u32>,
 }
 
+/// A thread-safe log of the probes a traced view performed — the dynamic
+/// counterpart of static read-set inference (`cqa-analyze`).
+///
+/// Each event is a `(relation, key)` pair: `Some(key)` for a single-block
+/// probe ([`InstanceView::block_rows`], ground-key guard candidates, row
+/// membership), `None` for a whole-relation scan ([`InstanceView::blocks`],
+/// non-ground guards, active-domain collection). Attach a log with
+/// [`InstanceView::with_read_log`]; clones of the view share it, so one log
+/// observes an entire plan evaluation including nested residual views.
+///
+/// Probes on *hidden* relations are not recorded (hiding is static plan
+/// structure — the result of such a probe cannot depend on the data), but
+/// probes on filtered-out blocks are: the filter itself was derived from
+/// earlier, recorded reads.
+#[derive(Debug, Default)]
+pub struct ReadLog {
+    events: Mutex<BTreeSet<(RelName, Option<Vec<Cst>>)>>,
+}
+
+impl ReadLog {
+    /// An empty log.
+    pub fn new() -> ReadLog {
+        ReadLog::default()
+    }
+
+    fn scan(&self, rel: RelName) {
+        self.events.lock().insert((rel, None));
+    }
+
+    fn key(&self, rel: RelName, key: &[Cst]) {
+        self.events.lock().insert((rel, Some(key.to_vec())));
+    }
+
+    /// The recorded events, sorted: `(relation, Some(block key) | None)`.
+    pub fn events(&self) -> Vec<(RelName, Option<Vec<Cst>>)> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// The number of distinct recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A lazy view over an [`Instance`]: relation restriction plus per-relation
 /// block filters, evaluated against the instance's [`InstanceIndex`] row
 /// handles. See the module docs.
@@ -94,6 +143,7 @@ pub struct InstanceView<'a> {
     idx: &'a InstanceIndex,
     visible: BTreeSet<RelName>,
     filters: HashMap<RelName, Arc<BlockFilter>>,
+    log: Option<Arc<ReadLog>>,
 }
 
 impl<'a> InstanceView<'a> {
@@ -103,6 +153,26 @@ impl<'a> InstanceView<'a> {
             idx: db.index(),
             visible: db.schema().relations().map(|(r, _)| r).collect(),
             filters: HashMap::new(),
+            log: None,
+        }
+    }
+
+    /// Attaches a [`ReadLog`] that records every data-dependent probe this
+    /// view (and all views derived from it) performs.
+    pub fn with_read_log(mut self, log: Arc<ReadLog>) -> InstanceView<'a> {
+        self.log = Some(log);
+        self
+    }
+
+    fn note_scan(&self, rel: RelName) {
+        if let Some(log) = &self.log {
+            log.scan(rel);
+        }
+    }
+
+    fn note_key(&self, rel: RelName, key: &[Cst]) {
+        if let Some(log) = &self.log {
+            log.key(rel, key);
         }
     }
 
@@ -178,6 +248,7 @@ impl<'a> InstanceView<'a> {
     pub fn partition(&self, rel: RelName, n: usize) -> Vec<InstanceView<'a>> {
         let mut keys: Vec<Box<[Cst]>> = Vec::new();
         if self.visible.contains(&rel) {
+            self.note_scan(rel);
             if let Some(r) = self.idx.rel(rel) {
                 match self.filters.get(&rel) {
                     Some(f) => {
@@ -214,6 +285,7 @@ impl<'a> InstanceView<'a> {
         if !self.visible.contains(&rel) {
             return out;
         }
+        self.note_scan(rel);
         let Some(r) = self.idx.rel(rel) else {
             return out;
         };
@@ -238,6 +310,7 @@ impl<'a> InstanceView<'a> {
         if !self.visible.contains(&rel) {
             return Vec::new();
         }
+        self.note_key(rel, key);
         let Some(r) = self.idx.rel(rel) else {
             return Vec::new();
         };
@@ -258,6 +331,7 @@ impl<'a> InstanceView<'a> {
         if !self.visible.contains(&rel) {
             return false;
         }
+        self.note_key(rel, key);
         let Some(r) = self.idx.rel(rel) else {
             return false;
         };
@@ -281,6 +355,7 @@ impl<'a> InstanceView<'a> {
         table: &'s RenameTable,
     ) -> impl Iterator<Item = Vec<Cst>> + 's {
         let cands = if self.visible.contains(&rel) {
+            self.note_scan(rel);
             match self.idx.rel(rel) {
                 Some(r) => Candidates::from_parts(
                     &r.all,
@@ -330,6 +405,7 @@ impl FactSource for InstanceView<'_> {
             return Candidates::none();
         }
         let Some(r) = self.idx.rel(atom.rel) else {
+            self.note_scan(atom.rel);
             return Candidates::none();
         };
         if r.arity != atom.terms.len() {
@@ -344,6 +420,7 @@ impl FactSource for InstanceView<'_> {
                 Some(c) => scratch.push(c),
                 None => {
                     // Non-ground key: scan the surviving rows.
+                    self.note_scan(atom.rel);
                     return match self.filters.get(&atom.rel) {
                         Some(f) => Candidates::from_parts(&r.all, Some(&f.rows)),
                         None => Candidates::from_parts(&r.all, None),
@@ -351,6 +428,7 @@ impl FactSource for InstanceView<'_> {
                 }
             }
         }
+        self.note_key(atom.rel, scratch.as_slice());
         if let Some(f) = self.filters.get(&atom.rel) {
             if !f.keys.contains(scratch.as_slice()) {
                 return Candidates::none();
@@ -371,6 +449,10 @@ impl FactSource for InstanceView<'_> {
         if !self.visible.contains(&rel) {
             return false;
         }
+        match self.idx.rel(rel) {
+            Some(r) => self.note_key(rel, &args[..r.key_len.min(args.len())]),
+            None => self.note_scan(rel),
+        }
         if !self.idx.contains(rel, args) {
             return false;
         }
@@ -382,6 +464,7 @@ impl FactSource for InstanceView<'_> {
 
     fn extend_adom(&self, out: &mut BTreeSet<Cst>) {
         for &rel in &self.visible {
+            self.note_scan(rel);
             let Some(r) = self.idx.rel(rel) else { continue };
             match self.filters.get(&rel) {
                 Some(f) => {

@@ -8,6 +8,9 @@
 //! cqa solve    --schema … --query … --fks … --db db.txt  # unified solver (any class)
 //! cqa answer   --schema … --query … --fks … --db db.txt  # FO-only legacy path
 //! cqa oracle   --schema … --query … --fks … --db db.txt  # exhaustive check
+//! cqa analyze  --schema … --query … [--fks …]            # static IR audit + read-set
+//! cqa analyze  --problem file.problem                    # same, from a problem file
+//! cqa analyze  --fixture list | --fixture NAME           # built-in malformed IR
 //! ```
 //!
 //! `solve` routes the problem to its best backend (compiled FO plan,
@@ -32,6 +35,8 @@ struct Args {
     query: Option<String>,
     fks: String,
     db: Option<String>,
+    problem_file: Option<String>,
+    fixture: Option<String>,
     fallback_budget: Option<u64>,
     threads: Option<usize>,
     materialized: bool,
@@ -46,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
         query: None,
         fks: String::new(),
         db: None,
+        problem_file: None,
+        fixture: None,
         fallback_budget: None,
         threads: None,
         materialized: false,
@@ -63,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
             "--query" => args.query = Some(value),
             "--fks" => args.fks = value,
             "--db" => args.db = Some(value),
+            "--problem" => args.problem_file = Some(value),
+            "--fixture" => args.fixture = Some(value),
             "--fallback-budget" => {
                 args.fallback_budget =
                     Some(value.parse().map_err(|e| format!("--fallback-budget: {e}"))?)
@@ -77,8 +86,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: cqa <classify|rewrite|sql|solve|answer|oracle> \
+    "usage: cqa <classify|rewrite|sql|solve|answer|oracle|analyze> \
      --schema \"R[2,1] …\" --query \"R(x,y), …\" [--fks \"R[2] -> S, …\"] [--db facts.txt] \
+     [--problem file.problem] [--fixture NAME|list] \
      [--fallback-budget N] [--threads N] [--materialized]"
         .to_string()
 }
@@ -90,8 +100,100 @@ enum Outcome {
     Inconclusive,
 }
 
+/// `cqa analyze`: the static IR auditor. Dispatched before the
+/// `--schema`/`--query` requirement because the fixture modes need
+/// neither.
+fn run_analyze(args: &Args) -> Result<Outcome, String> {
+    if let Some(name) = &args.fixture {
+        if name == "list" {
+            for f in cqa::analyze::fixtures::all() {
+                println!("{:<26} [{}] {}", f.name, f.expect, f.describe);
+            }
+            return Ok(Outcome::Yes);
+        }
+        let f = cqa::analyze::fixtures::by_name(name)
+            .ok_or_else(|| format!("unknown fixture `{name}` (see --fixture list)"))?;
+        println!("fixture `{}`: {}", f.name, f.describe);
+        print!("{}", f.audit());
+        // Fixtures are malformed by construction: the audit must fail.
+        return Ok(Outcome::No);
+    }
+
+    let (schema_text, query_text, fks_text) = match &args.problem_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_problem_file(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => (
+            args.schema.clone().ok_or("missing --schema")?,
+            args.query.clone().ok_or("missing --query")?,
+            args.fks.clone(),
+        ),
+    };
+    let schema = Arc::new(parse_schema(&schema_text).map_err(|e| e.to_string())?);
+    let query = parse_query(&schema, &query_text).map_err(|e| e.to_string())?;
+    let fks = parse_fks(&schema, &fks_text).map_err(|e| e.to_string())?;
+    let problem = Problem::new(query, fks).map_err(|e| e.to_string())?;
+    println!("problem: {problem}");
+
+    match problem.classify() {
+        Classification::Fo(plan) => {
+            let compiled = CompiledPlan::compile(&plan).map_err(|e| e.to_string())?;
+            println!("class: FO-rewritable (depth-{} reduction plan)", plan.depth());
+            let report = compiled.audit();
+            if !report.is_clean() {
+                print!("{report}");
+                return Ok(Outcome::No);
+            }
+            println!("{report}");
+            println!("read-set: {}", compiled.read_set());
+            Ok(Outcome::Yes)
+        }
+        Classification::NotFo(reason) => {
+            // No compiled IR to audit — report the class and the coarse
+            // (whole-relation) read-set the incremental solver falls back
+            // to on this route.
+            println!("class: not FO — {reason}");
+            let mut rels: std::collections::BTreeSet<RelName> =
+                problem.query().atoms().iter().map(|a| a.rel).collect();
+            for fk in problem.fks().iter() {
+                rels.insert(fk.from);
+                rels.insert(fk.to);
+            }
+            println!("read-set (coarse): {}", ReadSet::whole_over(rels));
+            Ok(Outcome::Yes)
+        }
+    }
+}
+
+/// Parses a `.problem` file: `schema:`, `query:` and optional `fks:`
+/// lines, with `#` comments and blank lines ignored.
+fn parse_problem_file(text: &str) -> Result<(String, String, String), String> {
+    let (mut schema, mut query, mut fks) = (None, None, String::new());
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once(':') {
+            Some(("schema", rest)) => schema = Some(rest.trim().to_string()),
+            Some(("query", rest)) => query = Some(rest.trim().to_string()),
+            Some(("fks", rest)) => fks = rest.trim().to_string(),
+            _ => return Err(format!("unrecognized line `{line}`")),
+        }
+    }
+    Ok((
+        schema.ok_or("missing `schema:` line")?,
+        query.ok_or("missing `query:` line")?,
+        fks,
+    ))
+}
+
 fn run() -> Result<Outcome, String> {
     let args = parse_args()?;
+    if args.command == "analyze" {
+        return run_analyze(&args);
+    }
     let schema_text = args.schema.ok_or("missing --schema")?;
     let query_text = args.query.ok_or("missing --query")?;
     let schema = Arc::new(parse_schema(&schema_text).map_err(|e| e.to_string())?);

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cqa_analyze as analyze;
 pub use cqa_attack as attack;
 pub use cqa_core as core;
 pub use cqa_fo as fo;
@@ -49,6 +50,7 @@ pub use cqa_solvers as solvers;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use cqa_analyze::{AuditReport, Code, Diagnostic, ReadSet};
     pub use cqa_attack::{attack_graph::AttackGraph, classify::PkClass, rewrite::kw_rewrite};
     pub use cqa_core::{
         classify::{Classification, NotFoReason},

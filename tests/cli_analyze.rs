@@ -1,0 +1,135 @@
+//! End-to-end tests for `cqa analyze`: the static auditor's CLI contract —
+//! clean problems exit 0 with a readable report and read-set, every
+//! built-in malformed fixture exits nonzero naming its diagnostic code,
+//! and problem files parse. Exit codes follow the binary's convention:
+//! 0 = clean/yes, 1 = violation/no, 2 = usage or input error.
+
+use std::process::{Command, Output};
+
+fn cqa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cqa"))
+        .args(args)
+        .output()
+        .expect("spawn cqa")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_fo_problem_audits_clean_with_read_set() {
+    let out = cqa(&[
+        "analyze",
+        "--schema",
+        "N[2,1] O[1,1] P[1,1]",
+        "--query",
+        "N('c',y), O(y), P(y)",
+        "--fks",
+        "N[2] -> O",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("audit clean"), "{text}");
+    assert!(text.contains("read-set:"), "{text}");
+    assert!(text.contains("N: blocks {[c]}"), "{text}");
+    assert!(text.contains("O: *"), "{text}");
+}
+
+#[test]
+fn non_fo_problem_reports_class_and_coarse_read_set() {
+    let out = cqa(&[
+        "analyze",
+        "--schema",
+        "E[2,1] V[1,1]",
+        "--query",
+        "E(x,x), V(x)",
+        "--fks",
+        "E[2] -> V",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("not FO"), "{text}");
+    assert!(text.contains("E: *"), "{text}");
+    assert!(text.contains("V: *"), "{text}");
+}
+
+#[test]
+fn every_fixture_is_rejected_naming_its_code() {
+    for fixture in cqa::analyze::fixtures::all() {
+        let out = cqa(&["analyze", "--fixture", fixture.name]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture {} must exit 1: {out:?}",
+            fixture.name
+        );
+        let text = stdout(&out);
+        assert!(
+            text.contains(&fixture.expect.to_string()),
+            "fixture {} output must name `{}`:\n{text}",
+            fixture.name,
+            fixture.expect
+        );
+        assert!(text.contains("audit FAILED"), "{text}");
+    }
+}
+
+#[test]
+fn fixture_list_enumerates_the_corpus() {
+    let out = cqa(&["analyze", "--fixture", "list"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout(&out);
+    for fixture in cqa::analyze::fixtures::all() {
+        assert!(text.contains(fixture.name), "missing {}:\n{text}", fixture.name);
+    }
+}
+
+#[test]
+fn unknown_fixture_is_a_usage_error() {
+    let out = cqa(&["analyze", "--fixture", "no-such-fixture"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn missing_schema_is_a_usage_error() {
+    let out = cqa(&["analyze"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn problem_files_parse_and_audit() {
+    let dir = std::env::temp_dir().join(format!("cqa-analyze-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("section8.problem");
+    std::fs::write(
+        &path,
+        "# a comment\nschema: N[2,1] O[1,1] P[1,1]\nquery: N('c',y), O(y), P(y)\nfks: N[2] -> O\n",
+    )
+    .unwrap();
+    let out = cqa(&["analyze", "--problem", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).contains("audit clean"), "{}", stdout(&out));
+
+    let bad = dir.join("bad.problem");
+    std::fs::write(&bad, "schema: N[2,1]\n").unwrap();
+    let out = cqa(&["analyze", "--problem", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "missing query line: {out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shipped_example_problems_audit_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/problems");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/problems exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "problem") {
+            continue;
+        }
+        seen += 1;
+        let out = cqa(&["analyze", "--problem", path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(0), "{path:?}: {out:?}");
+    }
+    assert!(seen >= 3, "expected a corpus, found {seen} problem files");
+}

@@ -1,0 +1,221 @@
+//! Differential soundness harness for **static read-set inference**
+//! (`cqa-analyze`): on randomized instances, every probe a real compiled
+//! plan execution records through [`ReadLog`] must be covered by the
+//! statically inferred [`ReadSet`] — and the recorded run must return the
+//! same answer as the unrecorded one. Soundness is what lets the
+//! incremental solver's *Unaffected* rung trust the read-set: a fact the
+//! set says cannot be read really is never touched.
+//!
+//! The families mirror `prop_pipeline`'s shapes — §8's ground-key Lemma 45
+//! plan, a depth-2 nested Lemma 45, and a Lemma 37/40 block-filter
+//! composition — so the recorder sees block probes, whole-relation scans,
+//! non-dangling witness probes and residual formula evaluation. A
+//! deterministic test pins the strict-tightness claim: on §8 the inference
+//! is per-block, provably tighter than the rel-level `reads()` set.
+
+use cqa::core::compiled_plan::CompiledPlan;
+use cqa::model::ReadLog;
+use cqa::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A family: schema, query, foreign keys, and the fact shapes the
+/// instance generator may emit (relation, arity).
+struct Family {
+    schema: &'static str,
+    query: &'static str,
+    fks: &'static str,
+    rels: &'static [(&'static str, usize)],
+}
+
+/// §8's query: a single ground-key Lemma 45 step — the family where the
+/// inference proves block locality (`N: blocks {[c]}`).
+const SECTION8: Family = Family {
+    schema: "N[2,1] O[1,1] P[1,1]",
+    query: "N('c',y), O(y), P(y)",
+    fks: "N[2] -> O",
+    rels: &[("N", 2), ("O", 1), ("P", 1)],
+};
+
+/// Depth-2 nested Lemma 45: the inner step's key holds a parameter, so
+/// `M` degrades to a whole-relation read while `N` stays block-local.
+const NESTED: Family = Family {
+    schema: "N[2,1] M[2,1] Q[1,1] P[1,1] O[1,1]",
+    query: "N('c',y), M(y,w), Q(w), P(w), O(y)",
+    fks: "N[2] -> O, M[2] -> Q",
+    rels: &[("N", 2), ("M", 2), ("Q", 1), ("P", 1), ("O", 1)],
+};
+
+/// Lemma 37 + Lemma 45 composition: block filtering (relevance /
+/// non-dangling probes) upstream of the branching tail.
+const FILTERED: Family = Family {
+    schema: "N[2,1] O[2,1] Q[1,1]",
+    query: "N('c',y), O(y,z), Q(z)",
+    fks: "N[2] -> O, O[2] -> Q",
+    rels: &[("N", 2), ("O", 2), ("Q", 1)],
+};
+
+fn build(family: &Family) -> (CompiledPlan, Arc<Schema>) {
+    let schema = Arc::new(parse_schema(family.schema).unwrap());
+    let q = parse_query(&schema, family.query).unwrap();
+    let fks = parse_fks(&schema, family.fks).unwrap();
+    let plan = match Problem::new(q, fks).unwrap().classify() {
+        Classification::Fo(plan) => *plan,
+        Classification::NotFo(r) => panic!("{}: expected FO, got {r}", family.query),
+    };
+    (CompiledPlan::compile(&plan).unwrap(), schema)
+}
+
+/// Value pool: the query constants occur often so key blocks fill up.
+const POOL: [&str; 6] = ["c", "d", "a", "b", "e", "1"];
+
+fn instance_for(
+    schema: &Arc<Schema>,
+    rels: &[(&str, usize)],
+    picks: &[(usize, Vec<usize>)],
+) -> Instance {
+    let mut db = Instance::new(schema.clone());
+    for (rel_pick, args) in picks {
+        let (rel, arity) = rels[rel_pick % rels.len()];
+        let args: Vec<&str> = (0..arity)
+            .map(|i| POOL[args.get(i).copied().unwrap_or(0) % POOL.len()])
+            .collect();
+        db.insert_named(rel, &args).unwrap();
+    }
+    db
+}
+
+fn arb_picks() -> impl Strategy<Value = Vec<(usize, Vec<usize>)>> {
+    proptest::collection::vec(
+        (0..8usize, proptest::collection::vec(0..POOL.len(), 0..3)),
+        0..14,
+    )
+}
+
+/// The core soundness check: record a real execution and require every
+/// recorded probe to be covered by the static inference, with identical
+/// answers recorded vs. plain.
+fn check_sound(family: &Family, picks: &[(usize, Vec<usize>)]) -> Result<(), TestCaseError> {
+    let (compiled, schema) = build(family);
+    let read_set = compiled.read_set();
+    let db = instance_for(&schema, family.rels, picks);
+
+    let log = Arc::new(ReadLog::new());
+    let traced = compiled.answer_traced(&db, &log);
+    prop_assert_eq!(
+        traced,
+        compiled.answer(&db),
+        "recording changed the answer on {}",
+        db
+    );
+    for (rel, key) in log.events() {
+        prop_assert!(
+            read_set.covers(rel, key.as_deref()),
+            "query {}: execution read {}({:?}) but the inferred read-set {} does not cover it \
+             (instance {})",
+            family.query,
+            rel,
+            key,
+            read_set,
+            db
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn inferred_read_set_covers_every_probe_on_section8(picks in arb_picks()) {
+        check_sound(&SECTION8, &picks)?;
+    }
+
+    #[test]
+    fn inferred_read_set_covers_every_probe_on_nested_lemma45(picks in arb_picks()) {
+        check_sound(&NESTED, &picks)?;
+    }
+
+    #[test]
+    fn inferred_read_set_covers_every_probe_under_block_filters(picks in arb_picks()) {
+        check_sound(&FILTERED, &picks)?;
+    }
+}
+
+/// Strict tightness, deterministically: §8's inferred read-set bounds `N`
+/// to the `'c'` block — a claim the rel-level `reads()` set cannot make —
+/// while the recorder proves the bound is live (the plan really does probe
+/// `N` by key, not scan it).
+#[test]
+fn section8_read_set_is_strictly_tighter_than_rels() {
+    let (compiled, schema) = build(&SECTION8);
+    let read_set = compiled.read_set();
+    let n = RelName::new("N");
+
+    // Tight on N, whole on the residual relations.
+    assert!(read_set.may_read(n, &[Cst::new("c")]));
+    assert!(!read_set.may_read(n, &[Cst::new("d")]));
+    assert!(read_set.is_whole(RelName::new("O")));
+    assert!(read_set.is_whole(RelName::new("P")));
+
+    // The rel-level approximation reads N wholesale: the refinement is
+    // strict.
+    let q = parse_query(&schema, SECTION8.query).unwrap();
+    let fks = parse_fks(&schema, SECTION8.fks).unwrap();
+    let solver = Solver::new(Problem::new(q, fks).unwrap()).unwrap();
+    let session = solver.incremental();
+    assert!(session.reads().contains(&n));
+    assert_eq!(session.read_set(), &read_set);
+
+    // The recorder is live: a yes-instance execution records the N('c')
+    // block probe and stays inside the inferred set.
+    let db = parse_instance(&schema, "N(c,a) O(a) P(a) N(d,z)").unwrap();
+    let log = Arc::new(ReadLog::new());
+    assert!(compiled.answer_traced(&db, &log));
+    assert!(!log.is_empty(), "execution recorded no probes");
+    assert!(log
+        .events()
+        .iter()
+        .any(|(rel, key)| *rel == n && key.as_deref() == Some(&[Cst::new("c")][..])));
+    // The unread block is never probed.
+    assert!(!log
+        .events()
+        .iter()
+        .any(|(rel, key)| *rel == n && key.as_deref() == Some(&[Cst::new("d")][..])));
+}
+
+/// Uninstrumentable routes fall back to whole-relation read-sets over
+/// exactly the rel-level `reads()` set — trivially sound.
+#[test]
+fn poly_and_fallback_routes_use_whole_relation_read_sets() {
+    // Proposition 16 shape → reachability backend.
+    let s = Arc::new(parse_schema("E[2,1] V[1,1]").unwrap());
+    let q = parse_query(&s, "E(x,x), V(x)").unwrap();
+    let fks = parse_fks(&s, "E[2] -> V").unwrap();
+    let solver = Solver::new(Problem::new(q, fks).unwrap()).unwrap();
+    assert_eq!(solver.route().kind(), RouteKind::PolyTime);
+    let session = solver.incremental();
+    for rel in session.reads() {
+        assert!(session.read_set().is_whole(*rel), "{rel} must be whole");
+    }
+    assert_eq!(session.read_set().len(), session.reads().len());
+
+    // Hard class under a budget → fallback oracle.
+    let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+    let q = parse_query(&s, "N(x,'c',y), O(y,w)").unwrap();
+    let fks = parse_fks(&s, "N[3] -> O").unwrap();
+    let solver = Solver::builder(Problem::new(q, fks).unwrap())
+        .options(ExecOptions::default().with_fallback(SearchLimits::small()))
+        .build()
+        .unwrap();
+    assert_eq!(solver.route().kind(), RouteKind::Fallback);
+    let session = solver.incremental();
+    for rel in session.reads() {
+        assert!(session.read_set().is_whole(*rel), "{rel} must be whole");
+    }
+    assert_eq!(session.read_set().len(), session.reads().len());
+}

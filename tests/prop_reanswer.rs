@@ -95,6 +95,55 @@ fn check_trace(
     Ok(())
 }
 
+/// Deterministic witness that the per-block rung is *strictly* stronger
+/// than the rel-level condition it replaced: on §8's query the plan probes
+/// only the `N('c')` block, so deltas confined to `N('d', ·)` — a relation
+/// the rel-level condition counts as read — reuse the verdict outright,
+/// with verdicts identical to from-scratch solves throughout.
+#[test]
+fn delta_on_unread_block_of_a_read_relation_is_unaffected() {
+    let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+    let problem = Problem::new(
+        parse_query(&s, "N('c',y), O(y), P(y)").unwrap(),
+        parse_fks(&s, "N[2] -> O").unwrap(),
+    )
+    .unwrap();
+    let solver = Solver::new(problem).unwrap();
+    let mut db = parse_instance(&s, "N(c,a) N(c,b) O(a) P(a) P(b)").unwrap();
+    let mut session = solver.incremental();
+    assert!(session.solve(&db).is_certain());
+
+    // The old rung could not have fired here: N is in `reads()`.
+    assert!(session.reads().contains(&RelName::new("N")));
+    assert!(!session
+        .read_set()
+        .may_read(RelName::new("N"), &[Cst::new("d")]));
+
+    let mut insert = Delta::new();
+    insert.insert(parse_fact("N(d,x)").unwrap());
+    let v = session.reanswer(&mut db, &insert).unwrap();
+    assert_eq!(v.provenance.delta, Some(DeltaOutcome::Unaffected));
+    assert_eq!(v.as_bool(), solver.solve(&db).as_bool());
+
+    let mut remove = Delta::new();
+    remove.remove(parse_fact("N(d,x)").unwrap());
+    let v = session.reanswer(&mut db, &remove).unwrap();
+    assert_eq!(v.provenance.delta, Some(DeltaOutcome::Unaffected));
+    assert_eq!(v.as_bool(), solver.solve(&db).as_bool());
+
+    // Inside the probed block the rung must NOT fire — the delta
+    // localizes and the verdict flips, exactly as a scratch solve says.
+    let mut inside = Delta::new();
+    inside.insert(parse_fact("N(c,e)").unwrap());
+    let v = session.reanswer(&mut db, &inside).unwrap();
+    assert!(matches!(
+        v.provenance.delta,
+        Some(DeltaOutcome::Localized { .. })
+    ));
+    assert_eq!(v.as_bool(), Some(false));
+    assert_eq!(solver.solve(&db).as_bool(), Some(false));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 64,
@@ -156,6 +205,51 @@ proptest! {
         prop_assert_eq!(solver.route().kind(), RouteKind::Fallback);
         let rels = [("N", 3), ("O", 2), ("Z", 1)];
         check_trace(&s, &solver, &rels, &seed, &batches)?;
+    }
+
+    /// The block-precise Unaffected rung (PR 7) *dominates* the old
+    /// rel-level condition: whenever a batch's touched relations are
+    /// disjoint from `reads()` and the prior verdict is definite, the
+    /// session must still answer `Unaffected` — the inferred read-set is
+    /// never coarser than the relation set it refines.
+    #[test]
+    fn unaffected_dominates_rel_level_condition(trace in arb_trace()) {
+        let (seed, batches) = trace;
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1] Z[1,1]").unwrap());
+        let problem = Problem::new(
+            parse_query(&s, "N('c',y), O(y), P(y)").unwrap(),
+            parse_fks(&s, "N[2] -> O").unwrap(),
+        )
+        .unwrap();
+        let solver = Solver::new(problem).unwrap();
+        let rels = [("N", 2), ("O", 1), ("P", 1), ("Z", 1)];
+
+        let mut db = Instance::new(s.clone());
+        for step in &seed {
+            db.insert(fact_for(&rels, step)).unwrap();
+        }
+        let mut session = solver.incremental();
+        session.solve(&db);
+        for batch in &batches {
+            let delta = delta_for(&rels, batch);
+            let prior_definite = session
+                .last_verdict()
+                .is_some_and(|v| v.as_bool().is_some());
+            let rel_level_unaffected = delta
+                .rels()
+                .iter()
+                .all(|r| !session.reads().contains(r));
+            let v = session.reanswer(&mut db, &delta).unwrap();
+            if rel_level_unaffected && prior_definite {
+                prop_assert_eq!(
+                    v.provenance.delta,
+                    Some(DeltaOutcome::Unaffected),
+                    "the per-block rung regressed below the rel-level condition on {}",
+                    delta
+                );
+            }
+            prop_assert_eq!(v.certainty, solver.solve(&db).certainty);
+        }
     }
 
     /// Out-of-band writes between re-answers: the epoch protocol detects
