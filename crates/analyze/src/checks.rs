@@ -219,6 +219,15 @@ impl FormulaCx<'_> {
                 self.walk(body, &format!("{path}.body"));
                 self.unbind(&newly);
             }
+            FNode::SemijoinExists(atoms) => {
+                // Each atom acts as a guard for its still-unbound slots;
+                // the whole conjunction's bindings close with the node.
+                let mut newly = Vec::new();
+                for (i, atom) in atoms.iter().enumerate() {
+                    newly.extend(self.bind_guard(atom, &format!("{path}.atoms[{i}]")));
+                }
+                self.unbind(&newly);
+            }
         }
     }
 }

@@ -37,6 +37,10 @@ pub enum FNode {
     Exists(Vec<Slot>, Box<FNode>),
     /// Guarded existential: the guard atom binds its unbound slots.
     ExistsGuarded(CompiledAtom, Box<FNode>),
+    /// Existential over an acyclic conjunction of positive atoms executed
+    /// as one Yannakakis semijoin pass; every quantified slot is bound by
+    /// some atom, so no active-domain iteration is needed.
+    SemijoinExists(Vec<CompiledAtom>),
     /// Active-domain universal over `slots`.
     Forall(Vec<Slot>, Box<FNode>),
     /// Guarded universal: the guard atom binds its unbound slots.
@@ -70,6 +74,7 @@ impl FNode {
                 out.push(g);
                 b.collect_atoms(out);
             }
+            FNode::SemijoinExists(atoms) => out.extend(atoms.iter()),
         }
     }
 
@@ -86,6 +91,7 @@ impl FNode {
             FNode::And(gs) | FNode::Or(gs) => gs.iter().any(FNode::needs_domain),
             FNode::Implies(l, r) => l.needs_domain() || r.needs_domain(),
             FNode::ExistsGuarded(_, cont) | FNode::ForallGuarded(_, cont) => cont.needs_domain(),
+            FNode::SemijoinExists(_) => false,
         }
     }
 }

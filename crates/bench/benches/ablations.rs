@@ -23,15 +23,25 @@
 //!   block facts) vs. the same mutation followed by a full
 //!   `Solver::solve`;
 //! * `block_index` — conjunctive-query matching with the primary-key block
-//!   index vs. a relation-scan emulation.
+//!   index vs. a relation-scan emulation;
+//! * `columnar_vs_row` — a single-column predicate scan over the cached
+//!   [`cqa_model::ColumnarRelation`] projection (one contiguous `&[Cst]`
+//!   slice) vs. the same scan over the row store's boxed-row iterator;
+//! * `semijoin_vs_backtracking` — `CompiledQuery::satisfies_via` pinned to
+//!   the Yannakakis semijoin evaluator vs. the backtracking search on the
+//!   acyclic non-key join `{A(x,u), B(y,u)}` with disjoint `u`-value sets
+//!   (unsatisfiable, so backtracking pays the full n² scan×scan loop).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa_attack::kw_rewrite;
-use cqa_bench::{nested_l45_instance, nested_l45_plan};
+use cqa_bench::{
+    acyclic_join_instance, nested_l45_instance, nested_l45_plan, ACYCLIC_JOIN_QUERY,
+    ACYCLIC_JOIN_SCHEMA,
+};
 use cqa_fo::eval::{eval_with, Strategy};
 use cqa_fo::{interp, CompiledFormula};
 use cqa_model::parser::{parse_query, parse_schema};
-use cqa_model::{satisfies, Instance, Schema, Valuation};
+use cqa_model::{satisfies, CompiledQuery, Cst, Instance, JoinStrategy, RelName, Schema, Valuation};
 use std::sync::Arc;
 
 fn chain_db(s: &Arc<Schema>, n: usize) -> Instance {
@@ -215,6 +225,60 @@ fn bench_block_index(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_columnar_vs_row(c: &mut Criterion) {
+    let s = Arc::new(parse_schema("R[2,1]").unwrap());
+    let rel = RelName::new("R");
+    let needle = Cst::new("hit");
+    let mut group = c.benchmark_group("columnar_vs_row");
+    group.sample_size(10);
+    for n in [64usize, 512] {
+        // Every 8th row carries the needle in the non-key position.
+        let mut db = Instance::new(s.clone());
+        for i in 0..n {
+            let v = if i % 8 == 0 { "hit".to_string() } else { format!("v{i}") };
+            db.insert_named("R", &[&format!("k{i}"), &v]).unwrap();
+        }
+        db.index(); // build the row index and the cached projection
+        let columnar = db.index().columnar(rel).expect("R holds rows").clone();
+        let expected = n.div_ceil(8);
+        let col_count = || columnar.column(1).iter().filter(|&&c| c == needle).count();
+        let row_count = || {
+            db.facts_of(rel)
+                .filter(|f| f.args[1] == needle)
+                .count()
+        };
+        assert_eq!(col_count(), expected);
+        assert_eq!(row_count(), expected);
+        group.bench_with_input(BenchmarkId::new("columnar", n), &n, |b, _| {
+            b.iter(col_count)
+        });
+        group.bench_with_input(BenchmarkId::new("row", n), &n, |b, _| b.iter(row_count));
+    }
+    group.finish();
+}
+
+fn bench_semijoin_vs_backtracking(c: &mut Criterion) {
+    let s = Arc::new(parse_schema(ACYCLIC_JOIN_SCHEMA).unwrap());
+    let q = parse_query(&s, ACYCLIC_JOIN_QUERY).unwrap();
+    let cq = CompiledQuery::new(&q);
+    assert!(cq.semijoin_plan().is_some(), "workload must be acyclic");
+    let mut group = c.benchmark_group("semijoin_vs_backtracking");
+    group.sample_size(10);
+    for n in [8usize, 64, 512] {
+        let db = acyclic_join_instance(&s, n);
+        db.index(); // warm the row index and columnar projections
+        assert!(!cq.satisfies_via(&db, JoinStrategy::Backtracking));
+        assert!(!cq.satisfies_via(&db, JoinStrategy::Semijoin));
+        group.bench_with_input(BenchmarkId::new("semijoin", n), &db, |b, db| {
+            b.iter(|| cq.satisfies_via(db, JoinStrategy::Semijoin))
+        });
+        group.bench_with_input(BenchmarkId::new("backtracking", n), &db, |b, db| {
+            b.iter(|| cq.satisfies_via(db, JoinStrategy::Backtracking))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_guarded_vs_naive,
@@ -222,6 +286,8 @@ criterion_group!(
     bench_plan_compiled_vs_materialized,
     bench_plan_parallel_vs_sequential,
     bench_delta_reanswer_vs_full,
-    bench_block_index
+    bench_block_index,
+    bench_columnar_vs_row,
+    bench_semijoin_vs_backtracking
 );
 criterion_main!(benches);

@@ -152,6 +152,21 @@ fn bench_eval_snapshot() {
         "  delta speedup at the largest size: {:.1}× (target ≥ 10×)",
         bench.delta_reanswer_vs_full
     );
+    println!("acyclic residual join: backtracking search vs Yannakakis semijoin passes");
+    for row in &bench.acyclic_join_rows {
+        println!(
+            "  n={:<4} ({:>4} facts): backtracking {:>10} — semijoin {:>10} — {:.1}×",
+            row.n_rows,
+            row.facts,
+            fmt_duration(std::time::Duration::from_nanos(row.backtracking_ns as u64)),
+            fmt_duration(std::time::Duration::from_nanos(row.semijoin_ns as u64)),
+            row.speedup,
+        );
+    }
+    println!(
+        "  semijoin speedup at the largest size: {:.1}× (target ≥ 3×)",
+        bench.acyclic_join_largest_speedup
+    );
     let path = "BENCH_eval.json";
     std::fs::write(path, bench.to_json()).expect("write BENCH_eval.json");
     println!("wrote {path}");

@@ -48,7 +48,17 @@
 //! sides pay the identical mutation, so the ratio is pure re-answering
 //! work; the acceptance target is ≥ 10× at the largest size.
 //!
-//! `paper-eval` runs all five after the E1–E16 table and snapshots the
+//! A sixth workload measures the **Yannakakis semijoin evaluator** on the
+//! acyclic residual join `{A(x,u), B(y,u)}` — two relations joined on
+//! their *non-key* second position, with disjoint value sets so the query
+//! is unsatisfiable. The backtracking search degenerates to an O(n²)
+//! scan×scan nested loop; the semijoin pass filters each relation once
+//! over the columnar projection. Both strategies are pinned explicitly
+//! through [`cqa_model::CompiledQuery::satisfies_via`], so the row is
+//! independent of `CQA_EVALUATOR`; the acceptance target is ≥ 3× at the
+//! largest size.
+//!
+//! `paper-eval` runs all six after the E1–E16 table and snapshots the
 //! result to `BENCH_eval.json`, which CI uploads as an artifact — the
 //! perf-trajectory baseline for the evaluation core.
 
@@ -57,7 +67,7 @@ use cqa_core::flatten::flatten;
 use cqa_core::{CompiledPlan, ExecOptions, ParallelPolicy, Problem, RewritePlan, Solver};
 use cqa_fo::{interp, CompiledFormula, Formula, Strategy};
 use cqa_model::parser::{parse_fks, parse_query, parse_schema};
-use cqa_model::{Instance, Schema};
+use cqa_model::{CompiledQuery, Instance, JoinStrategy, Schema};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Duration;
@@ -148,6 +158,24 @@ pub struct DeltaBenchRow {
     pub speedup: f64,
 }
 
+/// One measured size of the acyclic-join (semijoin vs backtracking)
+/// benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct AcyclicJoinRow {
+    /// Rows per joined relation.
+    pub n_rows: usize,
+    /// Total facts in the instance.
+    pub facts: usize,
+    /// Best per-evaluation time of the backtracking join
+    /// (`JoinStrategy::Backtracking`).
+    pub backtracking_ns: u128,
+    /// Best per-evaluation time of the Yannakakis semijoin evaluator
+    /// (`JoinStrategy::Semijoin`).
+    pub semijoin_ns: u128,
+    /// `backtracking / semijoin`.
+    pub speedup: f64,
+}
+
 /// The full `BENCH_eval.json` payload.
 #[derive(Clone, Debug, Serialize)]
 pub struct EvalBench {
@@ -191,6 +219,14 @@ pub struct EvalBench {
     /// Incremental speedup at the largest measured size (the
     /// delta-certainty acceptance metric, target ≥ 10×).
     pub delta_reanswer_vs_full: f64,
+    /// What was measured (acyclic-join workload).
+    pub acyclic_join_workload: String,
+    /// Per-size measurements of the semijoin evaluator vs backtracking
+    /// search on the acyclic non-key join.
+    pub acyclic_join_rows: Vec<AcyclicJoinRow>,
+    /// Semijoin speedup at the largest measured size (the Yannakakis
+    /// acceptance metric, target ≥ 3×).
+    pub acyclic_join_largest_speedup: f64,
 }
 
 impl EvalBench {
@@ -276,6 +312,30 @@ pub fn nested_l45_instance(s: &Arc<Schema>, n: usize) -> Instance {
         db.insert_named("M", &[&y, &w]).unwrap();
         db.insert_named("Q", &[&w]).unwrap();
         db.insert_named("P", &[&w]).unwrap();
+    }
+    db
+}
+
+/// The acyclic-join workload (shared with `benches/ablations.rs`): two
+/// relations joined on their *non-key* second position.
+pub const ACYCLIC_JOIN_SCHEMA: &str = "A[2,1] B[2,1]";
+/// The non-key join query — GYO-acyclic, so [`CompiledQuery`] carries a
+/// semijoin plan.
+pub const ACYCLIC_JOIN_QUERY: &str = "A(x,u), B(y,u)";
+/// Sizes measured for the acyclic-join workload (rows per relation).
+pub const ACYCLIC_JOIN_SIZES: &[usize] = &[8, 64, 512];
+
+/// An instance with `n` rows per relation whose `u`-value sets are
+/// disjoint: the join is unsatisfiable, so backtracking search scans all
+/// `n²` candidate pairs while the semijoin pass rejects after two linear
+/// column filters.
+pub fn acyclic_join_instance(s: &Arc<Schema>, n: usize) -> Instance {
+    let mut db = Instance::new(s.clone());
+    for i in 0..n {
+        db.insert_named("A", &[&format!("a{i}"), &format!("u{i}")])
+            .unwrap();
+        db.insert_named("B", &[&format!("b{i}"), &format!("v{i}")])
+            .unwrap();
     }
     db
 }
@@ -488,6 +548,37 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
     }
     let delta_reanswer_vs_full = delta_rows.last().map(|r| r.speedup).unwrap_or(0.0);
 
+    // Yannakakis semijoin vs backtracking search on the acyclic non-key
+    // join: disjoint `u`-value sets, so the query is unsatisfiable and the
+    // backtracking side pays the full n² scan×scan loop. Both strategies
+    // are pinned per call, so the row is independent of `CQA_EVALUATOR`.
+    let js = Arc::new(parse_schema(ACYCLIC_JOIN_SCHEMA).unwrap());
+    let jq = parse_query(&js, ACYCLIC_JOIN_QUERY).unwrap();
+    let cq = CompiledQuery::new(&jq);
+    assert!(cq.semijoin_plan().is_some(), "join workload must be acyclic");
+    let mut acyclic_join_rows = Vec::new();
+    for &n in ACYCLIC_JOIN_SIZES {
+        let db = acyclic_join_instance(&js, n);
+        db.index(); // warm the row index and columnar projections
+        assert_eq!(
+            cq.satisfies_via(&db, JoinStrategy::Backtracking),
+            cq.satisfies_via(&db, JoinStrategy::Semijoin),
+            "join strategies disagree at n={n}"
+        );
+        let bt_t = measure(budget, || {
+            cq.satisfies_via(&db, JoinStrategy::Backtracking)
+        });
+        let sj_t = measure(budget, || cq.satisfies_via(&db, JoinStrategy::Semijoin));
+        acyclic_join_rows.push(AcyclicJoinRow {
+            n_rows: n,
+            facts: db.len(),
+            backtracking_ns: bt_t.as_nanos(),
+            semijoin_ns: sj_t.as_nanos(),
+            speedup: bt_t.as_secs_f64() / sj_t.as_secs_f64().max(f64::EPSILON),
+        });
+    }
+    let acyclic_join_largest_speedup = acyclic_join_rows.last().map(|r| r.speedup).unwrap_or(0.0);
+
     EvalBench {
         workload: "flattened rewriting of Example 13 q1 (guarded strategy) over n two-fact \
                    blocks: interpreted (cqa_fo::interp) vs compiled (CompiledFormula), \
@@ -524,6 +615,13 @@ pub fn run_eval_bench(sizes: &[usize], plan_sizes: &[usize], budget: Duration) -
             .to_string(),
         delta_rows,
         delta_reanswer_vs_full,
+        acyclic_join_workload: "acyclic non-key join {A(x,u), B(y,u)} with disjoint u-value \
+                                sets (unsatisfiable): CompiledQuery::satisfies_via pinned to \
+                                Backtracking (n² scan×scan) vs Semijoin (Yannakakis passes \
+                                over the columnar projection)"
+            .to_string(),
+        acyclic_join_rows,
+        acyclic_join_largest_speedup,
     }
 }
 
@@ -551,6 +649,9 @@ mod tests {
         assert_eq!(report.delta_rows.len(), 2);
         assert!(report.delta_rows.iter().all(|r| r.incremental_ns > 0));
         assert!(report.to_json().contains("delta_reanswer_vs_full"));
+        assert_eq!(report.acyclic_join_rows.len(), ACYCLIC_JOIN_SIZES.len());
+        assert!(report.acyclic_join_rows.iter().all(|r| r.semijoin_ns > 0));
+        assert!(report.to_json().contains("acyclic_join_largest_speedup"));
     }
 
     #[test]

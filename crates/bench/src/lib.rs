@@ -11,8 +11,9 @@
 pub mod eval_bench;
 
 pub use eval_bench::{
-    nested_l45_instance, nested_l45_plan, nested_l45_problem, run_eval_bench, DeltaBenchRow,
-    EvalBench, EvalBenchRow, PlanBenchRow,
+    acyclic_join_instance, nested_l45_instance, nested_l45_plan, nested_l45_problem,
+    run_eval_bench, AcyclicJoinRow, DeltaBenchRow, EvalBench, EvalBenchRow, PlanBenchRow,
+    ACYCLIC_JOIN_QUERY, ACYCLIC_JOIN_SCHEMA, ACYCLIC_JOIN_SIZES,
 };
 
 use serde::Serialize;

@@ -68,9 +68,10 @@ use crate::parallel::ParallelPolicy;
 use crate::pipeline::{RewritePlan, StepAction, Tail};
 use crate::problem::Problem;
 use cqa_analyze::{AuditReport, L45Ir, OpIr, PatIr, PlanIr, QueryIr, ReadSet, TailIr};
-use cqa_fo::CompiledFormula;
+use cqa_fo::{CompiledFormula, Strategy};
 use cqa_model::{
-    CompiledQuery, Cst, ForeignKey, Instance, InstanceView, ReadLog, RelName, Schema, Term, Var,
+    CompiledQuery, Cst, ForeignKey, Instance, InstanceView, JoinStrategy, ReadLog, RelName, Schema,
+    Term, Var,
 };
 use rayon_lite::ThreadPool;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -196,13 +197,28 @@ pub struct CompiledPlan {
     ops: Vec<CompiledOp>,
     tail: CompiledTail,
     n_params: usize,
+    /// How acyclic conjunctions execute at every level — the KW tail, the
+    /// filter steps' relevance matchers, and nested residual plans are all
+    /// compiled for (and routed through) this one strategy.
+    join: JoinStrategy,
 }
 
 impl CompiledPlan {
-    /// Compiles `plan`. Fails when a frozen residual problem cannot be
-    /// rebuilt (the same cases where [`crate::flatten`] fails).
+    /// Compiles `plan` under the process-default join strategy
+    /// ([`JoinStrategy::from_env`]). Fails when a frozen residual problem
+    /// cannot be rebuilt (the same cases where [`crate::flatten`] fails).
     pub fn compile(plan: &RewritePlan) -> Result<CompiledPlan, CompileError> {
         CompiledPlan::compile_parameterized(plan, &[])
+    }
+
+    /// [`CompiledPlan::compile`] with an explicit join strategy for the
+    /// plan's residual conjunctions (KW tail quantifier groups, filter-step
+    /// relevance matchers, nested Lemma 45 residuals).
+    pub fn compile_with(
+        plan: &RewritePlan,
+        join: JoinStrategy,
+    ) -> Result<CompiledPlan, CompileError> {
+        CompiledPlan::compile_parameterized_with(plan, &[], join)
     }
 
     /// Compiles `plan` with the given *parameters*: variables frozen as
@@ -213,6 +229,16 @@ impl CompiledPlan {
     pub fn compile_parameterized(
         plan: &RewritePlan,
         params: &[Var],
+    ) -> Result<CompiledPlan, CompileError> {
+        CompiledPlan::compile_parameterized_with(plan, params, JoinStrategy::from_env())
+    }
+
+    /// The fully explicit compile entry point: parameters plus join
+    /// strategy.
+    pub fn compile_parameterized_with(
+        plan: &RewritePlan,
+        params: &[Var],
+        join: JoinStrategy,
     ) -> Result<CompiledPlan, CompileError> {
         let rels: BTreeSet<RelName> = plan.problem.query().relations().collect();
         let mut ops = Vec::new();
@@ -247,21 +273,21 @@ impl CompiledPlan {
             }
         }
         let tail = match &plan.tail {
-            Tail::Kw { compiled, .. } => {
-                // The precompiled formula's free variables are exactly the
+            Tail::Kw { formula, .. } => {
+                // Recompile the rewriting under the requested join strategy
+                // (the plan-build-time compile used the process default).
+                // The compiled formula's free variables are exactly the
                 // unfrozen parameters (`kw_rewrite` unfreezes on exit); map
                 // each into the argument slice.
+                let formula = CompiledFormula::compile_with(formula, Strategy::Guarded, join);
                 let mut free_map = Vec::new();
-                for v in compiled.free_vars() {
+                for v in formula.free_vars() {
                     let i = params.iter().position(|&p| p == v).ok_or_else(|| {
                         CompileError(format!("free variable {v} is not a parameter"))
                     })?;
                     free_map.push(i);
                 }
-                CompiledTail::Kw {
-                    formula: compiled.clone(),
-                    free_map,
-                }
+                CompiledTail::Kw { formula, free_map }
             }
             Tail::Lemma45(step) => {
                 // Rebuild the residual problem with ⃗x frozen as distinct
@@ -278,7 +304,7 @@ impl CompiledPlan {
                 })?;
                 let mut sub_params = params.to_vec();
                 sub_params.extend(step.xs.iter().copied());
-                let sub = CompiledPlan::compile_parameterized(&sub_plan, &sub_params)?;
+                let sub = CompiledPlan::compile_parameterized_with(&sub_plan, &sub_params, join)?;
 
                 let sig = step
                     .q0
@@ -309,6 +335,7 @@ impl CompiledPlan {
             ops,
             tail,
             n_params: params.len(),
+            join,
         };
         #[cfg(debug_assertions)]
         {
@@ -377,6 +404,29 @@ impl CompiledPlan {
     /// Number of parameters this plan expects.
     pub fn n_params(&self) -> usize {
         self.n_params
+    }
+
+    /// The join strategy the plan was compiled with.
+    pub fn join_strategy(&self) -> JoinStrategy {
+        self.join
+    }
+
+    /// Whether any level of the plan holds a compiled Yannakakis route an
+    /// evaluation could take — a semijoin-eligible KW quantifier group, an
+    /// acyclic filter-step relevance query, or a nested residual with
+    /// either. Always `false` under [`JoinStrategy::Backtracking`], where
+    /// the routes are not even compiled.
+    pub fn uses_semijoin(&self) -> bool {
+        if self.join == JoinStrategy::Backtracking {
+            return false;
+        }
+        self.ops.iter().any(|op| match op {
+            CompiledOp::FilterRelevant { relevance, .. } => relevance.semijoin_plan().is_some(),
+            CompiledOp::FilterNonDangling { .. } => false,
+        }) || match &self.tail {
+            CompiledTail::Kw { formula, .. } => formula.uses_semijoin(),
+            CompiledTail::Lemma45(l) => l.sub.uses_semijoin(),
+        }
     }
 
     /// Total number of compiled levels (this plan plus nested Lemma 45
@@ -493,7 +543,7 @@ impl CompiledPlan {
     fn eval(&self, base: &InstanceView<'_>, args: &[Cst], ctx: ParCtx<'_>) -> bool {
         let mut view = base.clone().restrict(&self.rels);
         for op in &self.ops {
-            view = op.apply(view, args, ctx);
+            view = op.apply(view, args, ctx, self.join);
         }
         match &self.tail {
             CompiledTail::Kw { formula, free_map } => {
@@ -577,7 +627,13 @@ impl CompiledOp {
     /// its shard while matching rows against the whole incoming view, and
     /// the disjoint shard sets union into the same filter the sequential
     /// loop builds.
-    fn apply<'a>(&self, view: InstanceView<'a>, args: &[Cst], ctx: ParCtx<'_>) -> InstanceView<'a> {
+    fn apply<'a>(
+        &self,
+        view: InstanceView<'a>,
+        args: &[Cst],
+        ctx: ParCtx<'_>,
+        join: JoinStrategy,
+    ) -> InstanceView<'a> {
         let (drop, filter) = match self {
             CompiledOp::FilterRelevant { drop, filter, .. }
             | CompiledOp::FilterNonDangling { drop, filter, .. } => (*drop, *filter),
@@ -588,7 +644,7 @@ impl CompiledOp {
                 CompiledOp::FilterRelevant {
                     relevance, anchor, ..
                 } => {
-                    let mut matcher = relevance.anchored_matcher(*anchor, args);
+                    let mut matcher = relevance.anchored_matcher_via(*anchor, args, join);
                     for (key, rows) in shard.blocks(filter) {
                         if rows.iter().any(|row| matcher.matches(&view, row)) {
                             keys.insert(key.into());
@@ -1040,6 +1096,67 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CompiledPlan>();
         assert_send_sync::<ParallelPolicy>();
+    }
+
+    #[test]
+    fn join_strategies_agree_on_compiled_plans() {
+        let cases: [(&str, &str, &str, &[&str]); 3] = [
+            (
+                "N[2,1] O[1,1] P[1,1]",
+                "N('c',y), O(y), P(y)",
+                "N[2] -> O",
+                &[
+                    "N(c,a) N(c,b) O(a) P(a) P(b)",
+                    "N(c,a) N(c,b) O(a) P(b)",
+                    "",
+                ],
+            ),
+            (
+                "N[3,1] O[2,1]",
+                "N(x,u,y), O(y,w)",
+                "N[3] -> O",
+                &[
+                    "N(c,1,a) N(c,2,b) O(a,3)",
+                    "N(k,1,a) N(k,2,a) N(j,1,b) O(a,1) O(b,2)",
+                    "",
+                ],
+            ),
+            (
+                "N[2,1] M[2,1] Q[1,1] P[1,1] O[1,1]",
+                "N('c',y), M(y,w), Q(w), P(w), O(y)",
+                "N[2] -> O, M[2] -> Q",
+                &[
+                    "N(c,y0) O(y0) M(y0,w0) Q(w0) P(w0)",
+                    "N(c,y0) O(y0) M(y0,w0) Q(w0)",
+                    "N(c,y0) N(c,y1) O(y0) M(y0,w0) Q(w0) P(w0) M(y1,w1) Q(w1)",
+                    "",
+                ],
+            ),
+        ];
+        let strategies = [
+            JoinStrategy::Auto,
+            JoinStrategy::Backtracking,
+            JoinStrategy::Semijoin,
+        ];
+        for (schema, query, fks, instances) in cases {
+            let s = Arc::new(parse_schema(schema).unwrap());
+            let q = parse_query(&s, query).unwrap();
+            let k = parse_fks(&s, fks).unwrap();
+            let plan = RewritePlan::build(&Problem::new(q, k).unwrap()).unwrap();
+            let compiled: Vec<CompiledPlan> = strategies
+                .into_iter()
+                .map(|j| CompiledPlan::compile_with(&plan, j).unwrap())
+                .collect();
+            assert!(!compiled[1].uses_semijoin(), "{query}");
+            for text in instances {
+                let db = parse_instance(&s, text).unwrap();
+                let expected = plan.answer(&db);
+                for (j, c) in strategies.iter().zip(&compiled) {
+                    assert_eq!(c.join_strategy(), *j);
+                    assert_eq!(c.answer(&db), expected, "join {j} on {text}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub fn flatten(plan: &RewritePlan) -> Result<Formula, FlattenError> {
 
 fn flatten_tail(tail: &Tail) -> Result<Formula, FlattenError> {
     match tail {
-        Tail::Kw { formula, .. } => Ok(formula.clone()),
+        Tail::Kw { formula, .. } => Ok((**formula).clone()),
         Tail::Lemma45(step) => flatten_lemma45(step),
     }
 }

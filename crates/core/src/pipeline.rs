@@ -160,11 +160,11 @@ pub enum Tail {
         /// The residual query.
         query: Query,
         /// Its consistent FO rewriting.
-        formula: Formula,
+        formula: Box<Formula>,
         /// The rewriting compiled (guarded strategy) at plan-build time, so
         /// every [`RewritePlan::answer`] call skips straight to slot-based
-        /// evaluation.
-        compiled: CompiledFormula,
+        /// evaluation (boxed with the formula to keep the enum small).
+        compiled: Box<CompiledFormula>,
     },
     /// Lemma 45: branch over the constant-keyed block of `n_atom`.
     Lemma45(Box<Lemma45Step>),
@@ -336,8 +336,8 @@ impl RewritePlan {
                     steps,
                     tail: Tail::Kw {
                         query: q,
-                        formula,
-                        compiled,
+                        formula: Box::new(formula),
+                        compiled: Box::new(compiled),
                     },
                 });
             }

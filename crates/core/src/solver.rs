@@ -61,7 +61,7 @@ use crate::problem::Problem;
 use crate::verdict::{BackendKind, Certainty, DeltaOutcome, Provenance, Verdict};
 use cqa_analyze::ReadSet;
 use cqa_model::schema::RelName;
-use cqa_model::{Delta, Instance, ModelError};
+use cqa_model::{Delta, Instance, JoinStrategy, ModelError};
 use cqa_repair::{CertaintyOracle, OracleOutcome, SearchLimits};
 use cqa_solvers::backend::{Backend, DualHornBackend, ReachabilityBackend};
 use std::collections::{BTreeSet, VecDeque};
@@ -98,10 +98,10 @@ pub enum FallbackBudget {
 /// the `CQA_THREADS` environment variable, the compiled-vs-materialized
 /// engine split and the oracle's search limits.
 ///
-/// `CQA_THREADS` is consulted exactly **once**, in
+/// `CQA_THREADS` and `CQA_EVALUATOR` are consulted exactly **once**, in
 /// [`ExecOptions::default`]; every later use of the options reads the
-/// resolved [`ExecOptions::threads`] field. (The pre-solver surfaces
-/// re-parsed the environment on every call.)
+/// resolved [`ExecOptions::threads`] and [`ExecOptions::join`] fields.
+/// (The pre-solver surfaces re-parsed the environment on every call.)
 ///
 /// ```
 /// use cqa_core::{ExecOptions, FallbackBudget};
@@ -129,6 +129,12 @@ pub struct ExecOptions {
     pub min_parallel_units: usize,
     /// Which FO evaluator to execute on [`Route::FoPlan`].
     pub evaluator: Evaluator,
+    /// How the compiled FO evaluator executes acyclic residual
+    /// conjunctions: Yannakakis semijoin passes, backtracking search, or a
+    /// per-site cardinality heuristic ([`JoinStrategy::Auto`]). Resolved
+    /// from `CQA_EVALUATOR` once at construction, like
+    /// [`ExecOptions::threads`].
+    pub join: JoinStrategy,
     /// Opt-in budget for the hard-class fallback route.
     pub fallback: FallbackBudget,
 }
@@ -141,6 +147,7 @@ impl Default for ExecOptions {
             threads: ParallelPolicy::default().threads(),
             min_parallel_units: ParallelPolicy::default().min_units,
             evaluator: Evaluator::Compiled,
+            join: JoinStrategy::from_env(),
             fallback: FallbackBudget::Deny,
         }
     }
@@ -165,6 +172,13 @@ impl ExecOptions {
             0 => ParallelPolicy::default().threads(),
             n => n,
         };
+        self
+    }
+
+    /// Replaces the join strategy for acyclic residual conjunctions
+    /// (builder style).
+    pub fn with_join(mut self, join: JoinStrategy) -> ExecOptions {
+        self.join = join;
         self
     }
 
@@ -361,7 +375,9 @@ impl SolverBuilder {
         let route = match classify(&self.problem) {
             Classification::Fo(plan) => {
                 let compiled = match self.options.evaluator {
-                    Evaluator::Compiled => CompiledPlan::compile(&plan).ok(),
+                    Evaluator::Compiled => {
+                        CompiledPlan::compile_with(&plan, self.options.join).ok()
+                    }
                     Evaluator::Materialized => None,
                 };
                 let depth = plan.depth();
@@ -495,9 +511,20 @@ impl Solver {
                 elapsed: start.elapsed(),
                 batch: 1,
                 plan_depth: self.plan_depth(),
+                join: self.join_provenance(),
                 delta: None,
                 detail,
             },
+        }
+    }
+
+    /// The join strategy recorded in [`Provenance`]: the strategy the
+    /// compiled FO plan was built with when that route runs, `None` for
+    /// every other backend (no compiled relational join executes there).
+    fn join_provenance(&self) -> Option<JoinStrategy> {
+        match &self.route {
+            Route::FoPlan(r) if r.compiled.is_some() => Some(self.options.join),
+            _ => None,
         }
     }
 
@@ -689,6 +716,7 @@ impl SolveMany<'_> {
             if let Some((answers, backend)) = sharded {
                 let elapsed = start.elapsed();
                 let depth = self.solver.plan_depth();
+                let join = self.solver.join_provenance();
                 self.buffer.extend(answers.into_iter().map(|ans| Verdict {
                     certainty: Certainty::from_bool(ans),
                     provenance: Provenance {
@@ -696,6 +724,7 @@ impl SolveMany<'_> {
                         elapsed,
                         batch: chunk.len(),
                         plan_depth: depth,
+                        join,
                         delta: None,
                         detail: None,
                     },
@@ -924,6 +953,7 @@ impl<'s> IncrementalSolver<'s> {
                         elapsed: start.elapsed(),
                         batch: 1,
                         plan_depth: depth,
+                        join: self.solver.join_provenance(),
                         delta: Some(DeltaOutcome::Localized { reused, evaluated }),
                         detail: None,
                     },
@@ -968,6 +998,7 @@ impl<'s> IncrementalSolver<'s> {
                         elapsed: start.elapsed(),
                         batch: 1,
                         plan_depth: self.solver.plan_depth(),
+                        join: self.solver.join_provenance(),
                         delta: outcome,
                         detail: None,
                     },

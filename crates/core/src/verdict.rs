@@ -8,6 +8,7 @@
 //! honest verdict, not an error: the budgeted fallback reports it when its
 //! search limits are exhausted rather than guessing.
 
+use cqa_model::JoinStrategy;
 use std::fmt;
 use std::time::Duration;
 
@@ -144,6 +145,11 @@ pub struct Provenance {
     pub batch: usize,
     /// Nesting depth of the rewrite plan (FO route only).
     pub plan_depth: Option<usize>,
+    /// The join strategy the FO evaluator was compiled with — how acyclic
+    /// residual conjunctions execute (Yannakakis semijoin passes vs
+    /// backtracking search). `None` outside the FO route, where no
+    /// relational join runs.
+    pub join: Option<JoinStrategy>,
     /// How the incremental path handled the delta; `None` outside
     /// [`crate::IncrementalSolver::reanswer`].
     pub delta: Option<DeltaOutcome>,
@@ -198,6 +204,9 @@ impl fmt::Display for Verdict {
         if let Some(d) = self.provenance.plan_depth {
             write!(f, ", plan depth {d}")?;
         }
+        if let Some(j) = self.provenance.join {
+            write!(f, ", {j} join")?;
+        }
         write!(f, ", {:?}", self.provenance.elapsed)?;
         if self.provenance.batch > 1 {
             write!(f, " over a batch of {}", self.provenance.batch)?;
@@ -233,6 +242,7 @@ mod tests {
                 elapsed: Duration::from_millis(3),
                 batch: 4,
                 plan_depth: None,
+                join: None,
                 delta: Some(DeltaOutcome::Localized {
                     reused: 7,
                     evaluated: 1,

@@ -43,7 +43,8 @@ use crate::eval::Strategy;
 use cqa_model::binding::CompiledAtom;
 use cqa_model::instance::Candidates;
 use cqa_model::{
-    Atom, Binding, Cst, FactSource, Instance, Slot, SlotTerm, Term, Trail, Valuation, Var,
+    Atom, Binding, Cst, FactSource, Instance, JoinStrategy, SemijoinPlan, Slot, SlotTerm, Term,
+    Trail, Valuation, Var,
 };
 use std::collections::BTreeSet;
 
@@ -64,6 +65,18 @@ enum Node {
     /// `∃ (guard ∧ rest)`: iterate candidate rows of the guard, unify, and
     /// continue with the pre-split continuation.
     ExistsGuarded(CompiledAtom, Box<Node>),
+    /// `∃⃗x (⋀ atoms)` over an acyclic conjunction of positive atoms
+    /// covering every quantified variable: executed as one Yannakakis
+    /// semijoin pass ([`SemijoinPlan`]). `force` pins the semijoin
+    /// ([`JoinStrategy::Semijoin`]); otherwise the
+    /// [`SemijoinPlan::prefers_semijoin`] heuristic may fall back to the
+    /// backtracking join over the same atoms.
+    SemijoinExists {
+        /// The compiled join plan.
+        plan: SemijoinPlan,
+        /// Skip the auto heuristic and always run the semijoin pass.
+        force: bool,
+    },
     /// `∀ slots`: iterate the active domain per slot.
     Forall(Vec<Slot>, Box<Node>),
     /// `∀ (guard → body)` with the guard covering every quantified
@@ -92,10 +105,21 @@ pub struct CompiledFormula {
 }
 
 impl CompiledFormula {
-    /// Compiles `f` for `strategy`.
+    /// Compiles `f` for `strategy`, with the join strategy taken from the
+    /// process default ([`JoinStrategy::from_env`]).
     pub fn compile(f: &Formula, strategy: Strategy) -> CompiledFormula {
+        CompiledFormula::compile_with(f, strategy, JoinStrategy::from_env())
+    }
+
+    /// Compiles `f` for `strategy` under an explicit [`JoinStrategy`].
+    /// Unless pinned to backtracking, existentials over acyclic positive
+    /// conjunctions compile to a semijoin-exists node (Yannakakis
+    /// execution); [`Strategy::Naive`] trees never do — they stay the pure
+    /// differential baseline.
+    pub fn compile_with(f: &Formula, strategy: Strategy, join: JoinStrategy) -> CompiledFormula {
         let mut c = Compiler {
             strategy,
+            join,
             env: Vec::new(),
             n_slots: 0,
         };
@@ -146,6 +170,13 @@ impl CompiledFormula {
     /// The strategy this formula was compiled for.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// Whether any node of the tree executes as a Yannakakis semijoin pass
+    /// — recorded in solver provenance so verdicts say which join strategy
+    /// was in play.
+    pub fn uses_semijoin(&self) -> bool {
+        has_semijoin(&self.root)
     }
 
     /// The free variables, in canonical order.
@@ -227,6 +258,7 @@ impl CompiledFormula {
 
 struct Compiler {
     strategy: Strategy,
+    join: JoinStrategy,
     /// Scope stack; lookups scan from the end so inner quantifiers shadow.
     env: Vec<(Var, Slot)>,
     n_slots: usize,
@@ -316,6 +348,9 @@ impl Compiler {
         if quant.is_empty() {
             return self.conj(parts);
         }
+        if let Some(node) = self.semijoin_exists(&quant, &parts) {
+            return node;
+        }
         let guard_pos = parts.iter().position(|p| match p {
             Formula::Atom(a) => a.vars().iter().any(|v| quant.iter().any(|&(w, _)| w == *v)),
             _ => false,
@@ -345,6 +380,37 @@ impl Compiler {
                 Node::ExistsGuarded(catom, Box::new(cont))
             }
         }
+    }
+
+    /// The Yannakakis fast path for `∃ quant (⋀ parts)`: applies when the
+    /// join strategy allows it, every part is a positive atom, every
+    /// quantified variable occurs in some atom (so the pass binds all of
+    /// them — no active-domain residue), and the atom hypergraph is
+    /// acyclic. Cyclic conjunctions and mixed residuals return `None` and
+    /// keep the per-guard chain.
+    fn semijoin_exists(&mut self, quant: &[(Var, Slot)], parts: &[&Formula]) -> Option<Node> {
+        if self.join == JoinStrategy::Backtracking || parts.is_empty() {
+            return None;
+        }
+        let mut atoms: Vec<&Atom> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Formula::Atom(a) => atoms.push(a),
+                _ => return None,
+            }
+        }
+        let covered = quant
+            .iter()
+            .all(|&(v, _)| atoms.iter().any(|a| a.vars().contains(&v)));
+        if !covered {
+            return None;
+        }
+        let catoms: Vec<CompiledAtom> = atoms.iter().map(|a| self.atom(a)).collect();
+        let plan = SemijoinPlan::build(&catoms)?;
+        Some(Node::SemijoinExists {
+            plan,
+            force: self.join == JoinStrategy::Semijoin,
+        })
     }
 
     fn conj(&mut self, parts: Vec<&Formula>) -> Node {
@@ -391,8 +457,22 @@ fn node_ir(n: &Node) -> cqa_analyze::FNode {
         Node::Implies(l, r) => FNode::Implies(Box::new(node_ir(l)), Box::new(node_ir(r))),
         Node::Exists(slots, b) => FNode::Exists(slots.clone(), Box::new(node_ir(b))),
         Node::ExistsGuarded(g, b) => FNode::ExistsGuarded(g.clone(), Box::new(node_ir(b))),
+        Node::SemijoinExists { plan, .. } => FNode::SemijoinExists(plan.atoms().to_vec()),
         Node::Forall(slots, b) => FNode::Forall(slots.clone(), Box::new(node_ir(b))),
         Node::ForallGuarded(g, b) => FNode::ForallGuarded(g.clone(), Box::new(node_ir(b))),
+    }
+}
+
+/// Whether any node of the tree is a [`Node::SemijoinExists`].
+fn has_semijoin(node: &Node) -> bool {
+    match node {
+        Node::True | Node::False | Node::Atom(_) | Node::Eq(_, _) => false,
+        Node::SemijoinExists { .. } => true,
+        Node::Not(g) => has_semijoin(g),
+        Node::And(gs) | Node::Or(gs) => gs.iter().any(has_semijoin),
+        Node::Implies(l, r) => has_semijoin(l) || has_semijoin(r),
+        Node::Exists(_, b) | Node::Forall(_, b) => has_semijoin(b),
+        Node::ExistsGuarded(_, b) | Node::ForallGuarded(_, b) => has_semijoin(b),
     }
 }
 
@@ -407,6 +487,7 @@ fn uses_domain(node: &Node) -> bool {
         Node::And(gs) | Node::Or(gs) => gs.iter().any(uses_domain),
         Node::Implies(l, r) => uses_domain(l) || uses_domain(r),
         Node::ExistsGuarded(_, cont) | Node::ForallGuarded(_, cont) => uses_domain(cont),
+        Node::SemijoinExists { .. } => false,
     }
 }
 
@@ -480,6 +561,9 @@ impl<'a, S: FactSource + ?Sized> EvalCtx<'a, S> {
                     st.trail.undo_to(frame, &mut st.b);
                 }
                 false
+            }
+            Node::SemijoinExists { plan, force } => {
+                plan.eval_exists(self.src, &mut st.b, &mut st.trail, &mut st.scratch, *force)
             }
             Node::ForallGuarded(guard, body) => {
                 let cands = self.guard_candidates(guard, st);

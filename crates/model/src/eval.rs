@@ -16,6 +16,7 @@
 //! hot-loop callers (the repair oracle, the rewrite pipeline) compile once
 //! and reuse.
 
+use crate::acyclic::{JoinStrategy, SemijoinPlan};
 use crate::atom::Atom;
 use crate::binding::{Binding, CompiledAtom, Slot, SlotTerm, Trail};
 use crate::fact::Fact;
@@ -85,6 +86,10 @@ pub struct CompiledQuery {
     /// Leading slots that are *parameters*: bound from an argument slice
     /// before the search starts (see [`CompiledQuery::with_params`]).
     n_params: usize,
+    /// The Yannakakis plan when the atom hypergraph is acyclic; the
+    /// satisfiability entry points route through it per [`JoinStrategy`]
+    /// (cyclic queries always keep the backtracking join).
+    semijoin: Option<SemijoinPlan>,
 }
 
 impl CompiledQuery {
@@ -110,7 +115,7 @@ impl CompiledQuery {
                 }
             }
         };
-        let atoms = q
+        let atoms: Vec<CompiledAtom> = q
             .atoms()
             .iter()
             .map(|a| CompiledAtom {
@@ -130,10 +135,12 @@ impl CompiledQuery {
                     .collect(),
             })
             .collect();
+        let semijoin = SemijoinPlan::build(&atoms);
         CompiledQuery {
             atoms,
             vars,
             n_params: params.len(),
+            semijoin,
         }
     }
 
@@ -160,8 +167,24 @@ impl CompiledQuery {
         self.atoms.iter().position(|a| a.rel == rel)
     }
 
-    /// `db ⊨ q`.
+    /// The Yannakakis plan, when the query's atom hypergraph is acyclic.
+    pub fn semijoin_plan(&self) -> Option<&SemijoinPlan> {
+        self.semijoin.as_ref()
+    }
+
+    /// `db ⊨ q`, under the process-default [`JoinStrategy`]
+    /// ([`JoinStrategy::from_env`]).
     pub fn satisfies(&self, db: &Instance) -> bool {
+        self.satisfies_via(db, JoinStrategy::from_env())
+    }
+
+    /// `db ⊨ q` under an explicit join strategy — the in-process pin used
+    /// by the differential tests and benches regardless of `CQA_EVALUATOR`.
+    pub fn satisfies_via(&self, db: &Instance, join: JoinStrategy) -> bool {
+        let mut b = self.base_binding(&Valuation::new());
+        if let Some(plan) = self.route(db.index(), &b, join) {
+            return plan.satisfiable(db.index(), &mut b, &mut Trail::new(), &mut Vec::new());
+        }
         let mut found = false;
         self.run(db, &Valuation::new(), &mut |_| {
             found = true;
@@ -170,8 +193,27 @@ impl CompiledQuery {
         found
     }
 
-    /// Finds a valuation extending `base` with `θ(q) ⊆ db`.
+    /// Finds a valuation extending `base` with `θ(q) ⊆ db`, under the
+    /// process-default [`JoinStrategy`].
     pub fn find_with(&self, db: &Instance, base: &Valuation) -> Option<Valuation> {
+        self.find_with_via(db, base, JoinStrategy::from_env())
+    }
+
+    /// Like [`CompiledQuery::find_with`] under an explicit join strategy.
+    /// The semijoin path may return a *different* (equally valid) witness
+    /// than the backtracking search.
+    pub fn find_with_via(
+        &self,
+        db: &Instance,
+        base: &Valuation,
+        join: JoinStrategy,
+    ) -> Option<Valuation> {
+        let mut b = self.base_binding(base);
+        if let Some(plan) = self.route(db.index(), &b, join) {
+            return plan
+                .witness(db.index(), &mut b, &mut Trail::new(), &mut Vec::new())
+                .then(|| self.to_valuation(&b, base));
+        }
         let mut result = None;
         self.run(db, base, &mut |b| {
             result = Some(self.to_valuation(b, base));
@@ -180,15 +222,37 @@ impl CompiledQuery {
         result
     }
 
-    /// Runs the join, invoking `on_match` per matching binding until it
-    /// returns `true` (stop).
-    fn run(&self, db: &Instance, base: &Valuation, on_match: &mut dyn FnMut(&Binding) -> bool) {
+    /// The semijoin plan to execute with, if the strategy (and, in `auto`
+    /// mode, the [`SemijoinPlan::prefers_semijoin`] heuristic) selects it.
+    fn route<S: FactSource + ?Sized>(
+        &self,
+        src: &S,
+        b: &Binding,
+        join: JoinStrategy,
+    ) -> Option<&SemijoinPlan> {
+        let plan = self.semijoin.as_ref()?;
+        match join {
+            JoinStrategy::Backtracking => None,
+            JoinStrategy::Semijoin => Some(plan),
+            JoinStrategy::Auto => plan.prefers_semijoin(src, b).then_some(plan),
+        }
+    }
+
+    /// A fresh binding with the base valuation's entries installed.
+    fn base_binding(&self, base: &Valuation) -> Binding {
         let mut binding = Binding::new(self.vars.len());
         for (i, v) in self.vars.iter().enumerate() {
             if let Some(&c) = base.get(v) {
                 binding.set(i as Slot, c);
             }
         }
+        binding
+    }
+
+    /// Runs the join, invoking `on_match` per matching binding until it
+    /// returns `true` (stop).
+    fn run(&self, db: &Instance, base: &Valuation, on_match: &mut dyn FnMut(&Binding) -> bool) {
+        let mut binding = self.base_binding(base);
         let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
         self.search(
             db.index(),
@@ -207,11 +271,37 @@ impl CompiledQuery {
     /// work list are allocated once here and reused across every row of
     /// every block ([`AnchoredMatcher::matches`] allocates nothing).
     pub fn anchored_matcher(&self, anchor: usize, params: &[Cst]) -> AnchoredMatcher<'_> {
+        self.anchored_matcher_via(anchor, params, JoinStrategy::from_env())
+    }
+
+    /// Like [`CompiledQuery::anchored_matcher`] under an explicit join
+    /// strategy: unless pinned to backtracking, the matcher carries a
+    /// semijoin plan over the non-anchor atoms (when they are acyclic) and
+    /// routes the per-row residual check through it.
+    pub fn anchored_matcher_via(
+        &self,
+        anchor: usize,
+        params: &[Cst],
+        join: JoinStrategy,
+    ) -> AnchoredMatcher<'_> {
         debug_assert_eq!(params.len(), self.n_params, "parameter arity");
         let mut binding = Binding::new(self.vars.len());
         for (i, &c) in params.iter().enumerate() {
             binding.set(i as Slot, c);
         }
+        let semijoin = match join {
+            JoinStrategy::Backtracking => None,
+            JoinStrategy::Auto | JoinStrategy::Semijoin => {
+                let rest: Vec<CompiledAtom> = self
+                    .atoms
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != anchor)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                SemijoinPlan::build(&rest)
+            }
+        };
         AnchoredMatcher {
             cq: self,
             anchor,
@@ -219,6 +309,9 @@ impl CompiledQuery {
             trail: Trail::new(),
             remaining: (0..self.atoms.len()).filter(|&i| i != anchor).collect(),
             key_buf: Vec::new(),
+            join,
+            semijoin,
+            use_semijoin: None,
         }
     }
 
@@ -298,6 +391,14 @@ pub struct AnchoredMatcher<'q> {
     trail: Trail,
     remaining: Vec<usize>,
     key_buf: Vec<Cst>,
+    join: JoinStrategy,
+    /// Yannakakis plan over the non-anchor atoms, when acyclic and the
+    /// strategy allows it.
+    semijoin: Option<SemijoinPlan>,
+    /// `auto`-mode routing decision, cached after the first row: the
+    /// boundness pattern after unifying an anchor row is the same for every
+    /// row of the relation, so the heuristic need not rerun per row.
+    use_semijoin: Option<bool>,
 }
 
 impl AnchoredMatcher<'_> {
@@ -307,17 +408,34 @@ impl AnchoredMatcher<'_> {
     /// bindings and restores the work list.
     pub fn matches<S: FactSource + ?Sized>(&mut self, src: &S, row: &[Cst]) -> bool {
         let frame = self.trail.frame();
-        let ok = self
+        let mut ok = self
             .binding
-            .unify_row(&self.cq.atoms[self.anchor].terms, row, &mut self.trail)
-            && self.cq.search(
-                src,
-                &mut self.remaining,
-                &mut self.binding,
-                &mut self.trail,
-                &mut self.key_buf,
-                &mut |_| true,
-            );
+            .unify_row(&self.cq.atoms[self.anchor].terms, row, &mut self.trail);
+        if ok {
+            let via_semijoin = match (&self.semijoin, self.join) {
+                (None, _) => false,
+                (Some(_), JoinStrategy::Semijoin) => true,
+                (Some(plan), _) => *self
+                    .use_semijoin
+                    .get_or_insert_with(|| plan.prefers_semijoin(src, &self.binding)),
+            };
+            ok = match (&self.semijoin, via_semijoin) {
+                (Some(plan), true) => plan.satisfiable(
+                    src,
+                    &mut self.binding,
+                    &mut self.trail,
+                    &mut self.key_buf,
+                ),
+                _ => self.cq.search(
+                    src,
+                    &mut self.remaining,
+                    &mut self.binding,
+                    &mut self.trail,
+                    &mut self.key_buf,
+                    &mut |_| true,
+                ),
+            };
+        }
         self.trail.undo_to(frame, &mut self.binding);
         ok
     }
@@ -561,6 +679,49 @@ mod tests {
             &q,
             &Fact::from_names("S", &["x", "y"])
         ));
+    }
+
+    #[test]
+    fn join_strategies_agree() {
+        let cq = CompiledQuery::new(&q_rst());
+        let d = db();
+        let mut broken = db();
+        broken.remove(&Fact::from_names("T", &["d"])).unwrap();
+        for join in [
+            JoinStrategy::Auto,
+            JoinStrategy::Backtracking,
+            JoinStrategy::Semijoin,
+        ] {
+            assert!(cq.satisfies_via(&d, join), "{join}: satisfiable");
+            assert!(!cq.satisfies_via(&broken, join), "{join}: broken chain");
+            let val = cq.find_with_via(&d, &Valuation::new(), join).unwrap();
+            let facts = apply_query(&q_rst(), &val).unwrap();
+            assert!(
+                facts.iter().all(|f| d.contains(f)),
+                "{join}: witness embeds in the instance"
+            );
+        }
+    }
+
+    #[test]
+    fn anchored_matcher_strategies_agree() {
+        let cq = CompiledQuery::new(&q_rst());
+        let d = db();
+        let idx = d.index();
+        let anchor = cq.atom_index(RelName::new("R")).unwrap();
+        let rows: Vec<Box<[Cst]>> = d
+            .facts_of(RelName::new("R"))
+            .map(|f| f.args.clone())
+            .collect();
+        for row in &rows {
+            let expected = cq
+                .anchored_matcher_via(anchor, &[], JoinStrategy::Backtracking)
+                .matches(idx, row);
+            for join in [JoinStrategy::Auto, JoinStrategy::Semijoin] {
+                let got = cq.anchored_matcher_via(anchor, &[], join).matches(idx, row);
+                assert_eq!(got, expected, "{join}: anchored row {row:?}");
+            }
+        }
     }
 
     #[test]

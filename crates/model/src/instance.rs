@@ -6,6 +6,7 @@
 //! block enumeration — the primitive of every CQA algorithm — is direct.
 
 use crate::binding::{Binding, CompiledAtom};
+use crate::columnar::ColumnarRelation;
 use crate::delta::{Delta, DeltaOp};
 use crate::error::ModelError;
 use crate::fact::Fact;
@@ -460,8 +461,8 @@ impl Instance {
 /// Row order in `all` (and id order within a block's index list) is
 /// **arbitrary**: inserts push at the end and removes swap-remove, so
 /// incremental maintenance is O(1) per fact. Consumers that need a
-/// deterministic order (e.g. [`crate::view::InstanceView::partition`]) sort
-/// the keys or rows they collect.
+/// deterministic order (e.g. [`crate::view::InstanceView::partition`]) read
+/// the key-sorted columnar projection instead.
 #[derive(Clone, Debug)]
 pub(crate) struct RelIndex {
     pub(crate) key_len: usize,
@@ -470,6 +471,18 @@ pub(crate) struct RelIndex {
     pub(crate) all: Vec<Box<[Cst]>>,
     /// key prefix → indices into `all` (arbitrary order).
     pub(crate) blocks: HashMap<Box<[Cst]>, Vec<u32>>,
+    /// Lazily built read-optimized projection of `all`: one column per
+    /// position, rows key-sorted so blocks are contiguous ranges. Any
+    /// mutation of the relation discards it; the next reader rebuilds.
+    columnar: OnceLock<ColumnarRelation>,
+}
+
+impl RelIndex {
+    /// The columnar projection, built on first demand after a mutation.
+    pub(crate) fn columnar(&self) -> &ColumnarRelation {
+        self.columnar
+            .get_or_init(|| ColumnarRelation::from_rows(self.key_len, self.arity, &self.all))
+    }
 }
 
 /// A refcounted constant set: the materialized [`BTreeSet`] tracks the keys
@@ -550,6 +563,7 @@ impl InstanceIndex {
                     arity: sig.arity,
                     all,
                     blocks,
+                    columnar: OnceLock::new(),
                 },
             );
         }
@@ -575,7 +589,9 @@ impl InstanceIndex {
             arity: sig.arity,
             all: Vec::new(),
             blocks: HashMap::new(),
+            columnar: OnceLock::new(),
         });
+        r.columnar.take();
         let id = u32::try_from(r.all.len()).expect("row count fits in u32");
         r.blocks.entry(row[..sig.key_len].into()).or_default().push(id);
         r.all.push(row);
@@ -590,6 +606,7 @@ impl InstanceIndex {
             self.adom.uncount(c);
         }
         let r = self.rels.get_mut(&rel).expect("indexed relation");
+        r.columnar.take();
         for &c in &row[..r.key_len] {
             self.key_consts.uncount(c);
         }
@@ -675,6 +692,14 @@ impl InstanceIndex {
     /// The per-relation index handles (for [`crate::view::InstanceView`]).
     pub(crate) fn rel(&self, rel: RelName) -> Option<&RelIndex> {
         self.rels.get(&rel)
+    }
+
+    /// The key-sorted columnar projection of `rel`, built lazily from the
+    /// row table on first demand (and rebuilt after any mutation of the
+    /// relation, which invalidates the cached projection). `None` when the
+    /// relation has never held a row.
+    pub fn columnar(&self, rel: RelName) -> Option<&ColumnarRelation> {
+        self.rels.get(&rel).map(RelIndex::columnar)
     }
 
     /// Hash-indexed full-fact membership: probes the block of the row's key
@@ -1022,6 +1047,33 @@ mod tests {
         assert!(!db.adom().contains(&Cst::new("x")), "adom must shrink");
         // Emptied relation: the S-block of key 1 is gone.
         assert!(db.block(RelName::new("S"), &[Cst::new("1")]).is_empty());
+    }
+
+    #[test]
+    fn columnar_projection_tracks_mutations() {
+        let mut db = db();
+        let r = RelName::new("R");
+        let col = db.index().columnar(r).unwrap();
+        assert_eq!(col.n_rows(), 3);
+        assert_eq!(col.block_count(), 2);
+        // Key column is sorted; blocks cover every row exactly once.
+        assert!(col.column(0).windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(col.blocks().map(|(_, r)| r.len()).sum::<usize>(), 3);
+
+        // A mutation through the in-place patch path invalidates the
+        // projection; the rebuilt one reflects the new rows.
+        db.insert_named("R", &["c", "5"]).unwrap();
+        let col = db.index().columnar(r).unwrap();
+        assert_eq!(col.n_rows(), 4);
+        assert_eq!(col.block_count(), 3);
+        db.remove(&Fact::from_names("R", &["a", "1"])).unwrap();
+        db.remove(&Fact::from_names("R", &["a", "2"])).unwrap();
+        let col = db.index().columnar(r).unwrap();
+        assert_eq!(col.n_rows(), 2);
+        assert!(col.block_range(&[Cst::new("a")]).is_none());
+        // The projection is canonical: equal to one built from scratch.
+        let rebuilt = db.rebuild_index();
+        assert_eq!(*col, *rebuilt.columnar(r).unwrap());
     }
 
     #[test]

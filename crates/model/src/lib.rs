@@ -14,7 +14,9 @@
 //! * [`Atom`]s, self-join-free Boolean conjunctive [`Query`]s, [`Fact`]s and
 //!   database [`Instance`]s with primary-key *block* indexes;
 //! * unary [`ForeignKey`]s `R[i] → S` and sets thereof ([`fk`]);
-//! * conjunctive-query evaluation (homomorphism search) ([`eval`]);
+//! * conjunctive-query evaluation (homomorphism search) ([`eval`]), with
+//!   key-sorted columnar projections ([`columnar`]) and Yannakakis semijoin
+//!   execution for acyclic conjunctions ([`acyclic`]);
 //! * a small text syntax for schemas, queries, foreign keys and instances
 //!   ([`parser`]).
 //!
@@ -24,8 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acyclic;
 pub mod atom;
 pub mod binding;
+pub mod columnar;
 pub mod delta;
 pub mod error;
 pub mod eval;
@@ -39,8 +43,10 @@ pub mod schema;
 pub mod term;
 pub mod view;
 
+pub use acyclic::{is_acyclic, JoinStrategy, SemijoinPlan};
 pub use atom::Atom;
 pub use binding::{Binding, CompiledAtom, Slot, SlotTerm, Trail};
+pub use columnar::ColumnarRelation;
 pub use delta::{Delta, DeltaOp};
 pub use error::ModelError;
 pub use eval::{

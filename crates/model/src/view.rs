@@ -30,6 +30,7 @@
 //! full databases and reduced views alike.
 
 use crate::binding::{Binding, CompiledAtom};
+use crate::columnar::ColumnarRelation;
 use crate::instance::{Candidates, Instance, InstanceIndex};
 use crate::intern::Cst;
 use crate::schema::RelName;
@@ -57,6 +58,19 @@ pub trait FactSource {
 
     /// Adds the source's active domain to `out`.
     fn extend_adom(&self, out: &mut BTreeSet<Cst>);
+
+    /// The primary-key length of `rel`, when the source indexes it. Schema
+    /// metadata, not a data access — nothing is logged. Join-strategy
+    /// selection ([`crate::acyclic::SemijoinPlan::prefers_semijoin`]) uses
+    /// it to predict whether the backtracking join can probe by key.
+    fn key_len(&self, rel: RelName) -> Option<usize>;
+
+    /// The key-sorted columnar projection of `rel`, when the source can
+    /// serve whole column slices for it. A filtered or hidden relation
+    /// cannot (its columns would leak rows the view excludes) and returns
+    /// `None`; callers must treat `None` as "iterate rows instead", never
+    /// as "empty". Serving a projection counts as a whole-relation scan.
+    fn columnar(&self, rel: RelName) -> Option<&ColumnarRelation>;
 }
 
 impl FactSource for InstanceIndex {
@@ -75,6 +89,14 @@ impl FactSource for InstanceIndex {
 
     fn extend_adom(&self, out: &mut BTreeSet<Cst>) {
         out.extend(self.adom_set().iter().copied());
+    }
+
+    fn key_len(&self, rel: RelName) -> Option<usize> {
+        self.rel(rel).map(|r| r.key_len)
+    }
+
+    fn columnar(&self, rel: RelName) -> Option<&ColumnarRelation> {
+        InstanceIndex::columnar(self, rel)
     }
 }
 
@@ -237,26 +259,26 @@ impl<'a> InstanceView<'a> {
     /// cheap (the shared state sits behind `Arc`s and borrowed index
     /// handles), so one per worker thread is a few-pointer clone.
     ///
-    /// The split is deterministic and balanced: the visible keys are
-    /// collected, sorted (the underlying row table is in arbitrary,
-    /// mutation-history-dependent order), and assigned to parts in
-    /// contiguous ranges whose sizes differ by at most one. Returns exactly
-    /// `min(n, #visible blocks)` parts — fewer than `n` only when `rel`
-    /// has fewer than `n` visible blocks, and no parts at all when it has
-    /// none (hidden relation, empty filter, or unpopulated relation);
-    /// `n = 0` is treated as `n = 1`.
+    /// The split is deterministic and balanced: the visible blocks are read
+    /// off the relation's key-sorted [`ColumnarRelation`] — contiguous
+    /// column ranges, one block each, already in canonical order (the row
+    /// table itself is in arbitrary, mutation-history-dependent order) —
+    /// and assigned to parts in contiguous ranges whose sizes differ by at
+    /// most one. Returns exactly `min(n, #visible blocks)` parts — fewer
+    /// than `n` only when `rel` has fewer than `n` visible blocks, and no
+    /// parts at all when it has none (hidden relation, empty filter, or
+    /// unpopulated relation); `n = 0` is treated as `n = 1`.
     pub fn partition(&self, rel: RelName, n: usize) -> Vec<InstanceView<'a>> {
         let mut keys: Vec<Box<[Cst]>> = Vec::new();
         if self.visible.contains(&rel) {
             self.note_scan(rel);
             if let Some(r) = self.idx.rel(rel) {
-                match self.filters.get(&rel) {
-                    Some(f) => {
-                        keys.extend(f.keys.iter().filter(|k| r.blocks.contains_key(*k)).cloned());
+                let filter = self.filters.get(&rel);
+                for (key, _rows) in r.columnar().blocks() {
+                    if filter.is_none_or(|f| f.keys.contains(key)) {
+                        keys.push(key.into());
                     }
-                    None => keys.extend(r.blocks.keys().cloned()),
                 }
-                keys.sort_unstable();
             }
         }
         if keys.is_empty() {
@@ -479,6 +501,23 @@ impl FactSource for InstanceView<'_> {
                 }
             }
         }
+    }
+
+    fn key_len(&self, rel: RelName) -> Option<usize> {
+        // Schema metadata, independent of visibility or filters; nothing
+        // data-dependent is revealed, so nothing is logged.
+        self.idx.rel(rel).map(|r| r.key_len)
+    }
+
+    fn columnar(&self, rel: RelName) -> Option<&ColumnarRelation> {
+        if !self.visible.contains(&rel) || self.filters.contains_key(&rel) {
+            // A filtered view cannot hand out whole columns: they would
+            // include rows of filtered-out blocks.
+            return None;
+        }
+        let r = self.idx.rel(rel)?;
+        self.note_scan(rel);
+        Some(r.columnar())
     }
 }
 

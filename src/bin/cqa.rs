@@ -18,7 +18,9 @@
 //! `--fallback-budget N` — the budgeted exhaustive oracle) and prints the
 //! verdict with provenance. `--threads N` pins the sharding width
 //! (otherwise `CQA_THREADS`, resolved once); `--materialized` forces the
-//! interpretive FO evaluator.
+//! interpretive FO evaluator; `--evaluator auto|backtracking|semijoin`
+//! pins how acyclic residual conjunctions execute (otherwise
+//! `CQA_EVALUATOR`, resolved once).
 //!
 //! Databases are text files of facts (`R(a,1); S(1,x)` — see
 //! `cqa_model::parser`). Exit code 0 = yes/FO, 1 = no/not-FO, 2 = usage or
@@ -39,6 +41,7 @@ struct Args {
     fixture: Option<String>,
     fallback_budget: Option<u64>,
     threads: Option<usize>,
+    evaluator: Option<JoinStrategy>,
     materialized: bool,
 }
 
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         fixture: None,
         fallback_budget: None,
         threads: None,
+        evaluator: None,
         materialized: false,
     };
     while let Some(flag) = argv.next() {
@@ -79,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 args.threads = Some(value.parse().map_err(|e| format!("--threads: {e}"))?)
             }
+            "--evaluator" => {
+                args.evaluator = Some(value.parse().map_err(|e| format!("--evaluator: {e}"))?)
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -89,7 +96,8 @@ fn usage() -> String {
     "usage: cqa <classify|rewrite|sql|solve|answer|oracle|analyze> \
      --schema \"R[2,1] …\" --query \"R(x,y), …\" [--fks \"R[2] -> S, …\"] [--db facts.txt] \
      [--problem file.problem] [--fixture NAME|list] \
-     [--fallback-budget N] [--threads N] [--materialized]"
+     [--fallback-budget N] [--threads N] [--evaluator auto|backtracking|semijoin] \
+     [--materialized]"
         .to_string()
 }
 
@@ -246,6 +254,9 @@ fn run() -> Result<Outcome, String> {
             if let Some(n) = args.threads {
                 options = options.with_threads(n);
             }
+            if let Some(join) = args.evaluator {
+                options = options.with_join(join);
+            }
             if args.materialized {
                 options.evaluator = Evaluator::Materialized;
             }
@@ -280,7 +291,13 @@ fn run() -> Result<Outcome, String> {
             // an error here — `cqa solve` serves the other classes).
             let not_fo = "use `cqa solve` (with --fallback-budget for the hard class) \
                           or `cqa oracle` for small instances";
-            let solver = Solver::new(problem)
+            let mut options = ExecOptions::default();
+            if let Some(join) = args.evaluator {
+                options = options.with_join(join);
+            }
+            let solver = Solver::builder(problem)
+                .options(options)
+                .build()
                 .map_err(|r| format!("not FO-rewritable ({r}); {not_fo}"))?;
             if solver.route().kind() != RouteKind::Fo {
                 return Err(format!(

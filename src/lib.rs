@@ -72,8 +72,8 @@ pub mod prelude {
         parse_fact, parse_fks, parse_instance, parse_query, parse_schema,
     };
     pub use cqa_model::{
-        Atom, Cst, Delta, DeltaOp, Fact, FkSet, ForeignKey, Instance, Query, RelName, Schema,
-        Term, Var,
+        Atom, Cst, Delta, DeltaOp, Fact, FkSet, ForeignKey, Instance, JoinStrategy, Query,
+        RelName, Schema, Term, Var,
     };
     pub use cqa_repair::oracle::{CertaintyOracle, OracleOutcome};
 }

@@ -1,0 +1,273 @@
+//! Differential harness for the Yannakakis semijoin evaluator: on every
+//! generated instance, [`CompiledQuery::satisfies_via`] must agree across
+//! all three [`JoinStrategy`] pins AND with a brute-force oracle that
+//! enumerates every assignment of the query variables over the active
+//! domain. Witnesses from [`CompiledQuery::find_with_via`] may differ
+//! between strategies, but each must actually embed the query.
+//!
+//! The families cover both sides of the GYO split:
+//!
+//! * acyclic shapes (chain, star, non-key joins) execute as bottom-up
+//!   semijoin passes under `Semijoin`, so any unsoundness in the reduction
+//!   (wrong semijoin keys, a missed pass, a stale column filter) diverges
+//!   from the backtracking and brute-force answers;
+//! * the cyclic triangle has no join forest — `SemijoinPlan::build`
+//!   declines it and the `Semijoin` pin must still answer correctly by
+//!   falling back to backtracking search (pinned structurally below).
+//!
+//! A solver-level family closes the loop end to end: `ExecOptions::with_join`
+//! across all three strategies against the materializing
+//! [`RewritePlan::answer`] oracle.
+
+use cqa::model::eval::apply_query;
+use cqa::model::{CompiledQuery, Valuation};
+use cqa::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A conjunctive-query family: schema, query, whether GYO accepts it, and
+/// the fact shapes the generator may emit.
+struct Family {
+    schema: &'static str,
+    query: &'static str,
+    acyclic: bool,
+    rels: &'static [(&'static str, usize)],
+}
+
+/// Key-joined chain `A(x,y), B(y,z), C(z,w)` — the textbook acyclic path.
+const CHAIN: Family = Family {
+    schema: "A[2,1] B[2,1] C[2,1]",
+    query: "A(x,y), B(y,z), C(z,w)",
+    acyclic: true,
+    rels: &[("A", 2), ("B", 2), ("C", 2)],
+};
+
+/// Star `R(x,y), S(x,z), T(x,w)` — one hub variable, three ears.
+const STAR: Family = Family {
+    schema: "R[2,1] S[2,1] T[2,1]",
+    query: "R(x,y), S(x,z), T(x,w)",
+    acyclic: true,
+    rels: &[("R", 2), ("S", 2), ("T", 2)],
+};
+
+/// Non-key join `A(x,u), B(y,u)`: the shared variable sits in *non-key*
+/// position on both sides, so the backtracking search degenerates to a
+/// scan×scan nested loop — exactly the shape the semijoin pass collapses.
+const NONKEY: Family = Family {
+    schema: "A[2,1] B[2,1]",
+    query: "A(x,u), B(y,u)",
+    acyclic: true,
+    rels: &[("A", 2), ("B", 2)],
+};
+
+/// Triangle `E(x,y), F(y,z), G(z,x)` — the minimal cyclic hypergraph.
+const TRIANGLE: Family = Family {
+    schema: "E[2,1] F[2,1] G[2,1]",
+    query: "E(x,y), F(y,z), G(z,x)",
+    acyclic: false,
+    rels: &[("E", 2), ("F", 2), ("G", 2)],
+};
+
+const FAMILIES: [&Family; 4] = [&CHAIN, &STAR, &NONKEY, &TRIANGLE];
+
+const STRATEGIES: [JoinStrategy; 3] = [
+    JoinStrategy::Auto,
+    JoinStrategy::Backtracking,
+    JoinStrategy::Semijoin,
+];
+
+/// Small value pool: collisions are frequent, so joins actually connect.
+const POOL: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn build(family: &Family) -> (Query, CompiledQuery, Arc<Schema>) {
+    let schema = Arc::new(parse_schema(family.schema).unwrap());
+    let q = parse_query(&schema, family.query).unwrap();
+    let cq = CompiledQuery::new(&q);
+    (q, cq, schema)
+}
+
+fn instance_for(
+    schema: &Arc<Schema>,
+    rels: &[(&str, usize)],
+    picks: &[(usize, Vec<usize>)],
+) -> Instance {
+    let mut db = Instance::new(schema.clone());
+    for (rel_pick, args) in picks {
+        let (rel, arity) = rels[rel_pick % rels.len()];
+        let args: Vec<&str> = (0..arity)
+            .map(|i| POOL[args.get(i).copied().unwrap_or(0) % POOL.len()])
+            .collect();
+        db.insert_named(rel, &args).unwrap();
+    }
+    db
+}
+
+fn arb_picks() -> impl Strategy<Value = Vec<(usize, Vec<usize>)>> {
+    proptest::collection::vec(
+        (0..8usize, proptest::collection::vec(0..POOL.len(), 0..3)),
+        0..16,
+    )
+}
+
+/// Brute-force oracle: some assignment of the query variables over the
+/// active domain embeds every atom. Exponential, but |vars| ≤ 4 and the
+/// domain is the five-constant pool.
+fn brute_force(q: &Query, db: &Instance) -> bool {
+    let vars: Vec<Var> = q.vars().into_iter().collect();
+    let adom: Vec<Cst> = db.adom().iter().copied().collect();
+    if vars.is_empty() {
+        return q.atoms().is_empty();
+    }
+    if adom.is_empty() {
+        return false;
+    }
+    let mut counters = vec![0usize; vars.len()];
+    loop {
+        let val: Valuation = vars
+            .iter()
+            .zip(&counters)
+            .map(|(&v, &i)| (v, adom[i]))
+            .collect();
+        if let Some(facts) = apply_query(q, &val) {
+            if facts.iter().all(|f| db.contains(f)) {
+                return true;
+            }
+        }
+        // Odometer increment over the assignment space.
+        let mut pos = 0;
+        loop {
+            if pos == counters.len() {
+                return false;
+            }
+            counters[pos] += 1;
+            if counters[pos] < adom.len() {
+                break;
+            }
+            counters[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+fn check(family: &Family, picks: &[(usize, Vec<usize>)]) -> Result<(), TestCaseError> {
+    let (q, cq, schema) = build(family);
+    prop_assert_eq!(cq.semijoin_plan().is_some(), family.acyclic);
+    let db = instance_for(&schema, family.rels, picks);
+    let expected = brute_force(&q, &db);
+    for join in STRATEGIES {
+        prop_assert_eq!(
+            cq.satisfies_via(&db, join),
+            expected,
+            "{} via {} on {}",
+            family.query,
+            join,
+            db
+        );
+        // The witness may differ per strategy; each must genuinely embed q.
+        let witness = cq.find_with_via(&db, &Valuation::new(), join);
+        prop_assert_eq!(witness.is_some(), expected);
+        if let Some(val) = witness {
+            let facts = apply_query(&q, &val).expect("witness grounds every atom");
+            prop_assert!(
+                facts.iter().all(|f| db.contains(f)),
+                "{} via {}: witness {:?} not embedded in {}",
+                family.query,
+                join,
+                val,
+                db
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        failure_persistence: Some(FileFailurePersistence::WithSource("proptest-regressions")),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn chain_family_agrees_across_strategies(picks in arb_picks()) {
+        check(&CHAIN, &picks)?;
+    }
+
+    #[test]
+    fn star_family_agrees_across_strategies(picks in arb_picks()) {
+        check(&STAR, &picks)?;
+    }
+
+    #[test]
+    fn nonkey_join_family_agrees_across_strategies(picks in arb_picks()) {
+        check(&NONKEY, &picks)?;
+    }
+
+    #[test]
+    fn cyclic_triangle_routes_to_fallback_and_agrees(picks in arb_picks()) {
+        check(&TRIANGLE, &picks)?;
+    }
+
+    #[test]
+    fn solver_verdicts_agree_across_join_strategies(picks in arb_picks()) {
+        // End to end: the unified solver pinned to each strategy against
+        // the materializing plan oracle, on the depth-2 Lemma 45 family.
+        let schema = Arc::new(parse_schema("N[2,1] M[2,1] Q[1,1] P[1,1] O[1,1]").unwrap());
+        let rels: &[(&str, usize)] = &[("N", 2), ("M", 2), ("Q", 1), ("P", 1), ("O", 1)];
+        let q = parse_query(&schema, "N('c',y), M(y,w), Q(w), P(w), O(y)").unwrap();
+        let fks = parse_fks(&schema, "N[2] -> O, M[2] -> Q").unwrap();
+        let plan = match Problem::new(q.clone(), fks.clone()).unwrap().classify() {
+            Classification::Fo(plan) => *plan,
+            Classification::NotFo(r) => panic!("expected FO, got {r}"),
+        };
+        let mut db = instance_for(&schema, rels, &picks);
+        db.insert_named("N", &["c", "a"]).unwrap(); // the probed block is inhabited
+        let expected = plan.answer(&db);
+        for join in STRATEGIES {
+            let solver = Solver::builder(Problem::new(q.clone(), fks.clone()).unwrap())
+                .options(ExecOptions::sequential().with_join(join))
+                .build()
+                .unwrap();
+            let verdict = solver.solve(&db);
+            prop_assert_eq!(
+                verdict.as_bool(),
+                Some(expected),
+                "solver via {} on {}",
+                join,
+                db
+            );
+            prop_assert_eq!(verdict.provenance.join, Some(join));
+        }
+    }
+}
+
+/// The structural pin behind the cyclic test: GYO declines the triangle,
+/// so a `Semijoin` pin has no plan to route to and the fallback *is* the
+/// backtracking search — there is no third path that could silently
+/// answer wrong.
+#[test]
+fn triangle_has_no_semijoin_plan() {
+    let (_, cq, _) = build(&TRIANGLE);
+    assert!(cq.semijoin_plan().is_none());
+    assert!(!cqa::model::is_acyclic(cq.atoms()));
+}
+
+/// Every acyclic family compiles a plan whose atoms are exactly the
+/// query's, so the analyze-side read-set inference (which walks atoms)
+/// covers the semijoin route with no special casing.
+#[test]
+fn acyclic_families_compile_semijoin_plans() {
+    for family in FAMILIES {
+        let (_, cq, _) = build(family);
+        assert_eq!(
+            cq.semijoin_plan().is_some(),
+            family.acyclic,
+            "{}",
+            family.query
+        );
+        assert_eq!(cqa::model::is_acyclic(cq.atoms()), family.acyclic);
+        if let Some(plan) = cq.semijoin_plan() {
+            assert_eq!(plan.atoms().len(), cq.atoms().len());
+        }
+    }
+}
