@@ -167,6 +167,21 @@ fn bench_eval_snapshot() {
         "  semijoin speedup at the largest size: {:.1}× (target ≥ 3×)",
         bench.acyclic_join_largest_speedup
     );
+    println!("serve mode: per-request parse+classify+compile+solve vs warm plan cache");
+    for row in &bench.serve_rows {
+        println!(
+            "  n={:<4} ({:>4} facts): per-request {:>10} — cached serve {:>10} — {:.1}×",
+            row.n_blocks,
+            row.facts,
+            fmt_duration(std::time::Duration::from_nanos(row.per_request_build_ns as u64)),
+            fmt_duration(std::time::Duration::from_nanos(row.cached_serve_ns as u64)),
+            row.amortization,
+        );
+    }
+    println!(
+        "  serve cache amortization at the smallest size: {:.1}× (target ≥ 10×)",
+        bench.serve_cache_amortization
+    );
     let path = "BENCH_eval.json";
     std::fs::write(path, bench.to_json()).expect("write BENCH_eval.json");
     println!("wrote {path}");

@@ -69,7 +69,7 @@ use std::fmt;
 use std::time::Instant;
 
 /// Which FO evaluator the solver should execute.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Evaluator {
     /// The view-backed [`CompiledPlan`] (zero intermediate
     /// materializations; the hot path). Falls back to the interpreter if
@@ -502,8 +502,21 @@ impl Solver {
     /// pre-compiled route; the verdict carries backend, timing and plan
     /// provenance.
     pub fn solve(&self, db: &Instance) -> Verdict {
+        self.solve_with(db, &self.options)
+    }
+
+    /// [`Solver::solve`] under **caller-supplied execution options** — the
+    /// per-request surface a long-lived service needs: one cached, shared
+    /// solver (classification and plan compilation amortized across every
+    /// request) while each request pins its own sharding width and, on the
+    /// fallback route, its own oracle budget. The *compiled* choices —
+    /// evaluator and join strategy — are baked into the route at
+    /// [`SolverBuilder::build`] time and are **not** re-read from
+    /// `options`; a caller that needs a differently compiled route builds
+    /// (or cache-keys) a different solver.
+    pub fn solve_with(&self, db: &Instance, options: &ExecOptions) -> Verdict {
         let start = Instant::now();
-        let (certainty, backend, detail) = self.decide(db);
+        let (certainty, backend, detail) = self.decide_with(db, options);
         Verdict {
             certainty,
             provenance: Provenance {
@@ -609,12 +622,19 @@ impl Solver {
         }
     }
 
-    /// One dispatch: certainty, backend tag, optional diagnostics.
-    fn decide(&self, db: &Instance) -> (Certainty, BackendKind, Option<String>) {
+    /// One dispatch under `options`: certainty, backend tag, optional
+    /// diagnostics. The sharding policy and (on the fallback route) the
+    /// oracle budget come from `options`; everything compiled at build
+    /// time comes from the route.
+    fn decide_with(
+        &self,
+        db: &Instance,
+        options: &ExecOptions,
+    ) -> (Certainty, BackendKind, Option<String>) {
         match &self.route {
             Route::FoPlan(r) => match &r.compiled {
                 Some(c) => {
-                    let policy = self.options.policy();
+                    let policy = options.policy();
                     let ans = if policy.threads() > 1 {
                         c.answer_parallel(db, &policy)
                     } else {
@@ -634,7 +654,19 @@ impl Solver {
                 None,
             ),
             Route::Fallback(r) => {
-                match r.oracle.is_certain(db, self.problem.query(), self.problem.fks()) {
+                // A per-request budget overrides the route's baked-in
+                // limits: the oracle is stateless, so re-limiting it per
+                // call is free and lets one cached hard-class solver serve
+                // requests with different budgets.
+                let rebudgeted;
+                let oracle = match options.fallback {
+                    FallbackBudget::Allow(limits) => {
+                        rebudgeted = CertaintyOracle::with_limits(limits);
+                        &rebudgeted
+                    }
+                    FallbackBudget::Deny => &r.oracle,
+                };
+                match oracle.is_certain(db, self.problem.query(), self.problem.fks()) {
                     OracleOutcome::Certain => (Certainty::Certain, BackendKind::Oracle, None),
                     OracleOutcome::NotCertain(witness) => (
                         Certainty::NotCertain,
@@ -655,6 +687,17 @@ impl fmt::Display for Solver {
         write!(f, "{} routed {}", self.problem, self.route)
     }
 }
+
+// A solver is shared behind an `Arc` by the plan cache of `cqa serve`, with
+// concurrent requests solving through one compiled route — pin the auto
+// traits so a field change that silently drops them is a compile error, not
+// a runtime surprise in the service.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Solver>();
+    assert_send_sync::<Verdict>();
+    assert_send_sync::<ExecOptions>();
+};
 
 /// How many instances each lazily evaluated [`SolveMany`] chunk holds per
 /// worker thread: wide enough to amortize the scoped-pool spawn, narrow
@@ -1454,6 +1497,44 @@ mod tests {
                 evaluated: 1
             })
         );
+    }
+
+    #[test]
+    fn solve_with_overrides_the_fallback_budget_per_request() {
+        // One cached hard-class solver, built with a starvation budget;
+        // a per-request ExecOptions re-budgets the oracle without
+        // rebuilding the route.
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let solver = Solver::builder(problem(&s, "N(x,'c',y), O(y,w)", "N[3] -> O"))
+            .options(ExecOptions::default().with_fallback(SearchLimits::budgeted(1)))
+            .build()
+            .unwrap();
+        let db = parse_instance(&s, "N(k,c,a) N(k,d,b) O(a,3) O(a,4)").unwrap();
+        assert_eq!(solver.solve(&db).certainty, Certainty::Inconclusive);
+
+        let generous = ExecOptions::default().with_fallback(SearchLimits::budgeted(100_000));
+        let v = solver.solve_with(&db, &generous);
+        assert_eq!(v.as_bool(), Some(false), "re-budgeted request decides");
+        assert_eq!(v.provenance.backend, BackendKind::Oracle);
+
+        // And the solver's own options are untouched: the next plain solve
+        // is inconclusive again.
+        assert_eq!(solver.solve(&db).certainty, Certainty::Inconclusive);
+    }
+
+    #[test]
+    fn solve_with_pins_the_request_policy_not_the_built_one() {
+        let s = Arc::new(parse_schema("N[2,1] O[1,1] P[1,1]").unwrap());
+        let solver = Solver::builder(problem(&s, "N('c',y), O(y), P(y)", "N[2] -> O"))
+            .options(ExecOptions::default().with_threads(8))
+            .build()
+            .unwrap();
+        let db = parse_instance(&s, "N(c,a) O(a) P(a)").unwrap();
+        // A sequential per-request override answers identically.
+        let v = solver.solve_with(&db, &ExecOptions::sequential());
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(v.provenance.backend, BackendKind::CompiledPlan);
+        assert_eq!(v.as_bool(), solver.solve(&db).as_bool());
     }
 
     #[test]

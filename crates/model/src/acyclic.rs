@@ -57,17 +57,38 @@ pub enum JoinStrategy {
 
 impl JoinStrategy {
     /// The process-wide default, read **once** from `CQA_EVALUATOR`
-    /// (`auto` | `backtracking` | `semijoin`; unset or unparsable means
+    /// (`auto` | `backtracking` | `semijoin`; unset means
     /// [`JoinStrategy::Auto`]). Mirrors how `CQA_THREADS` seeds the default
-    /// parallelism: one read, cached for the process lifetime.
+    /// parallelism: one read, cached for the process lifetime. An
+    /// unparsable value (e.g. the `semijion` typo) falls back to `Auto`
+    /// **with a one-time warning on stderr** — it used to be silently
+    /// swallowed, which turned a typo into a quietly different evaluator.
+    /// Long-lived services that must refuse to start on a typo validate
+    /// with [`JoinStrategy::try_from_env`] instead.
     pub fn from_env() -> JoinStrategy {
         static CACHE: OnceLock<JoinStrategy> = OnceLock::new();
-        *CACHE.get_or_init(|| {
-            std::env::var("CQA_EVALUATOR")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(JoinStrategy::Auto)
+        *CACHE.get_or_init(|| match JoinStrategy::try_from_env() {
+            Ok(strategy) => strategy.unwrap_or(JoinStrategy::Auto),
+            Err(msg) => {
+                eprintln!("warning: {msg}; defaulting to `auto`");
+                JoinStrategy::Auto
+            }
         })
+    }
+
+    /// Strict read of `CQA_EVALUATOR`: `Ok(None)` when unset,
+    /// `Ok(Some(strategy))` when set to a valid value, `Err` when set but
+    /// unparsable. Never falls back — this is how `cqa serve` refuses to
+    /// start on invalid environment configuration instead of silently
+    /// degrading to [`JoinStrategy::Auto`].
+    pub fn try_from_env() -> Result<Option<JoinStrategy>, String> {
+        match std::env::var("CQA_EVALUATOR") {
+            Ok(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("CQA_EVALUATOR: {e}")),
+            Err(_) => Ok(None),
+        }
     }
 }
 
@@ -597,5 +618,25 @@ mod tests {
             assert_eq!(s.to_string().parse::<JoinStrategy>().unwrap(), s);
         }
         assert!("nope".parse::<JoinStrategy>().is_err());
+    }
+
+    #[test]
+    fn unparsable_evaluator_is_an_error_not_a_silent_auto() {
+        // Regression: the `semijion` typo used to parse-fail into `Auto`
+        // with no trace. The FromStr error must name the offending value,
+        // and the strict env reader must surface it (rather than mapping
+        // it to `Ok(Some(Auto))`).
+        let err = "semijion".parse::<JoinStrategy>().unwrap_err();
+        assert!(err.contains("semijion"), "{err}");
+        assert!(err.contains("auto"), "error lists the valid values: {err}");
+        // In-process we cannot (safely) mutate the environment, but the CI
+        // matrix only ever pins valid values, so the strict reader must be
+        // Ok here whatever leg is running.
+        assert!(JoinStrategy::try_from_env().is_ok());
+        // And the valid values keep parsing case-insensitively.
+        assert_eq!(
+            " SemiJoin ".parse::<JoinStrategy>().unwrap(),
+            JoinStrategy::Semijoin
+        );
     }
 }

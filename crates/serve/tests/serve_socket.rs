@@ -1,0 +1,144 @@
+//! Serve-level integration: concurrent clients against one cached plan,
+//! and the full socket lifecycle (bind → requests → shutdown → metrics
+//! dump) over a Unix-domain socket.
+
+use cqa_core::ExecOptions;
+use cqa_serve::{request, serve, Endpoint, ServeConfig, Service};
+use serde_json::Value;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn solve_line(db: &str) -> String {
+    format!(
+        r#"{{"op":"solve","schema":"N[2,1] O[1,1] P[1,1]","query":"N('c',y), O(y), P(y)","fks":"N[2] -> O","db":"{db}"}}"#
+    )
+}
+
+/// Instances with known verdicts through the Proposition-style FO plan.
+const CASES: &[(&str, &str)] = &[
+    ("N(c,a) O(a) P(a)", "certain"),
+    ("N(c,a) N(c,b) O(a) P(a)", "not certain"),
+    ("N(c,a) N(c,b) O(a) O(b) P(a) P(b)", "certain"),
+    ("N(c,a) O(b) P(a)", "not certain"),
+];
+
+#[test]
+fn n_concurrent_clients_one_cached_plan_exactly_one_miss() {
+    let service = Arc::new(Service::new(ServeConfig {
+        defaults: ExecOptions::sequential(),
+        cache_capacity: 8,
+        max_facts: None,
+    }));
+    let n_threads = 8;
+    let rounds = 6;
+    std::thread::scope(|scope| {
+        for t in 0..n_threads {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                for r in 0..rounds {
+                    // Interleave the cases differently per thread so the
+                    // shared plan sees a mixed, racing request stream.
+                    let (db, want) = CASES[(t + r) % CASES.len()];
+                    let reply: Value =
+                        serde_json::from_str(&service.handle_line(&solve_line(db)))
+                            .expect("reply parses");
+                    assert_eq!(
+                        reply.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "{reply:?}"
+                    );
+                    assert_eq!(
+                        reply.get("certainty").and_then(Value::as_str),
+                        Some(want),
+                        "thread {t} round {r} on {db}"
+                    );
+                }
+            });
+        }
+    });
+    // Every concurrent request shared ONE compiled plan: the build ran
+    // exactly once, everything else hit.
+    assert_eq!(service.metrics().misses(), 1, "exactly one cache miss");
+    assert_eq!(
+        service.metrics().hits(),
+        (n_threads * rounds - 1) as u64,
+        "every other request hits"
+    );
+    assert_eq!(service.cache().len(), 1);
+}
+
+fn temp_socket(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("cqa-serve-test-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn unix_socket_lifecycle_with_shutdown_and_metrics_dump() {
+    let socket = temp_socket("lifecycle");
+    let metrics_path = socket.with_extension("metrics.json");
+    let _ = std::fs::remove_file(&metrics_path);
+    let endpoint = Endpoint::Unix(socket.clone());
+
+    let service = Arc::new(Service::new(ServeConfig {
+        defaults: ExecOptions::sequential(),
+        cache_capacity: 8,
+        max_facts: None,
+    }));
+    let server = {
+        let service = Arc::clone(&service);
+        let endpoint = endpoint.clone();
+        let metrics_path = metrics_path.clone();
+        std::thread::spawn(move || serve(&service, &endpoint, Some(&metrics_path)))
+    };
+
+    // The bind is asynchronous with this test thread: poll until the
+    // socket file exists and answers a ping.
+    let mut pong = None;
+    for _ in 0..200 {
+        if socket.exists() {
+            if let Ok(reply) = request(&endpoint, r#"{"op":"ping"}"#) {
+                pong = Some(reply);
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let pong = pong.expect("server came up");
+    assert!(pong.contains(r#""pong":true"#), "{pong}");
+
+    // A mixed request stream: every verdict correct, repeats all hit.
+    for (db, want) in CASES.iter().cycle().take(10) {
+        let reply: Value =
+            serde_json::from_str(&request(&endpoint, &solve_line(db)).expect("round trip"))
+                .expect("reply parses");
+        assert_eq!(reply.get("certainty").and_then(Value::as_str), Some(*want));
+    }
+    let metrics: Value =
+        serde_json::from_str(&request(&endpoint, r#"{"op":"metrics"}"#).unwrap()).unwrap();
+    let cache = metrics.get("metrics").and_then(|m| m.get("cache")).unwrap();
+    assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(1));
+    assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(9));
+
+    // Clean shutdown: reply arrives, the accept loop drains and exits,
+    // the socket file is gone, the metrics dump is on disk.
+    let bye = request(&endpoint, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(bye.contains(r#""shutdown":true"#), "{bye}");
+    server
+        .join()
+        .expect("server thread exits")
+        .expect("serve returns Ok");
+    assert!(!socket.exists(), "socket file removed on shutdown");
+    let dumped: Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).expect("metrics dumped"))
+            .expect("metrics dump is valid JSON");
+    assert_eq!(
+        dumped
+            .get("requests")
+            .and_then(|r| r.get("solve"))
+            .and_then(Value::as_u64),
+        Some(10)
+    );
+    let _ = std::fs::remove_file(&metrics_path);
+}

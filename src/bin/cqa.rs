@@ -11,6 +11,8 @@
 //! cqa analyze  --schema … --query … [--fks …]            # static IR audit + read-set
 //! cqa analyze  --problem file.problem                    # same, from a problem file
 //! cqa analyze  --fixture list | --fixture NAME           # built-in malformed IR
+//! cqa serve    --socket /tmp/cqa.sock [--metrics-out m.json]  # persistent service
+//! cqa request  --socket /tmp/cqa.sock --op ping          # one-shot protocol client
 //! ```
 //!
 //! `solve` routes the problem to its best backend (compiled FO plan,
@@ -22,9 +24,30 @@
 //! pins how acyclic residual conjunctions execute (otherwise
 //! `CQA_EVALUATOR`, resolved once).
 //!
+//! `serve` runs the persistent solver service (`cqa_serve`): a
+//! line-delimited JSON protocol on `--socket PATH` (Unix domain) or
+//! `--tcp ADDR`, with an LRU plan cache (`--cache N` entries), admission
+//! control (`--max-facts N`; hard-class requests must carry a budget) and
+//! a metrics dump on shutdown (`--metrics-out PATH`). Unlike every other
+//! command, `serve` validates `CQA_THREADS`/`CQA_EVALUATOR` **strictly**
+//! at startup and refuses to start on unparsable values — a long-lived
+//! server must not silently degrade to defaults. `request` is the
+//! matching one-shot client: `--op ping|solve|metrics|shutdown` (with the
+//! usual problem flags plus `--db-text` for an inline database), or a raw
+//! protocol line via `--line JSON`.
+//!
 //! Databases are text files of facts (`R(a,1); S(1,x)` — see
-//! `cqa_model::parser`). Exit code 0 = yes/FO, 1 = no/not-FO, 2 = usage or
-//! input error, 3 = inconclusive (fallback budget exhausted).
+//! `cqa_model::parser`).
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | yes / certain (`classify`: in FO) |
+//! | 1 | no / not certain (`classify`: not in FO) |
+//! | 2 | usage or input error (including `serve` env-validation refusal) |
+//! | 3 | inconclusive (fallback budget exhausted) or request rejected by admission control |
+//! | 4 | `answer` only: the problem is **not FO-rewritable** — the query/FK pair is the wrong shape for `answer`, use `solve`. Distinct from 1 so scripts can tell "the answer is no" from "wrong tool". |
 
 use cqa::core::flatten::flatten;
 use cqa::prelude::*;
@@ -43,6 +66,15 @@ struct Args {
     threads: Option<usize>,
     evaluator: Option<JoinStrategy>,
     materialized: bool,
+    // serve / request flags
+    socket: Option<String>,
+    tcp: Option<String>,
+    cache: Option<usize>,
+    max_facts: Option<usize>,
+    metrics_out: Option<String>,
+    op: Option<String>,
+    db_text: Option<String>,
+    line: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +92,14 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         evaluator: None,
         materialized: false,
+        socket: None,
+        tcp: None,
+        cache: None,
+        max_facts: None,
+        metrics_out: None,
+        op: None,
+        db_text: None,
+        line: None,
     };
     while let Some(flag) = argv.next() {
         if flag == "--materialized" {
@@ -86,6 +126,18 @@ fn parse_args() -> Result<Args, String> {
             "--evaluator" => {
                 args.evaluator = Some(value.parse().map_err(|e| format!("--evaluator: {e}"))?)
             }
+            "--socket" => args.socket = Some(value),
+            "--tcp" => args.tcp = Some(value),
+            "--cache" => {
+                args.cache = Some(value.parse().map_err(|e| format!("--cache: {e}"))?)
+            }
+            "--max-facts" => {
+                args.max_facts = Some(value.parse().map_err(|e| format!("--max-facts: {e}"))?)
+            }
+            "--metrics-out" => args.metrics_out = Some(value),
+            "--op" => args.op = Some(value),
+            "--db-text" => args.db_text = Some(value),
+            "--line" => args.line = Some(value),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -93,19 +145,32 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: cqa <classify|rewrite|sql|solve|answer|oracle|analyze> \
+    "usage: cqa <classify|rewrite|sql|solve|answer|oracle|analyze|serve|request> \
      --schema \"R[2,1] …\" --query \"R(x,y), …\" [--fks \"R[2] -> S, …\"] [--db facts.txt] \
      [--problem file.problem] [--fixture NAME|list] \
      [--fallback-budget N] [--threads N] [--evaluator auto|backtracking|semijoin] \
-     [--materialized]"
+     [--materialized]\n\
+     serve:   --socket PATH | --tcp ADDR  [--cache N] [--max-facts N] [--metrics-out PATH] \
+     (refuses to start on invalid CQA_THREADS/CQA_EVALUATOR)\n\
+     request: --socket PATH | --tcp ADDR  [--op ping|solve|metrics|shutdown] [--db-text \"R(a,1) …\"] \
+     [--line '{\"op\":…}']\n\
+     exit codes: 0 yes/certain · 1 no/not-certain · 2 usage or input error · \
+     3 inconclusive or rejected · 4 not-FO (answer only)"
         .to_string()
 }
 
-/// The CLI's three-valued outcome, mapped to exit codes in `main`.
+/// The CLI's outcome, mapped to exit codes in `main`.
 enum Outcome {
+    /// Yes / certain / in FO — exit 0.
     Yes,
+    /// No / not certain / not in FO — exit 1.
     No,
+    /// Budget exhausted or request rejected by admission control — exit 3.
     Inconclusive,
+    /// `cqa answer` only: the problem is not FO-rewritable, so `answer`
+    /// is the wrong tool (use `cqa solve`) — exit 4, distinct from the
+    /// "certain no" exit 1.
+    NotFo,
 }
 
 /// `cqa analyze`: the static IR auditor. Dispatched before the
@@ -197,10 +262,129 @@ fn parse_problem_file(text: &str) -> Result<(String, String, String), String> {
     ))
 }
 
+/// `cqa serve`: the persistent solver service. Validates the environment
+/// **strictly** before binding — a long-lived server that silently mapped
+/// `CQA_EVALUATOR=semijion` to `Auto` would serve every request with the
+/// wrong evaluator until someone noticed; refusing to start is the only
+/// honest behavior.
+fn run_serve(args: &Args) -> Result<Outcome, String> {
+    // Strict env validation (exit 2 on failure). The lenient, warn-once
+    // readers used by `ExecOptions::default()` resolve the same values
+    // once these checks pass.
+    let env_threads = rayon_lite::env_threads().map_err(|e| format!("refusing to serve: {e}"))?;
+    let env_join = JoinStrategy::try_from_env().map_err(|e| format!("refusing to serve: {e}"))?;
+
+    let endpoint = cqa::serve::Endpoint::from_flags(args.socket.as_deref(), args.tcp.as_deref())?;
+    let mut defaults = ExecOptions::default();
+    if let Some(n) = args.threads.or(env_threads) {
+        defaults = defaults.with_threads(n);
+    }
+    if let Some(join) = args.evaluator.or(env_join) {
+        defaults = defaults.with_join(join);
+    }
+    if args.materialized {
+        defaults.evaluator = Evaluator::Materialized;
+    }
+    if let Some(budget) = args.fallback_budget {
+        defaults = defaults.with_fallback(SearchLimits::budgeted(budget));
+    }
+    let config = cqa::serve::ServeConfig {
+        defaults,
+        cache_capacity: args.cache.unwrap_or(64),
+        max_facts: args.max_facts,
+    };
+    let service = Arc::new(cqa::serve::Service::new(config));
+    eprintln!("cqa serve: listening on {endpoint}");
+    cqa::serve::serve(
+        &service,
+        &endpoint,
+        args.metrics_out.as_deref().map(std::path::Path::new),
+    )
+    .map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "cqa serve: shut down ({} cache hits, {} misses)",
+        service.metrics().hits(),
+        service.metrics().misses()
+    );
+    Ok(Outcome::Yes)
+}
+
+/// `cqa request`: one-shot protocol client. Builds the request line from
+/// the usual problem flags (or takes it verbatim via `--line`), prints
+/// the server's reply, and maps it onto the CLI exit codes.
+fn run_request(args: &Args) -> Result<Outcome, String> {
+    use serde_json::Value;
+    let endpoint = cqa::serve::Endpoint::from_flags(args.socket.as_deref(), args.tcp.as_deref())?;
+    let line = match &args.line {
+        Some(line) => line.clone(),
+        None => {
+            let op = args.op.clone().unwrap_or_else(|| "solve".to_string());
+            let mut fields = std::collections::BTreeMap::new();
+            fields.insert("op".to_string(), Value::String(op.clone()));
+            if op == "solve" {
+                let db_text = match (&args.db_text, &args.db) {
+                    (Some(text), _) => text.clone(),
+                    (None, Some(path)) => {
+                        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+                    }
+                    (None, None) => return Err("missing --db or --db-text".to_string()),
+                };
+                fields.insert(
+                    "schema".to_string(),
+                    Value::String(args.schema.clone().ok_or("missing --schema")?),
+                );
+                fields.insert(
+                    "query".to_string(),
+                    Value::String(args.query.clone().ok_or("missing --query")?),
+                );
+                fields.insert("fks".to_string(), Value::String(args.fks.clone()));
+                fields.insert("db".to_string(), Value::String(db_text));
+                if let Some(join) = args.evaluator {
+                    fields.insert("evaluator".to_string(), Value::String(join.to_string()));
+                }
+                if args.materialized {
+                    fields.insert("materialized".to_string(), Value::Bool(true));
+                }
+                if let Some(n) = args.threads {
+                    fields.insert("threads".to_string(), Value::Number(n as f64));
+                }
+                if let Some(b) = args.fallback_budget {
+                    fields.insert("budget".to_string(), Value::Number(b as f64));
+                }
+            }
+            serde_json::to_string(&Value::Object(fields)).expect("request serialization")
+        }
+    };
+    let reply = cqa::serve::request(&endpoint, &line).map_err(|e| format!("request: {e}"))?;
+    println!("{reply}");
+    let parsed = serde_json::from_str(&reply).map_err(|e| format!("unparsable reply: {e}"))?;
+    if parsed.get("ok").and_then(Value::as_bool) != Some(true) {
+        if parsed.get("rejected").and_then(Value::as_bool) == Some(true) {
+            return Ok(Outcome::Inconclusive);
+        }
+        return Err(parsed
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("request failed")
+            .to_string());
+    }
+    match parsed.get("certainty").and_then(Value::as_str) {
+        Some("certain") | None => Ok(Outcome::Yes),
+        Some("not certain") => Ok(Outcome::No),
+        _ => Ok(Outcome::Inconclusive),
+    }
+}
+
 fn run() -> Result<Outcome, String> {
     let args = parse_args()?;
     if args.command == "analyze" {
         return run_analyze(&args);
+    }
+    if args.command == "serve" {
+        return run_serve(&args);
+    }
+    if args.command == "request" {
+        return run_request(&args);
     }
     let schema_text = args.schema.ok_or("missing --schema")?;
     let query_text = args.query.ok_or("missing --query")?;
@@ -287,23 +471,26 @@ fn run() -> Result<Outcome, String> {
         }
         "answer" => {
             // The FO-only legacy path, now a thin alias of the solver's
-            // FO route (same exit semantics as before: anything not FO is
-            // an error here — `cqa solve` serves the other classes).
+            // FO route. Anything not FO exits 4 — NOT 1 (a certain "no")
+            // and NOT 2 (a malformed invocation): the problem is valid,
+            // `answer` is just the wrong tool for its class, and scripts
+            // need to tell those apart.
             let not_fo = "use `cqa solve` (with --fallback-budget for the hard class) \
                           or `cqa oracle` for small instances";
             let mut options = ExecOptions::default();
             if let Some(join) = args.evaluator {
                 options = options.with_join(join);
             }
-            let solver = Solver::builder(problem)
-                .options(options)
-                .build()
-                .map_err(|r| format!("not FO-rewritable ({r}); {not_fo}"))?;
+            let solver = match Solver::builder(problem).options(options).build() {
+                Ok(solver) => solver,
+                Err(r) => {
+                    eprintln!("not FO-rewritable ({r}); {not_fo}");
+                    return Ok(Outcome::NotFo);
+                }
+            };
             if solver.route().kind() != RouteKind::Fo {
-                return Err(format!(
-                    "not FO-rewritable (routed {}); {not_fo}",
-                    solver.route()
-                ));
+                eprintln!("not FO-rewritable (routed {}); {not_fo}", solver.route());
+                return Ok(Outcome::NotFo);
             }
             let db = load_db()?;
             let ans = solver.solve(&db).is_certain();
@@ -349,6 +536,7 @@ fn main() -> ExitCode {
         Ok(Outcome::Yes) => ExitCode::SUCCESS,
         Ok(Outcome::No) => ExitCode::from(1),
         Ok(Outcome::Inconclusive) => ExitCode::from(3),
+        Ok(Outcome::NotFo) => ExitCode::from(4),
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)

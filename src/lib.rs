@@ -46,6 +46,7 @@ pub use cqa_fo as fo;
 pub use cqa_gen as gen;
 pub use cqa_model as model;
 pub use cqa_repair as repair;
+pub use cqa_serve as serve;
 pub use cqa_solvers as solvers;
 
 /// Commonly used items, re-exported for convenience.

@@ -19,31 +19,90 @@
 //!
 //! The thread count defaults to the `CQA_THREADS` environment variable when
 //! set (clamped to `[1, 64]`), else [`std::thread::available_parallelism`].
-//! Worker panics are propagated to the caller after all workers joined.
+//! The environment is consulted exactly **once** per process
+//! ([`current_num_threads`] caches the resolution) and an unparsable value
+//! emits a one-time warning on stderr instead of being silently ignored;
+//! strict consumers (a long-lived server refusing to start on a typo) use
+//! [`env_threads`] instead. Worker panics are propagated to the caller
+//! after all workers joined.
 
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 /// Upper bound on the resolved thread count (a `CQA_THREADS=100000` typo
 /// must not spawn a hundred thousand threads per call).
 const MAX_THREADS: usize = 64;
 
-/// The default degree of parallelism: `CQA_THREADS` when set to a positive
-/// integer (clamped to 64), else the machine's available parallelism, else 1.
-/// Read fresh on every call so tests and long-lived processes observe
-/// environment changes.
-pub fn current_num_threads() -> usize {
-    if let Ok(v) = std::env::var("CQA_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n.min(MAX_THREADS);
-            }
-        }
+/// Strictly parses a `CQA_THREADS` setting: a positive integer, clamped to
+/// the hard cap of 64. `0`, negatives and non-numbers are errors — this is
+/// the validation surface for callers that must refuse bad configuration
+/// instead of degrading (e.g. `cqa serve` at startup).
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n.min(MAX_THREADS)),
+        Ok(_) => Err(format!("CQA_THREADS must be at least 1, got {raw:?}")),
+        Err(_) => Err(format!(
+            "CQA_THREADS must be a positive integer, got {raw:?}"
+        )),
     }
+}
+
+/// Strict read of the `CQA_THREADS` environment variable: `Ok(None)` when
+/// unset, `Ok(Some(width))` when set to a valid value, `Err` when set but
+/// unparsable. Unlike [`current_num_threads`] this never falls back — it is
+/// how a long-lived service validates its environment before serving.
+pub fn env_threads() -> Result<Option<usize>, String> {
+    match std::env::var("CQA_THREADS") {
+        Ok(v) => parse_threads(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// The machine's available parallelism, clamped to the hard cap.
+fn hardware_width() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get().min(MAX_THREADS))
         .unwrap_or(1)
+}
+
+/// Pure resolution of the default width from an optional raw `CQA_THREADS`
+/// value: the resolved width plus a warning when the value was set but
+/// unparsable (the lenient path falls back to the hardware width rather
+/// than dying, but it must *say so*). This is the injectable seam the tests
+/// use instead of mutating the process environment — `std::env::set_var`
+/// races the multithreaded test harness and is `unsafe` on newer
+/// toolchains.
+pub fn resolve_width(raw: Option<&str>) -> (usize, Option<String>) {
+    match raw {
+        Some(v) => match parse_threads(v) {
+            Ok(n) => (n, None),
+            Err(msg) => (
+                hardware_width(),
+                Some(format!("{msg}; falling back to the machine width")),
+            ),
+        },
+        None => (hardware_width(), None),
+    }
+}
+
+/// The default degree of parallelism: `CQA_THREADS` when set to a positive
+/// integer (clamped to 64), else the machine's available parallelism (else
+/// one). Resolved **once** per process and cached — a long-lived server
+/// must never have its per-request configuration silently overridden by a
+/// later environment mutation — and an unparsable value warns on stderr
+/// exactly once before falling back.
+pub fn current_num_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let raw = std::env::var("CQA_THREADS").ok();
+        let (width, warning) = resolve_width(raw.as_deref());
+        if let Some(w) = warning {
+            eprintln!("warning: {w}");
+        }
+        width
+    })
 }
 
 /// A fixed-width scoped fork-join pool. See the crate docs: the pool holds
@@ -325,18 +384,35 @@ mod tests {
     }
 
     #[test]
-    fn env_override_controls_default_width() {
-        // Single test owning the env var (tests in this binary would race
-        // it otherwise); set/remove stays within this one test.
-        std::env::set_var("CQA_THREADS", "3");
-        assert_eq!(current_num_threads(), 3);
-        assert_eq!(ThreadPool::new(0).threads(), 3);
-        std::env::set_var("CQA_THREADS", "100000");
-        assert_eq!(current_num_threads(), 64, "clamped");
-        std::env::set_var("CQA_THREADS", "nonsense");
-        let fallback = current_num_threads();
+    fn width_resolution_is_injectable_without_env_mutation() {
+        // The resolver takes the raw value as an argument, so these cases
+        // need no `std::env::set_var` (racy under the multithreaded test
+        // harness, and `unsafe` on newer toolchains).
+        assert_eq!(resolve_width(Some("3")), (3, None));
+        assert_eq!(resolve_width(Some(" 8 ")), (8, None), "whitespace ok");
+        assert_eq!(resolve_width(Some("100000")).0, 64, "clamped");
+        let (fallback, warning) = resolve_width(Some("nonsense"));
         assert!(fallback >= 1, "unparsable values fall back");
-        std::env::remove_var("CQA_THREADS");
-        assert!(current_num_threads() >= 1);
+        let warning = warning.expect("unparsable values must warn");
+        assert!(warning.contains("nonsense"), "{warning}");
+        let (zero, warning) = resolve_width(Some("0"));
+        assert!(zero >= 1);
+        assert!(warning.is_some(), "zero is invalid, must warn");
+        let (unset, warning) = resolve_width(None);
+        assert!(unset >= 1);
+        assert!(warning.is_none(), "unset is not an error");
+    }
+
+    #[test]
+    fn strict_parse_rejects_what_the_lenient_path_warns_about() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads("100000"), Ok(64), "clamped, not rejected");
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("four").is_err());
+        assert!(parse_threads("").is_err());
+        // env_threads is Ok in this process whatever the CI leg pins
+        // CQA_THREADS to — the matrix only uses valid values.
+        assert!(env_threads().is_ok());
     }
 }
