@@ -49,6 +49,15 @@ pub enum Code {
     /// An operation or tail reads a relation that the plan's restriction
     /// has already made invisible.
     RelationNotVisible,
+    /// An emitted Datalog rule is not range-restricted: a head, negated or
+    /// builtin variable is never bound by a positive body atom, so
+    /// bottom-up evaluation (ours or an external engine's) would have to
+    /// invent values.
+    DatalogNotRangeRestricted,
+    /// An emitted Datalog program has no stratification: some predicate
+    /// depends on itself through negation, so the stratified fixpoint
+    /// semantics the emitter promises is undefined.
+    DatalogUnstratified,
 }
 
 impl fmt::Display for Code {
@@ -68,6 +77,8 @@ impl fmt::Display for Code {
             Code::UnknownRelation => "unknown-relation",
             Code::ArityMismatch => "arity-mismatch",
             Code::RelationNotVisible => "relation-not-visible",
+            Code::DatalogNotRangeRestricted => "datalog-not-range-restricted",
+            Code::DatalogUnstratified => "datalog-unstratified",
         };
         f.write_str(s)
     }

@@ -95,13 +95,16 @@ fn good_plan_with(tweak: impl FnOnce(&mut L45Ir)) -> PlanIr {
     }
 }
 
-/// The IR under a fixture: a formula or a full plan.
+/// The IR under a fixture: a formula, a full plan, or an emitted Datalog
+/// program (source text in the [`crate::datalog`] dialect).
 #[derive(Clone, Debug)]
 pub enum FixtureIr {
     /// A compiled-formula fixture.
     Formula(FormulaIr),
     /// A compiled-plan fixture.
     Plan(PlanIr),
+    /// A malformed emitted-Datalog fixture.
+    Datalog(&'static str),
 }
 
 /// One named malformed-IR fixture.
@@ -123,6 +126,9 @@ impl Fixture {
         match &self.ir {
             FixtureIr::Formula(f) => audit_formula(f),
             FixtureIr::Plan(p) => audit_plan(p),
+            FixtureIr::Datalog(text) => crate::datalog::audit_program(
+                &crate::datalog::Program::parse(text).expect("datalog fixtures parse"),
+            ),
         }
     }
 }
@@ -275,6 +281,30 @@ pub fn all() -> Vec<Fixture> {
                 },
                 n_params: 0,
             }),
+        },
+        Fixture {
+            name: "datalog-not-range-restricted",
+            expect: Code::DatalogNotRangeRestricted,
+            describe: "an emitted rule whose head variable no positive body atom binds",
+            ir: FixtureIr::Datalog(
+                "% The guard was dropped: Y is unconstrained.\n\
+                 cqa_dom(X) :- n(X, _Y2).\n\
+                 cqa_sub0(X, Y) :- n(X, X), not o(Y).\n\
+                 cqa_certain :- cqa_sub0(X, Y), cqa_dom(X), cqa_dom(Y).\n",
+            ),
+        },
+        Fixture {
+            name: "datalog-unstratified",
+            expect: Code::DatalogUnstratified,
+            describe: "an emitted program recursing through negation (win/move game)",
+            ir: FixtureIr::Datalog(
+                "% The naive dual-Horn lowering without the block-ordering\n\
+                 % EDB: del and blocked recurse through negation.\n\
+                 move(a, b).\n\
+                 move(b, a).\n\
+                 win(X) :- move(X, Y), not win(Y).\n\
+                 cqa_certain :- win(a).\n",
+            ),
         },
     ]
 }

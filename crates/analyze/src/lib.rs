@@ -12,12 +12,17 @@
 //! external engines (SQL/Datalog emission needs exactly the safety /
 //! range-restriction precondition audited here).
 //!
-//! Two analyses are provided:
+//! Three analyses are provided:
 //!
 //! * **invariant auditing** ([`checks`]) — walks [`ir::FormulaIr`],
 //!   [`ir::QueryIr`] and [`ir::PlanIr`] and produces an
 //!   [`diag::AuditReport`]; the producing crates run it behind
 //!   `debug_assert!` at every compile;
+//! * **emitted-artifact auditing** ([`datalog`]) — the Datalog dialect
+//!   `cqa-emit` lowers plans into lives here together with its safety
+//!   audits (range restriction, stratifiability), so `cqa analyze` can
+//!   reject a broken artifact with the same diagnostic machinery before
+//!   anything tries to run it;
 //! * **read-set inference** ([`readset`]) — computes the exact set of
 //!   (relation, block-key) pairs a compiled plan can touch, which the
 //!   incremental solver's *Unaffected* rung consumes to skip re-answering
@@ -34,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod checks;
+pub mod datalog;
 pub mod diag;
 pub mod fixtures;
 pub mod ir;
 pub mod readset;
 
 pub use checks::{audit_formula, audit_plan, audit_query};
+pub use datalog::audit_program;
 pub use diag::{AuditReport, Code, Diagnostic};
 pub use ir::{FNode, FormulaIr, L45Ir, OpIr, PatIr, PlanIr, QueryIr, TailIr};
 pub use readset::{AccessPattern, ReadSet};

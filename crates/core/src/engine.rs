@@ -185,7 +185,8 @@ impl CertainEngine {
     /// The rewriting rendered as SQL (active-domain translation).
     pub fn sql(&self) -> Result<(String, String), FlattenError> {
         let f = self.formula()?;
-        Ok(cqa_fo::to_sql(self.problem().query().schema(), &f))
+        Ok(cqa_fo::to_sql(self.problem().query().schema(), &f)
+            .expect("flattened rewritings are closed"))
     }
 }
 

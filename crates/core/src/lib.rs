@@ -66,7 +66,7 @@ pub use parallel::ParallelPolicy;
 pub use pipeline::RewritePlan;
 pub use problem::Problem;
 pub use solver::{
-    ExecOptions, Evaluator, FallbackBudget, IncrementalSolver, Route, RouteKind, SolveMany,
-    Solver, SolverBuilder, SolverError,
+    EmitSpec, EmitSpecError, ExecOptions, Evaluator, FallbackBudget, IncrementalSolver, Route,
+    RouteKind, SolveMany, Solver, SolverBuilder, SolverError,
 };
 pub use verdict::{BackendKind, Certainty, DeltaOutcome, Provenance, Verdict};

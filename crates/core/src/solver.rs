@@ -55,13 +55,15 @@
 
 use crate::classify::{classify, Classification, NotFoReason};
 use crate::compiled_plan::{CompiledPlan, ResidualCache};
+use crate::flatten::{flatten, FlattenError};
 use crate::parallel::ParallelPolicy;
 use crate::pipeline::RewritePlan;
 use crate::problem::Problem;
 use crate::verdict::{BackendKind, Certainty, DeltaOutcome, Provenance, Verdict};
 use cqa_analyze::ReadSet;
+use cqa_fo::Formula;
 use cqa_model::schema::RelName;
-use cqa_model::{Delta, Instance, JoinStrategy, ModelError};
+use cqa_model::{Cst, Delta, Instance, JoinStrategy, ModelError};
 use cqa_repair::{CertaintyOracle, OracleOutcome, SearchLimits};
 use cqa_solvers::backend::{Backend, DualHornBackend, ReachabilityBackend};
 use std::collections::{BTreeSet, VecDeque};
@@ -248,10 +250,17 @@ impl FoRoute {
     }
 }
 
-/// The polynomial-time route: a pre-bound combinatorial backend.
+/// The polynomial-time route: a pre-bound combinatorial backend, plus the
+/// renaming it was matched under (which relations play the paper's `N` and
+/// `O`, and — for Proposition 17 — which constant plays `c`). The renaming
+/// is what artifact emission (`cqa-emit`) re-reads to lower the route into
+/// Datalog/SQL without re-deriving the shape match.
 pub struct PolyRoute {
     backend: Box<dyn Backend>,
     kind: BackendKind,
+    n: RelName,
+    o: RelName,
+    middle: Option<Cst>,
 }
 
 impl PolyRoute {
@@ -263,6 +272,22 @@ impl PolyRoute {
     /// Which backend family this is.
     pub fn kind(&self) -> BackendKind {
         self.kind
+    }
+
+    /// The relation playing the paper's `N` (the FK source).
+    pub fn n(&self) -> RelName {
+        self.n
+    }
+
+    /// The relation playing the paper's `O` (the FK target).
+    pub fn o(&self) -> RelName {
+        self.o
+    }
+
+    /// The constant playing Proposition 17's `'c'` (middle position);
+    /// `None` on the reachability route.
+    pub fn middle(&self) -> Option<&Cst> {
+        self.middle.as_ref()
     }
 }
 
@@ -317,6 +342,74 @@ pub enum RouteKind {
     PolyTime,
     /// [`Route::Fallback`].
     Fallback,
+}
+
+/// Everything an external artifact emitter needs to lower a compiled route
+/// into a self-contained program (Datalog, SQL, …) — the route's *logical*
+/// content, independent of the in-process executors. Produced by
+/// [`Solver::emit_spec`]; consumed by `cqa-emit`.
+#[derive(Clone, Debug)]
+pub enum EmitSpec {
+    /// The FO route: the consistent rewriting flattened into one closed
+    /// formula (proven equivalent to the plan's answer), plus the plan
+    /// depth for provenance.
+    Fo {
+        /// The flattened closed rewriting.
+        formula: Formula,
+        /// Lemma 45 nesting depth of the source plan.
+        depth: usize,
+    },
+    /// The Proposition 16 route: certainty is non-escape reachability over
+    /// the block graph of `n`, with `o` marking the goal facts.
+    Reachability {
+        /// The relation playing the paper's `N`.
+        n: RelName,
+        /// The relation playing the paper's `O`.
+        o: RelName,
+    },
+    /// The Proposition 17 route: certainty is the least model of the
+    /// flipped dual-Horn program over `n`'s blocks (middle constant
+    /// `middle`), with `o` marking the goal facts.
+    DualHorn {
+        /// The relation playing the paper's `N`.
+        n: RelName,
+        /// The relation playing the paper's `O`.
+        o: RelName,
+        /// The constant playing the paper's `'c'`.
+        middle: Cst,
+    },
+}
+
+/// Why a route has no emittable specification.
+#[derive(Debug)]
+pub enum EmitSpecError {
+    /// The problem routed to the budgeted oracle: the hard class has no
+    /// polynomial-size Datalog/SQL rendering (under standard complexity
+    /// assumptions), so there is nothing to emit.
+    FallbackOnly,
+    /// The FO plan could not be flattened into one closed formula.
+    Flatten(FlattenError),
+}
+
+impl fmt::Display for EmitSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmitSpecError::FallbackOnly => write!(
+                f,
+                "the problem routed to the budgeted oracle; hard-class \
+                 certainty has no emittable Datalog/SQL rendering"
+            ),
+            EmitSpecError::Flatten(e) => write!(f, "flattening the FO plan failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmitSpecError {}
+
+impl From<FlattenError> for EmitSpecError {
+    fn from(e: FlattenError) -> EmitSpecError {
+        EmitSpecError::Flatten(e)
+    }
 }
 
 impl Route {
@@ -388,7 +481,7 @@ impl SolverBuilder {
                 }))
             }
             Classification::NotFo(reason) => match poly_backend(&self.problem) {
-                Some((backend, kind)) => Route::PolyTime(PolyRoute { backend, kind }),
+                Some(route) => Route::PolyTime(route),
                 None => match self.options.fallback {
                     FallbackBudget::Allow(limits) => Route::Fallback(FallbackRoute {
                         oracle: CertaintyOracle::with_limits(limits),
@@ -411,7 +504,7 @@ impl SolverBuilder {
 /// Matches problems isomorphic (up to renaming of relations, variables and
 /// the Proposition 17 middle constant) to the paper's polynomial-time
 /// shapes, returning the pre-bound backend.
-fn poly_backend(problem: &Problem) -> Option<(Box<dyn Backend>, BackendKind)> {
+fn poly_backend(problem: &Problem) -> Option<PolyRoute> {
     let q = problem.query();
     let fks = problem.fks();
     if q.len() != 2 || fks.len() != 1 {
@@ -434,11 +527,12 @@ fn poly_backend(problem: &Problem) -> Option<(Box<dyn Backend>, BackendKind)> {
         (2, 1, 2) => {
             let x = n_atom.terms[0].as_var()?;
             let y = n_atom.terms[1].as_var()?;
-            (x == y && x == o_var).then(|| {
-                (
-                    Box::new(ReachabilityBackend::new(fk.from, fk.to)) as Box<dyn Backend>,
-                    BackendKind::Reachability,
-                )
+            (x == y && x == o_var).then(|| PolyRoute {
+                backend: Box::new(ReachabilityBackend::new(fk.from, fk.to)),
+                kind: BackendKind::Reachability,
+                n: fk.from,
+                o: fk.to,
+                middle: None,
             })
         }
         // Proposition 17: q = {N(x,'c',y), O(y)}, FK = {N[3]→O}.
@@ -446,11 +540,12 @@ fn poly_backend(problem: &Problem) -> Option<(Box<dyn Backend>, BackendKind)> {
             let x = n_atom.terms[0].as_var()?;
             let c = n_atom.terms[1].as_cst()?;
             let y = n_atom.terms[2].as_var()?;
-            (x != y && y == o_var).then(|| {
-                (
-                    Box::new(DualHornBackend::new(fk.from, fk.to, c)) as Box<dyn Backend>,
-                    BackendKind::DualHorn,
-                )
+            (x != y && y == o_var).then(|| PolyRoute {
+                backend: Box::new(DualHornBackend::new(fk.from, fk.to, c)),
+                kind: BackendKind::DualHorn,
+                n: fk.from,
+                o: fk.to,
+                middle: Some(c),
             })
         }
         _ => None,
@@ -496,6 +591,28 @@ impl Solver {
     /// The compiled routing decision.
     pub fn route(&self) -> &Route {
         &self.route
+    }
+
+    /// The route's logical content for external artifact emission: the
+    /// flattened rewriting on the FO route, the `(N, O[, c])` renaming on
+    /// the poly-time routes. [`EmitSpecError::FallbackOnly`] on the hard
+    /// class — the oracle's exhaustive search has no program rendering.
+    pub fn emit_spec(&self) -> Result<EmitSpec, EmitSpecError> {
+        match &self.route {
+            Route::FoPlan(r) => Ok(EmitSpec::Fo {
+                formula: flatten(&r.plan)?,
+                depth: r.depth,
+            }),
+            Route::PolyTime(r) => Ok(match r.middle() {
+                None => EmitSpec::Reachability { n: r.n(), o: r.o() },
+                Some(c) => EmitSpec::DualHorn {
+                    n: r.n(),
+                    o: r.o(),
+                    middle: *c,
+                },
+            }),
+            Route::Fallback(_) => Err(EmitSpecError::FallbackOnly),
+        }
     }
 
     /// Is `db` a yes-instance of `CERTAINTY(q, FK)`? One dispatch on the

@@ -1,0 +1,500 @@
+//! A vendored semi-naïve, stratified Datalog evaluator.
+//!
+//! This is the differential oracle behind every emitted artifact: an
+//! emitted program is **re-parsed from its text** and evaluated here, and
+//! the `cqa_certain` verdict must agree with [`cqa_core::Solver::solve`] on
+//! the same instance. The evaluator is deliberately independent of every
+//! other certainty implementation in the workspace (compiled plan,
+//! materializing interpreter, combinatorial backends, ⊕-repair oracle) —
+//! it knows nothing about blocks, repairs or foreign keys, only bottom-up
+//! fixpoints — which is what makes the agreement meaningful.
+//!
+//! ## Algorithm
+//!
+//! Classic stratified semi-naïve evaluation:
+//!
+//! 1. [`cqa_analyze::audit_program`] must pass — the evaluator refuses
+//!    programs that are not range-restricted or not stratifiable
+//!    ([`ExecError::Unsound`]) rather than improvising semantics for them;
+//! 2. constants are interned to `u32` and rules compiled to slot form;
+//! 3. strata run in [`cqa_analyze::datalog::stratify`] order. Within a
+//!    stratum, round 0 evaluates every rule against the full stores; each
+//!    later round evaluates only rules with a recursive positive literal,
+//!    once per such occurrence, with that occurrence restricted to the
+//!    previous round's **delta** and the remaining literals against the
+//!    full stores. Negated literals always refer to lower (completed)
+//!    strata, so their stores are final when read.
+//!
+//! Positive literals are joined by backtracking search in a greedy
+//! most-bound-first order (the delta occurrence, when present, always
+//! leads), `!=` builtins and negations are checked once a rule's slots are
+//! fully bound.
+
+use cqa_analyze::datalog::{stratify, DAtom, DTerm, Literal, Program};
+use cqa_analyze::{audit_program, AuditReport};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Why a program was refused without evaluation.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The program failed its safety audit (range restriction or
+    /// stratifiability); the report carries the diagnostics.
+    Unsound(AuditReport),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Unsound(report) => {
+                write!(f, "refusing to evaluate an unsound program: {report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+type Tuple = Box<[u32]>;
+type Store = HashSet<Tuple>;
+
+/// The least stratified model of a program: every predicate's final
+/// relation, plus evaluation statistics.
+#[derive(Debug)]
+pub struct Evaluation {
+    names: Vec<String>,
+    preds: BTreeMap<String, usize>,
+    stores: Vec<Store>,
+    rounds: usize,
+    derived: usize,
+}
+
+impl Evaluation {
+    /// Whether `pred` holds of at least one tuple (for a zero-arity goal:
+    /// whether it was derived).
+    pub fn holds(&self, pred: &str) -> bool {
+        self.count(pred) > 0
+    }
+
+    /// How many tuples `pred` holds of (0 for unknown predicates).
+    pub fn count(&self, pred: &str) -> usize {
+        self.preds
+            .get(pred)
+            .map(|&i| self.stores[i].len())
+            .unwrap_or(0)
+    }
+
+    /// The tuples of `pred`, sorted for deterministic output.
+    pub fn tuples(&self, pred: &str) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = match self.preds.get(pred) {
+            Some(&i) => self.stores[i]
+                .iter()
+                .map(|t| t.iter().map(|&c| self.names[c as usize].clone()).collect())
+                .collect(),
+            None => Vec::new(),
+        };
+        out.sort();
+        out
+    }
+
+    /// Total fixpoint rounds across all strata (round 0 included).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Tuples derived by rules (ground facts excluded).
+    pub fn derived(&self) -> usize {
+        self.derived
+    }
+}
+
+/// A compiled argument: a rule-local variable slot or an interned constant.
+#[derive(Clone, Copy)]
+enum CArg {
+    Slot(usize),
+    Cst(u32),
+}
+
+struct CAtom {
+    pred: usize,
+    args: Vec<CArg>,
+}
+
+struct CRule {
+    head: CAtom,
+    pos: Vec<CAtom>,
+    neg: Vec<CAtom>,
+    neq: Vec<(CArg, CArg)>,
+    n_slots: usize,
+}
+
+struct Compiler {
+    names: Vec<String>,
+    consts: HashMap<String, u32>,
+    preds: BTreeMap<String, usize>,
+}
+
+impl Compiler {
+    fn intern(&mut self, c: &str) -> u32 {
+        match self.consts.get(c) {
+            Some(&i) => i,
+            None => {
+                let i = self.names.len() as u32;
+                self.names.push(c.to_string());
+                self.consts.insert(c.to_string(), i);
+                i
+            }
+        }
+    }
+
+    fn atom(&mut self, a: &DAtom, slots: &mut BTreeMap<String, usize>) -> CAtom {
+        let pred = self.preds[a.pred.as_str()];
+        let args = a
+            .args
+            .iter()
+            .map(|t| self.arg(t, slots))
+            .collect();
+        CAtom { pred, args }
+    }
+
+    fn arg(&mut self, t: &DTerm, slots: &mut BTreeMap<String, usize>) -> CArg {
+        match t {
+            DTerm::Var(v) => {
+                let next = slots.len();
+                CArg::Slot(*slots.entry(v.clone()).or_insert(next))
+            }
+            DTerm::Cst(c) => CArg::Cst(self.intern(c)),
+        }
+    }
+}
+
+/// Evaluates `program` to its least stratified model. Refuses programs that
+/// fail [`audit_program`] — soundness of the fixpoint depends on range
+/// restriction and stratification, so violations are an error, never a
+/// best-effort answer.
+pub fn evaluate(program: &Program) -> Result<Evaluation, ExecError> {
+    let report = audit_program(program);
+    if !report.is_clean() {
+        return Err(ExecError::Unsound(report));
+    }
+    let strata = stratify(program).expect("audit includes stratifiability");
+
+    let mut compiler = Compiler {
+        names: Vec::new(),
+        consts: HashMap::new(),
+        preds: program
+            .predicates()
+            .into_iter()
+            .map(str::to_string)
+            .zip(0..)
+            .collect(),
+    };
+    let n_preds = compiler.preds.len();
+    let mut stores: Vec<Store> = vec![Store::new(); n_preds];
+
+    let mut rules: Vec<CRule> = Vec::new();
+    for r in &program.rules {
+        let mut slots = BTreeMap::new();
+        let head = compiler.atom(&r.head, &mut slots);
+        if r.body.is_empty() {
+            // A ground fact (the audit rejects non-ground ones): preload.
+            let tuple: Tuple = head
+                .args
+                .iter()
+                .map(|a| match a {
+                    CArg::Cst(c) => *c,
+                    CArg::Slot(_) => unreachable!("audited ground"),
+                })
+                .collect();
+            stores[head.pred].insert(tuple);
+            continue;
+        }
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let mut neq = Vec::new();
+        for l in &r.body {
+            match l {
+                Literal::Pos(a) => pos.push(compiler.atom(a, &mut slots)),
+                Literal::Neg(a) => neg.push(compiler.atom(a, &mut slots)),
+                Literal::Neq(s, t) => neq.push((
+                    compiler.arg(s, &mut slots),
+                    compiler.arg(t, &mut slots),
+                )),
+            }
+        }
+        rules.push(CRule {
+            head,
+            pos,
+            neg,
+            neq,
+            n_slots: slots.len(),
+        });
+    }
+
+    let mut rounds = 0usize;
+    let mut derived = 0usize;
+    for stratum in &strata {
+        let cur: HashSet<usize> = stratum
+            .iter()
+            .map(|p| compiler.preds[p.as_str()])
+            .collect();
+        let here: Vec<&CRule> = rules.iter().filter(|r| cur.contains(&r.head.pred)).collect();
+        if here.is_empty() {
+            continue;
+        }
+        // Round 0: every rule against the full stores.
+        let mut fresh = Vec::new();
+        for r in &here {
+            eval_rule(r, &stores, None, &mut fresh);
+        }
+        rounds += 1;
+        let mut delta: HashMap<usize, Store> = HashMap::new();
+        for (p, t) in fresh.drain(..) {
+            if stores[p].insert(t.clone()) {
+                derived += 1;
+                delta.entry(p).or_default().insert(t);
+            }
+        }
+        // Semi-naïve rounds: one evaluation per recursive positive
+        // occurrence, that occurrence restricted to the previous delta.
+        while !delta.is_empty() {
+            for r in &here {
+                for (occ, a) in r.pos.iter().enumerate() {
+                    if cur.contains(&a.pred) {
+                        eval_rule(r, &stores, Some((occ, &delta)), &mut fresh);
+                    }
+                }
+            }
+            rounds += 1;
+            let mut next: HashMap<usize, Store> = HashMap::new();
+            for (p, t) in fresh.drain(..) {
+                if stores[p].insert(t.clone()) {
+                    derived += 1;
+                    next.entry(p).or_default().insert(t);
+                }
+            }
+            delta = next;
+        }
+    }
+
+    Ok(Evaluation {
+        names: compiler.names,
+        preds: compiler.preds,
+        stores,
+        rounds,
+        derived,
+    })
+}
+
+/// Evaluates one rule, appending every derivable head tuple to `out`.
+/// When `delta` is `Some((occ, d))`, positive literal `occ` ranges over
+/// `d` instead of the full store (the semi-naïve restriction).
+fn eval_rule(
+    r: &CRule,
+    stores: &[Store],
+    delta: Option<(usize, &HashMap<usize, Store>)>,
+    out: &mut Vec<(usize, Tuple)>,
+) {
+    // Greedy join order: most-bound literal first; the delta occurrence,
+    // when present, always leads (it is usually the smallest relation).
+    let m = r.pos.len();
+    let mut order: Vec<usize> = Vec::with_capacity(m);
+    let mut used = vec![false; m];
+    let mut bound = vec![false; r.n_slots];
+    let mark = |a: &CAtom, bound: &mut [bool]| {
+        for arg in &a.args {
+            if let CArg::Slot(s) = arg {
+                bound[*s] = true;
+            }
+        }
+    };
+    if let Some((occ, _)) = delta {
+        order.push(occ);
+        used[occ] = true;
+        mark(&r.pos[occ], &mut bound);
+    }
+    while order.len() < m {
+        let best = (0..m)
+            .filter(|&i| !used[i])
+            .max_by_key(|&i| {
+                let boundness: usize = r.pos[i]
+                    .args
+                    .iter()
+                    .filter(|a| match a {
+                        CArg::Cst(_) => true,
+                        CArg::Slot(s) => bound[*s],
+                    })
+                    .count();
+                // Prefer more-bound, then earlier literals (max_by_key
+                // takes the last maximum, so invert the index).
+                (boundness, m - i)
+            })
+            .expect("unused literal exists");
+        order.push(best);
+        used[best] = true;
+        mark(&r.pos[best], &mut bound);
+    }
+    let mut binding: Vec<Option<u32>> = vec![None; r.n_slots];
+    search(0, &order, r, stores, delta, &mut binding, out);
+}
+
+fn value(a: &CArg, binding: &[Option<u32>]) -> u32 {
+    match a {
+        CArg::Cst(c) => *c,
+        CArg::Slot(s) => binding[*s].expect("audited range restriction binds every slot"),
+    }
+}
+
+fn ground(a: &CAtom, binding: &[Option<u32>]) -> Tuple {
+    a.args.iter().map(|arg| value(arg, binding)).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    k: usize,
+    order: &[usize],
+    r: &CRule,
+    stores: &[Store],
+    delta: Option<(usize, &HashMap<usize, Store>)>,
+    binding: &mut Vec<Option<u32>>,
+    out: &mut Vec<(usize, Tuple)>,
+) {
+    if k == order.len() {
+        for (s, t) in &r.neq {
+            if value(s, binding) == value(t, binding) {
+                return;
+            }
+        }
+        for na in &r.neg {
+            // Negated predicates live in strictly lower strata
+            // (stratification), so their stores are complete here.
+            if stores[na.pred].contains(&ground(na, binding)) {
+                return;
+            }
+        }
+        out.push((r.head.pred, ground(&r.head, binding)));
+        return;
+    }
+    let li = order[k];
+    let atom = &r.pos[li];
+    let source: &Store = match delta {
+        Some((occ, d)) if occ == li => match d.get(&atom.pred) {
+            Some(s) => s,
+            None => return,
+        },
+        _ => &stores[atom.pred],
+    };
+    let mut trail: Vec<usize> = Vec::new();
+    for tuple in source {
+        if tuple.len() != atom.args.len() {
+            continue;
+        }
+        let mut ok = true;
+        for (arg, &val) in atom.args.iter().zip(tuple.iter()) {
+            match arg {
+                CArg::Cst(c) => {
+                    if *c != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                CArg::Slot(s) => match binding[*s] {
+                    Some(b) => {
+                        if b != val {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        binding[*s] = Some(val);
+                        trail.push(*s);
+                    }
+                },
+            }
+        }
+        if ok {
+            search(k + 1, order, r, stores, delta, binding, out);
+        }
+        for s in trail.drain(..) {
+            binding[s] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Evaluation {
+        evaluate(&Program::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_on_a_chain() {
+        let mut text = String::new();
+        let n = 8;
+        for i in 0..n {
+            text.push_str(&format!("edge(\"{i}\", \"{}\").\n", i + 1));
+        }
+        text.push_str("reach(X, Y) :- edge(X, Y).\n");
+        text.push_str("reach(X, Z) :- edge(X, Y), reach(Y, Z).\n");
+        let ev = run(&text);
+        // n + (n-1) + … + 1 pairs.
+        assert_eq!(ev.count("reach"), n * (n + 1) / 2);
+        // Semi-naïve on a chain needs about one round per length increment,
+        // not one pass total — and far fewer than naive quadratic passes.
+        assert!(ev.rounds() >= n, "rounds {} too few", ev.rounds());
+        assert_eq!(ev.tuples("reach")[0], vec!["0", "1"]);
+    }
+
+    #[test]
+    fn stratified_negation_completes_lower_strata_first() {
+        let ev = run(
+            "edge(\"a\", \"b\"). edge(\"b\", \"c\"). node(\"a\"). node(\"b\"). node(\"c\"). node(\"d\").\n\
+             reach(X) :- edge(\"a\", X).\n\
+             reach(Y) :- reach(X), edge(X, Y).\n\
+             unreached(X) :- node(X), not reach(X).",
+        );
+        assert_eq!(ev.tuples("reach"), vec![vec!["b"], vec!["c"]]);
+        assert_eq!(ev.tuples("unreached"), vec![vec!["a"], vec!["d"]]);
+    }
+
+    #[test]
+    fn zero_arity_goals_and_builtins() {
+        let ev = run(
+            "p(\"a\", \"a\"). p(\"a\", \"b\").\n\
+             offdiag :- p(X, Y), X != Y.\n\
+             alldiag :- not offdiag.",
+        );
+        assert!(ev.holds("offdiag"));
+        assert!(!ev.holds("alldiag"));
+        let ev = run(
+            "p(\"a\", \"a\").\n\
+             offdiag :- p(X, Y), X != Y.\n\
+             alldiag :- not offdiag.",
+        );
+        assert!(!ev.holds("offdiag"));
+        assert!(ev.holds("alldiag"));
+    }
+
+    #[test]
+    fn unsound_programs_are_refused_not_evaluated() {
+        let unstratified = Program::parse("win(X) :- move(X, Y), not win(Y).\nmove(\"a\", \"b\").").unwrap();
+        assert!(matches!(
+            evaluate(&unstratified),
+            Err(ExecError::Unsound(_))
+        ));
+        let unrestricted = Program::parse("p(X) :- q(Y).\nq(\"a\").").unwrap();
+        assert!(matches!(evaluate(&unrestricted), Err(ExecError::Unsound(_))));
+    }
+
+    #[test]
+    fn constants_in_rule_bodies_filter() {
+        let ev = run(
+            "n(\"c\", \"a\"). n(\"c\", \"b\"). n(\"d\", \"e\").\n\
+             hit(Y) :- n(\"c\", Y).",
+        );
+        assert_eq!(ev.tuples("hit"), vec![vec!["a"], vec!["b"]]);
+        assert_eq!(ev.derived(), 2);
+    }
+}

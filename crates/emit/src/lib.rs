@@ -1,0 +1,269 @@
+//! # cqa-emit
+//!
+//! Compiles a classified certainty problem into **self-contained
+//! artifacts** — a stratified Datalog program or a SQL script — that
+//! decide `CERTAINTY(q, FK)` for one embedded instance without any part
+//! of this codebase present. The artifact *is* the complexity claim made
+//! executable: FO routes emit non-recursive SQL (plain relational
+//! algebra), the poly-time L/NL routes emit recursion (`WITH RECURSIVE` /
+//! recursive Datalog rules), and fallback-only problems refuse to emit.
+//!
+//! The crate also vendors a semi-naïve stratified Datalog evaluator
+//! ([`exec::evaluate`]) so the Datalog artifacts are *checked, not
+//! trusted*: `emit ∘ exec` is the repo's fourth independent certainty
+//! implementation (after the compiled FO plan, the poly-time backends and
+//! the repair-enumeration oracle), and the differential tests here and in
+//! `tests/prop_emit.rs` hold it equal to [`Solver::solve`].
+//!
+//! Entry point: bring [`SolverEmitExt`] into scope and call
+//! [`SolverEmitExt::emit`] on any built solver.
+//!
+//! ```
+//! use cqa_emit::{evaluate, datalog::Program, Format, SolverEmitExt};
+//! use cqa_core::{ExecOptions, Problem, Solver};
+//! use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+//! use std::sync::Arc;
+//!
+//! let s = Arc::new(parse_schema("N[2,1] O[1,1]").unwrap());
+//! let q = parse_query(&s, "N(x,x), O(x)").unwrap();
+//! let fks = parse_fks(&s, "N[2] -> O").unwrap();
+//! let solver = Solver::builder(Problem::new(q, fks).unwrap())
+//!     .options(ExecOptions::sequential())
+//!     .build()
+//!     .unwrap();
+//! let db = parse_instance(&s, "N(a,a) O(a)").unwrap();
+//!
+//! let artifact = solver.emit(&db, Format::Datalog).unwrap();
+//! let program = Program::parse(&artifact.text).unwrap();
+//! let verdict = evaluate(&program).unwrap().holds(&artifact.goal);
+//! assert_eq!(verdict, solver.solve(&db).is_certain());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod lower;
+pub mod sql;
+
+/// The Datalog dialect the artifacts are written in (re-exported from
+/// `cqa-analyze`, whose auditor defined it first).
+pub use cqa_analyze::datalog;
+
+pub use exec::{evaluate, Evaluation, ExecError};
+pub use lower::{derived_prefix, lower, Lowered};
+pub use sql::{check_sql, emit_sql};
+
+use cqa_analyze::AuditReport;
+use cqa_core::{EmitSpec, EmitSpecError, Solver};
+use cqa_model::Instance;
+use std::fmt;
+use std::str::FromStr;
+
+/// The output language of an emitted artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// A stratified Datalog program (executable by [`exec::evaluate`]).
+    Datalog,
+    /// A SQL script (DDL + INSERTs + one final `certain` query).
+    Sql,
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Format::Datalog => write!(f, "datalog"),
+            Format::Sql => write!(f, "sql"),
+        }
+    }
+}
+
+impl FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Format, String> {
+        match s {
+            "datalog" => Ok(Format::Datalog),
+            "sql" => Ok(Format::Sql),
+            other => Err(format!(
+                "unknown format {other:?} (expected `datalog` or `sql`)"
+            )),
+        }
+    }
+}
+
+/// A self-contained emitted artifact.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// The language the artifact is written in.
+    pub format: Format,
+    /// The route that produced it: `"fo"`, `"reachability"` or
+    /// `"dual-horn"`.
+    pub route: &'static str,
+    /// How to read the result: the zero-arity Datalog goal predicate, or
+    /// the SQL result column (always `certain`).
+    pub goal: String,
+    /// The artifact itself.
+    pub text: String,
+}
+
+/// Why emission failed.
+#[derive(Debug)]
+pub enum EmitError {
+    /// The solver routed to the budgeted oracle — there is no
+    /// polynomial-size artifact to emit for a coNP-hard residual problem.
+    Spec(EmitSpecError),
+    /// Internal invariant breach: the emitted Datalog failed its own
+    /// range-restriction/stratification audit. Never expected; surfaced
+    /// instead of executing an unsound program.
+    UnsoundProgram(AuditReport),
+    /// Internal invariant breach: the emitted SQL failed [`check_sql`].
+    MalformedSql(String),
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmitError::Spec(e) => write!(f, "{e}"),
+            EmitError::UnsoundProgram(report) => {
+                write!(f, "emitted Datalog failed its audit:\n{report}")
+            }
+            EmitError::MalformedSql(e) => write!(f, "emitted SQL failed its shape check: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+impl From<EmitSpecError> for EmitError {
+    fn from(e: EmitSpecError) -> EmitError {
+        EmitError::Spec(e)
+    }
+}
+
+fn route_label(spec: &EmitSpec) -> &'static str {
+    match spec {
+        EmitSpec::Fo { .. } => "fo",
+        EmitSpec::Reachability { .. } => "reachability",
+        EmitSpec::DualHorn { .. } => "dual-horn",
+    }
+}
+
+/// Extension trait adding artifact emission to [`Solver`].
+///
+/// A trait (rather than an inherent method) because emission depends on
+/// `cqa-analyze`'s Datalog dialect, which `cqa-core` does not; the
+/// dependency arrow stays `emit → core`.
+pub trait SolverEmitExt {
+    /// Compiles this solver's route over `db` into a self-contained
+    /// artifact. Every emitted artifact is validated before it is
+    /// returned: Datalog must pass `cqa_analyze::audit_program`, SQL must
+    /// pass [`check_sql`].
+    fn emit(&self, db: &Instance, format: Format) -> Result<Artifact, EmitError>;
+}
+
+impl SolverEmitExt for Solver {
+    fn emit(&self, db: &Instance, format: Format) -> Result<Artifact, EmitError> {
+        let spec = self.emit_spec()?;
+        let route = route_label(&spec);
+        let schema = self.problem().query().schema();
+        match format {
+            Format::Datalog => {
+                let lowered = lower(&spec, schema, db);
+                let report = cqa_analyze::audit_program(&lowered.program);
+                if !report.is_clean() {
+                    return Err(EmitError::UnsoundProgram(report));
+                }
+                let text = format!(
+                    "% cqa emit: route={route} goal={}\n{}",
+                    lowered.goal, lowered.program
+                );
+                Ok(Artifact {
+                    format,
+                    route,
+                    goal: lowered.goal,
+                    text,
+                })
+            }
+            Format::Sql => {
+                let text = emit_sql(&spec, schema, db);
+                check_sql(&text).map_err(EmitError::MalformedSql)?;
+                Ok(Artifact {
+                    format,
+                    route,
+                    goal: "certain".to_string(),
+                    text,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_core::{ExecOptions, Problem, Solver};
+    use cqa_model::parser::{parse_fks, parse_instance, parse_query, parse_schema};
+    use std::sync::Arc;
+
+    fn solver_for(schema: &str, query: &str, fks: &str) -> (Arc<cqa_model::Schema>, Solver) {
+        let s = Arc::new(parse_schema(schema).unwrap());
+        let q = parse_query(&s, query).unwrap();
+        let fks = parse_fks(&s, fks).unwrap();
+        let solver = Solver::builder(Problem::new(q, fks).unwrap())
+            .options(ExecOptions::sequential())
+            .build()
+            .unwrap();
+        (s, solver)
+    }
+
+    #[test]
+    fn emitted_datalog_carries_the_goal_in_its_header() {
+        let (s, solver) = solver_for("N[2,1] O[1,1]", "N(x,x), O(x)", "N[2] -> O");
+        let db = parse_instance(&s, "N(a,a) O(a)").unwrap();
+        let a = solver.emit(&db, Format::Datalog).unwrap();
+        assert_eq!(a.route, "reachability");
+        assert_eq!(a.goal, "cqa_certain");
+        assert!(a.text.starts_with("% cqa emit: route=reachability goal=cqa_certain\n"));
+        // The header comment must not break re-parsing.
+        datalog::Program::parse(&a.text).unwrap();
+    }
+
+    #[test]
+    fn emitted_sql_passes_its_own_check() {
+        let (s, solver) = solver_for("N[2,1] O[1,1] P[1,1]", "N('c',y), O(y), P(y)", "N[2] -> O");
+        let db = parse_instance(&s, "N(c,a) O(a) P(a)").unwrap();
+        let a = solver.emit(&db, Format::Sql).unwrap();
+        assert_eq!(a.route, "fo");
+        assert_eq!(a.goal, "certain");
+        check_sql(&a.text).unwrap();
+    }
+
+    #[test]
+    fn fallback_only_problems_refuse_to_emit() {
+        // Example 13's q2: NL-hard and not a Proposition 16/17 shape (O
+        // has arity 2), so the only route is the budgeted oracle.
+        let s = Arc::new(parse_schema("N[3,1] O[2,1]").unwrap());
+        let q = parse_query(&s, "N(x,'c',y), O(y,w)").unwrap();
+        let fks = parse_fks(&s, "N[3] -> O").unwrap();
+        let solver = Solver::builder(Problem::new(q, fks).unwrap())
+            .options(ExecOptions::sequential().allow_fallback())
+            .build()
+            .unwrap();
+        let db = parse_instance(&s, "N(k,c,a) O(a,b)").unwrap();
+        for format in [Format::Datalog, Format::Sql] {
+            match solver.emit(&db, format) {
+                Err(EmitError::Spec(EmitSpecError::FallbackOnly)) => {}
+                other => panic!("expected FallbackOnly, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn format_round_trips_through_strings() {
+        for f in [Format::Datalog, Format::Sql] {
+            assert_eq!(f.to_string().parse::<Format>().unwrap(), f);
+        }
+        assert!("prolog".parse::<Format>().is_err());
+    }
+}

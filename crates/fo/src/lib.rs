@@ -25,5 +25,5 @@ pub use ast::Formula;
 pub use compile::CompiledFormula;
 pub use eval::{eval_closed, eval_with, Strategy};
 pub use simplify::simplify;
-pub use sql::to_sql;
+pub use sql::{to_sql, SqlError};
 pub use stats::{stats, FormulaStats};

@@ -15,15 +15,45 @@
 //! Guarded quantifiers produced by the rewriting pipeline could be translated
 //! to joins directly; the uniform scheme keeps the translation simple and
 //! obviously correct, and is what the tests check.
+//!
+//! Only **closed** formulas have a database-independent SQL reading: a free
+//! variable has no quantifier to introduce its `adom` alias, so rendering
+//! one is a caller error reported as [`SqlError::UnboundVariable`] (it used
+//! to panic, which took down callers feeding user-supplied formulas —
+//! `cqa-emit` routes every artifact through this translation and must get
+//! an error value instead).
 
 use crate::ast::Formula;
 use cqa_model::{Schema, Term, Var};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write;
 
+/// Why a formula could not be rendered as SQL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqlError {
+    /// The formula is open: this variable occurs free, so no enclosing
+    /// quantifier ever bound a SQL alias for it.
+    UnboundVariable(Var),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::UnboundVariable(v) => write!(
+                f,
+                "unbound variable {v} in SQL rendering (the formula is not closed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
 /// Renders a closed formula as a SQL boolean expression, together with the
-/// DDL for the active-domain view. Returns `(ddl, where_expression)`.
-pub fn to_sql(schema: &Schema, f: &Formula) -> (String, String) {
+/// DDL for the active-domain view. Returns `(ddl, where_expression)`, or
+/// [`SqlError::UnboundVariable`] if `f` is open.
+pub fn to_sql(schema: &Schema, f: &Formula) -> Result<(String, String), SqlError> {
     let mut ddl = String::new();
     writeln!(ddl, "-- Active domain: one row per constant in the database.").expect("write");
     write!(ddl, "CREATE VIEW adom(v) AS").expect("write");
@@ -43,8 +73,8 @@ pub fn to_sql(schema: &Schema, f: &Formula) -> (String, String) {
         names: BTreeMap::new(),
         counter: 0,
     };
-    let expr = ctx.render(f);
-    (ddl, expr)
+    let expr = ctx.render(f)?;
+    Ok((ddl, expr))
 }
 
 struct SqlCtx {
@@ -53,55 +83,62 @@ struct SqlCtx {
 }
 
 impl SqlCtx {
-    fn term(&self, t: &Term) -> String {
+    fn term(&self, t: &Term) -> Result<String, SqlError> {
         match t {
-            Term::Cst(c) => format!("'{}'", c.name().replace('\'', "''")),
+            Term::Cst(c) => Ok(format!("'{}'", c.name().replace('\'', "''"))),
             Term::Var(v) => self
                 .names
                 .get(v)
                 .cloned()
-                .unwrap_or_else(|| panic!("unbound variable {v} in SQL rendering")),
+                .ok_or(SqlError::UnboundVariable(*v)),
         }
     }
 
-    fn render(&mut self, f: &Formula) -> String {
-        match f {
+    fn render(&mut self, f: &Formula) -> Result<String, SqlError> {
+        Ok(match f {
             Formula::True => "(1=1)".to_string(),
             Formula::False => "(1=0)".to_string(),
-            Formula::Eq(s, t) => format!("({} = {})", self.term(s), self.term(t)),
+            Formula::Eq(s, t) => format!("({} = {})", self.term(s)?, self.term(t)?),
             Formula::Atom(a) => {
                 let conds: Vec<String> = a
                     .terms
                     .iter()
                     .enumerate()
-                    .map(|(i, t)| format!("a{} = {}", i + 1, self.term(t)))
-                    .collect();
+                    .map(|(i, t)| Ok(format!("a{} = {}", i + 1, self.term(t)?)))
+                    .collect::<Result<_, SqlError>>()?;
                 format!(
                     "EXISTS (SELECT 1 FROM {} WHERE {})",
                     a.rel,
                     conds.join(" AND ")
                 )
             }
-            Formula::Not(g) => format!("NOT {}", self.render(g)),
+            Formula::Not(g) => format!("NOT {}", self.render(g)?),
             Formula::And(gs) => {
-                let parts: Vec<String> = gs.iter().map(|g| self.render(g)).collect();
+                let parts: Vec<String> =
+                    gs.iter().map(|g| self.render(g)).collect::<Result<_, _>>()?;
                 format!("({})", parts.join(" AND "))
             }
             Formula::Or(gs) => {
-                let parts: Vec<String> = gs.iter().map(|g| self.render(g)).collect();
+                let parts: Vec<String> =
+                    gs.iter().map(|g| self.render(g)).collect::<Result<_, _>>()?;
                 format!("({})", parts.join(" OR "))
             }
             Formula::Implies(l, r) => {
-                let l = self.render(l);
-                let r = self.render(r);
+                let l = self.render(l)?;
+                let r = self.render(r)?;
                 format!("(NOT {l} OR {r})")
             }
-            Formula::Exists(vs, g) => self.quantifier(vs, g, false),
-            Formula::Forall(vs, g) => self.quantifier(vs, g, true),
-        }
+            Formula::Exists(vs, g) => self.quantifier(vs, g, false)?,
+            Formula::Forall(vs, g) => self.quantifier(vs, g, true)?,
+        })
     }
 
-    fn quantifier(&mut self, vs: &[Var], body: &Formula, universal: bool) -> String {
+    fn quantifier(
+        &mut self,
+        vs: &[Var],
+        body: &Formula,
+        universal: bool,
+    ) -> Result<String, SqlError> {
         let mut aliases = Vec::new();
         let mut saved = Vec::new();
         for v in vs {
@@ -121,8 +158,9 @@ impl SqlCtx {
                 }
             }
         }
+        let inner = inner?;
         let from: Vec<String> = aliases.iter().map(|a| format!("adom {a}")).collect();
-        if universal {
+        Ok(if universal {
             format!(
                 "NOT EXISTS (SELECT 1 FROM {} WHERE NOT {})",
                 from.join(", "),
@@ -130,7 +168,7 @@ impl SqlCtx {
             )
         } else {
             format!("EXISTS (SELECT 1 FROM {} WHERE {})", from.join(", "), inner)
-        }
+        })
     }
 }
 
@@ -166,7 +204,7 @@ mod tests {
                 ),
             ]),
         );
-        let (ddl, expr) = to_sql(&schema, &f);
+        let (ddl, expr) = to_sql(&schema, &f).unwrap();
         assert!(ddl.contains("CREATE VIEW adom"));
         assert!(ddl.contains("SELECT a1 FROM R"));
         assert!(ddl.contains("SELECT a2 FROM R"));
@@ -182,16 +220,46 @@ mod tests {
             RelName::new("R"),
             vec![Term::Cst(cqa_model::Cst::new("O'Brien"))],
         ));
-        let (_, expr) = to_sql(&schema, &f);
+        let (_, expr) = to_sql(&schema, &f).unwrap();
         assert!(expr.contains("'O''Brien'"));
     }
 
     #[test]
     fn constants_render() {
         let schema = parse_schema("R[1,1]").unwrap();
-        let (_, t) = to_sql(&schema, &Formula::True);
+        let (_, t) = to_sql(&schema, &Formula::True).unwrap();
         assert_eq!(t, "(1=1)");
-        let (_, f) = to_sql(&schema, &Formula::False);
+        let (_, f) = to_sql(&schema, &Formula::False).unwrap();
         assert_eq!(f, "(1=0)");
+    }
+
+    #[test]
+    fn open_formula_is_a_typed_error_not_a_panic() {
+        // Regression: `R(x)` with x free used to panic inside rendering.
+        let schema = parse_schema("R[1,1]").unwrap();
+        let open = Formula::Atom(Atom::new(RelName::new("R"), vec![Term::var("x")]));
+        assert_eq!(
+            to_sql(&schema, &open),
+            Err(SqlError::UnboundVariable(Var::new("x")))
+        );
+        // A variable that leaks out of its quantifier's scope is also
+        // caught: ∃y R(y) ∧ R(x) — only x is unbound.
+        let mixed = Formula::and([
+            Formula::exists(
+                [Var::new("y")],
+                Formula::Atom(Atom::new(RelName::new("R"), vec![Term::var("y")])),
+            ),
+            Formula::Atom(Atom::new(RelName::new("R"), vec![Term::var("x")])),
+        ]);
+        assert_eq!(
+            to_sql(&schema, &mixed),
+            Err(SqlError::UnboundVariable(Var::new("x")))
+        );
+        // And the closed variant still renders.
+        let closed = Formula::exists(
+            [Var::new("x")],
+            Formula::Atom(Atom::new(RelName::new("R"), vec![Term::var("x")])),
+        );
+        assert!(to_sql(&schema, &closed).is_ok());
     }
 }

@@ -8,6 +8,7 @@
 //! |----|--------|-------|
 //! | `ping` | — | `{"ok":true,"pong":true}` |
 //! | `solve` | `schema`, `query`, `db` (required); `fks`, `evaluator`, `materialized`, `threads`, `budget` (optional) | verdict + provenance (below) |
+//! | `emit` | `schema`, `query`, `db` (required); `fks`, `format` (`"datalog"` \| `"sql"`, default `"datalog"`) (optional) | `{"ok":true,"format":…,"route":…,"goal":…,"artifact":…}` — the self-contained artifact text (see `cqa-emit`); reuses the same plan cache as `solve` |
 //! | `metrics` | — | `{"ok":true,"metrics":{…}}` (see [`crate::MetricsRegistry::snapshot`]) |
 //! | `shutdown` | — | `{"ok":true,"shutdown":true}`; the accept loop then drains and exits |
 //!
@@ -47,6 +48,7 @@ use crate::cache::{Lookup, PlanCache, RawKey};
 use crate::metrics::MetricsRegistry;
 use cqa_core::solver::{Evaluator, ExecOptions, FallbackBudget, Route};
 use cqa_core::Certainty;
+use cqa_emit::{Format, SolverEmitExt};
 use cqa_model::parser::parse_instance;
 use cqa_model::JoinStrategy;
 use cqa_repair::{CertaintyOracle, SearchLimits};
@@ -152,11 +154,27 @@ impl Service {
                     }
                 }
             }
+            "emit" => {
+                self.metrics.record_request("emit");
+                match self.handle_emit(&request) {
+                    Ok(reply) => reply,
+                    Err(SolveRefusal::Error(msg)) => {
+                        self.metrics.record_error();
+                        error_reply(&msg, false)
+                    }
+                    Err(SolveRefusal::Rejected(msg)) => {
+                        self.metrics.record_rejection();
+                        error_reply(&msg, true)
+                    }
+                }
+            }
             other => {
                 self.metrics.record_request("invalid");
                 self.metrics.record_error();
                 error_reply(
-                    &format!("unknown op {other:?} (expected ping, solve, metrics or shutdown)"),
+                    &format!(
+                        "unknown op {other:?} (expected ping, solve, emit, metrics or shutdown)"
+                    ),
                     false,
                 )
             }
@@ -299,6 +317,77 @@ impl Service {
             }
         }
         Ok(ok_reply(reply))
+    }
+}
+
+impl Service {
+    /// `emit`: compile the (cached) plan over the request database into a
+    /// self-contained Datalog/SQL artifact. Shares `solve`'s plan cache —
+    /// an emit after a solve of the same problem is a cache hit — and its
+    /// fact-ceiling admission control (the artifact embeds every fact).
+    fn handle_emit(&self, request: &Value) -> Result<String, SolveRefusal> {
+        let field = |name: &str| -> Result<String, SolveRefusal> {
+            request
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SolveRefusal::Error(format!("missing string field {name:?}")))
+        };
+        let schema_text = field("schema")?;
+        let query_text = field("query")?;
+        let db_text = field("db")?;
+        let fks_text = request
+            .get("fks")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let format = match request.get("format") {
+            None => Format::Datalog,
+            Some(f) => f
+                .as_str()
+                .ok_or_else(|| SolveRefusal::Error("format must be a string".to_string()))?
+                .parse::<Format>()
+                .map_err(SolveRefusal::Error)?,
+        };
+
+        // Emission ignores the runtime evaluator knobs, but the cache key
+        // carries the server defaults so emit and solve requests for the
+        // same problem share one entry.
+        let raw_key = RawKey {
+            schema: schema_text,
+            query: query_text,
+            fks: fks_text,
+            evaluator: self.config.defaults.evaluator,
+            join: self.config.defaults.join,
+        };
+        let (plan, lookup) = self
+            .cache
+            .get_or_build(&raw_key, &self.config.defaults)
+            .map_err(SolveRefusal::Error)?;
+        self.metrics.record_cache(lookup == Lookup::Hit);
+
+        let db = parse_instance(&plan.schema, &db_text)
+            .map_err(|e| SolveRefusal::Error(format!("db: {e}")))?;
+        if let Some(cap) = self.config.max_facts {
+            if db.len() > cap {
+                return Err(SolveRefusal::Rejected(format!(
+                    "database has {} facts, over the admission ceiling of {cap}",
+                    db.len()
+                )));
+            }
+        }
+
+        let artifact = plan
+            .solver
+            .emit(&db, format)
+            .map_err(|e| SolveRefusal::Error(format!("emit: {e}")))?;
+        Ok(ok_reply([
+            ("format", Value::String(artifact.format.to_string())),
+            ("route", Value::String(artifact.route.to_string())),
+            ("goal", Value::String(artifact.goal)),
+            ("cache", Value::String(lookup.label().to_string())),
+            ("artifact", Value::String(artifact.text)),
+        ]))
     }
 }
 
@@ -475,6 +564,47 @@ mod tests {
             // fail loudly rather than vacuously passing.
             panic!("expected a hard-class rejection, got {refused:?}");
         }
+    }
+
+    #[test]
+    fn emit_shares_the_solve_plan_cache() {
+        let s = service();
+        let solve = serde_json::from_str(&s.handle_line(&solve_line("N(c,a) O(a) P(a)", "")))
+            .unwrap();
+        assert_eq!(solve.get("cache").and_then(Value::as_str), Some("miss"));
+        // Same problem, emit op: must hit the plan cached by solve.
+        let line = r#"{"op":"emit","schema":"N[2,1] O[1,1] P[1,1]","query":"N('c',y), O(y), P(y)","fks":"N[2] -> O","db":"N(c,a) O(a) P(a)"}"#;
+        let emit = serde_json::from_str(&s.handle_line(line)).unwrap();
+        assert_eq!(emit.get("ok").and_then(Value::as_bool), Some(true), "{emit:?}");
+        assert_eq!(emit.get("cache").and_then(Value::as_str), Some("hit"));
+        assert_eq!(emit.get("format").and_then(Value::as_str), Some("datalog"));
+        assert_eq!(emit.get("route").and_then(Value::as_str), Some("fo"));
+        assert_eq!(emit.get("goal").and_then(Value::as_str), Some("cqa_certain"));
+        // The artifact is self-contained: re-parse and execute it, and the
+        // goal must agree with the solve verdict above.
+        let text = emit.get("artifact").and_then(Value::as_str).unwrap();
+        let program = cqa_emit::datalog::Program::parse(text).unwrap();
+        let ev = cqa_emit::evaluate(&program).unwrap();
+        assert!(ev.holds("cqa_certain"));
+        assert_eq!(solve.get("certainty").and_then(Value::as_str), Some("certain"));
+    }
+
+    #[test]
+    fn emit_sql_and_bad_formats() {
+        let s = service();
+        let sql_line = r#"{"op":"emit","schema":"N[2,1] O[1,1] P[1,1]","query":"N('c',y), O(y), P(y)","fks":"N[2] -> O","db":"N(c,a) O(a) P(a)","format":"sql"}"#;
+        let reply = serde_json::from_str(&s.handle_line(sql_line)).unwrap();
+        assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true), "{reply:?}");
+        assert_eq!(reply.get("format").and_then(Value::as_str), Some("sql"));
+        assert_eq!(reply.get("goal").and_then(Value::as_str), Some("certain"));
+        assert!(reply
+            .get("artifact")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("AS certain"));
+        let bad = r#"{"op":"emit","schema":"N[2,1] O[1,1] P[1,1]","query":"N('c',y), O(y), P(y)","fks":"N[2] -> O","db":"","format":"prolog"}"#;
+        let reply = serde_json::from_str(&s.handle_line(bad)).unwrap();
+        assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(false));
     }
 
     #[test]

@@ -8,12 +8,25 @@
 //! cqa solve    --schema … --query … --fks … --db db.txt  # unified solver (any class)
 //! cqa answer   --schema … --query … --fks … --db db.txt  # FO-only legacy path
 //! cqa oracle   --schema … --query … --fks … --db db.txt  # exhaustive check
+//! cqa emit     --schema … --query … --fks … --db db.txt  # self-contained Datalog/SQL artifact
 //! cqa analyze  --schema … --query … [--fks …]            # static IR audit + read-set
 //! cqa analyze  --problem file.problem                    # same, from a problem file
 //! cqa analyze  --fixture list | --fixture NAME           # built-in malformed IR
+//! cqa analyze  --datalog artifact.dl                     # audit an emitted Datalog program
 //! cqa serve    --socket /tmp/cqa.sock [--metrics-out m.json]  # persistent service
 //! cqa request  --socket /tmp/cqa.sock --op ping          # one-shot protocol client
 //! ```
+//!
+//! `emit` compiles the problem's route over one database into a
+//! **self-contained artifact** (`--format datalog|sql`, default
+//! `datalog`): DDL/facts plus the certainty program, runnable with no part
+//! of this codebase present. `--out PATH` writes it to a file (default
+//! stdout); `--execute` additionally runs a Datalog artifact through the
+//! vendored semi-naïve evaluator and exits by its verdict. Problems whose
+//! only route is the budgeted oracle have no polynomial-size artifact and
+//! exit 4. Every command accepts `--problem file.problem` in place of the
+//! `--schema`/`--query`/`--fks` flags; a `db:` line in the file supplies
+//! an inline database (`--db` overrides it).
 //!
 //! `solve` routes the problem to its best backend (compiled FO plan,
 //! dual-Horn / reachability poly-time solver, or — with
@@ -47,7 +60,7 @@
 //! | 1 | no / not certain (`classify`: not in FO) |
 //! | 2 | usage or input error (including `serve` env-validation refusal) |
 //! | 3 | inconclusive (fallback budget exhausted) or request rejected by admission control |
-//! | 4 | `answer` only: the problem is **not FO-rewritable** — the query/FK pair is the wrong shape for `answer`, use `solve`. Distinct from 1 so scripts can tell "the answer is no" from "wrong tool". |
+//! | 4 | `answer`: the problem is **not FO-rewritable** — the query/FK pair is the wrong shape for `answer`, use `solve`. `emit`: the problem routes only to the budgeted oracle, so **no polynomial-size artifact exists**. Distinct from 1 so scripts can tell "the answer is no" from "wrong tool / no artifact". |
 
 use cqa::core::flatten::flatten;
 use cqa::prelude::*;
@@ -62,6 +75,10 @@ struct Args {
     db: Option<String>,
     problem_file: Option<String>,
     fixture: Option<String>,
+    datalog_file: Option<String>,
+    format: Option<Format>,
+    out: Option<String>,
+    execute: bool,
     fallback_budget: Option<u64>,
     threads: Option<usize>,
     evaluator: Option<JoinStrategy>,
@@ -88,6 +105,10 @@ fn parse_args() -> Result<Args, String> {
         db: None,
         problem_file: None,
         fixture: None,
+        datalog_file: None,
+        format: None,
+        out: None,
+        execute: false,
         fallback_budget: None,
         threads: None,
         evaluator: None,
@@ -106,6 +127,10 @@ fn parse_args() -> Result<Args, String> {
             args.materialized = true;
             continue;
         }
+        if flag == "--execute" {
+            args.execute = true;
+            continue;
+        }
         let value = argv
             .next()
             .ok_or_else(|| format!("missing value for {flag}"))?;
@@ -116,6 +141,9 @@ fn parse_args() -> Result<Args, String> {
             "--db" => args.db = Some(value),
             "--problem" => args.problem_file = Some(value),
             "--fixture" => args.fixture = Some(value),
+            "--datalog" => args.datalog_file = Some(value),
+            "--format" => args.format = Some(value.parse().map_err(|e| format!("--format: {e}"))?),
+            "--out" => args.out = Some(value),
             "--fallback-budget" => {
                 args.fallback_budget =
                     Some(value.parse().map_err(|e| format!("--fallback-budget: {e}"))?)
@@ -145,17 +173,19 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: cqa <classify|rewrite|sql|solve|answer|oracle|analyze|serve|request> \
+    "usage: cqa <classify|rewrite|sql|solve|answer|oracle|emit|analyze|serve|request> \
      --schema \"R[2,1] …\" --query \"R(x,y), …\" [--fks \"R[2] -> S, …\"] [--db facts.txt] \
-     [--problem file.problem] [--fixture NAME|list] \
+     [--problem file.problem] [--fixture NAME|list] [--datalog artifact.dl] \
      [--fallback-budget N] [--threads N] [--evaluator auto|backtracking|semijoin] \
      [--materialized]\n\
+     emit:    --format datalog|sql  [--out PATH] [--execute]  \
+     (self-contained artifact; exit 4 when only the oracle route exists)\n\
      serve:   --socket PATH | --tcp ADDR  [--cache N] [--max-facts N] [--metrics-out PATH] \
      (refuses to start on invalid CQA_THREADS/CQA_EVALUATOR)\n\
-     request: --socket PATH | --tcp ADDR  [--op ping|solve|metrics|shutdown] [--db-text \"R(a,1) …\"] \
+     request: --socket PATH | --tcp ADDR  [--op ping|solve|emit|metrics|shutdown] [--db-text \"R(a,1) …\"] \
      [--line '{\"op\":…}']\n\
      exit codes: 0 yes/certain · 1 no/not-certain · 2 usage or input error · \
-     3 inconclusive or rejected · 4 not-FO (answer only)"
+     3 inconclusive or rejected · 4 not-FO (answer) / no artifact (emit)"
         .to_string()
 }
 
@@ -174,9 +204,24 @@ enum Outcome {
 }
 
 /// `cqa analyze`: the static IR auditor. Dispatched before the
-/// `--schema`/`--query` requirement because the fixture modes need
-/// neither.
+/// `--schema`/`--query` requirement because the fixture and `--datalog`
+/// modes need neither.
 fn run_analyze(args: &Args) -> Result<Outcome, String> {
+    if let Some(path) = &args.datalog_file {
+        // Audit an emitted (or hand-written) Datalog artifact: parse,
+        // then check range-restriction and stratifiability.
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let program = cqa::emit::datalog::Program::parse(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("datalog: {} rules", program.rules.len());
+        let report = cqa::analyze::audit_program(&program);
+        print!("{report}");
+        return Ok(if report.is_clean() {
+            Outcome::Yes
+        } else {
+            Outcome::No
+        });
+    }
     if let Some(name) = &args.fixture {
         if name == "list" {
             for f in cqa::analyze::fixtures::all() {
@@ -192,17 +237,8 @@ fn run_analyze(args: &Args) -> Result<Outcome, String> {
         return Ok(Outcome::No);
     }
 
-    let (schema_text, query_text, fks_text) = match &args.problem_file {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            parse_problem_file(&text).map_err(|e| format!("{path}: {e}"))?
-        }
-        None => (
-            args.schema.clone().ok_or("missing --schema")?,
-            args.query.clone().ok_or("missing --query")?,
-            args.fks.clone(),
-        ),
-    };
+    // `analyze` is static: a `db:` line in the problem file is ignored.
+    let (schema_text, query_text, fks_text, _db) = problem_inputs(args)?;
     let schema = Arc::new(parse_schema(&schema_text).map_err(|e| e.to_string())?);
     let query = parse_query(&schema, &query_text).map_err(|e| e.to_string())?;
     let fks = parse_fks(&schema, &fks_text).map_err(|e| e.to_string())?;
@@ -239,10 +275,11 @@ fn run_analyze(args: &Args) -> Result<Outcome, String> {
     }
 }
 
-/// Parses a `.problem` file: `schema:`, `query:` and optional `fks:`
-/// lines, with `#` comments and blank lines ignored.
-fn parse_problem_file(text: &str) -> Result<(String, String, String), String> {
-    let (mut schema, mut query, mut fks) = (None, None, String::new());
+/// Parses a `.problem` file: `schema:`, `query:`, optional `fks:` and
+/// optional `db:` (inline facts) lines, with `#` comments and blank lines
+/// ignored.
+fn parse_problem_file(text: &str) -> Result<(String, String, String, Option<String>), String> {
+    let (mut schema, mut query, mut fks, mut db) = (None, None, String::new(), None);
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -252,6 +289,7 @@ fn parse_problem_file(text: &str) -> Result<(String, String, String), String> {
             Some(("schema", rest)) => schema = Some(rest.trim().to_string()),
             Some(("query", rest)) => query = Some(rest.trim().to_string()),
             Some(("fks", rest)) => fks = rest.trim().to_string(),
+            Some(("db", rest)) => db = Some(rest.trim().to_string()),
             _ => return Err(format!("unrecognized line `{line}`")),
         }
     }
@@ -259,6 +297,34 @@ fn parse_problem_file(text: &str) -> Result<(String, String, String), String> {
         schema.ok_or("missing `schema:` line")?,
         query.ok_or("missing `query:` line")?,
         fks,
+        db,
+    ))
+}
+
+/// Resolves the problem text from `--problem` and/or the explicit flags
+/// (explicit flags win over file fields). The fourth component is the
+/// file's inline `db:` facts, if any.
+fn problem_inputs(args: &Args) -> Result<(String, String, String, Option<String>), String> {
+    let file = match &args.problem_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(parse_problem_file(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let (f_schema, f_query, f_fks, f_db) = match file {
+        Some((s, q, f, d)) => (Some(s), Some(q), Some(f), d),
+        None => (None, None, None, None),
+    };
+    Ok((
+        args.schema.clone().or(f_schema).ok_or("missing --schema")?,
+        args.query.clone().or(f_query).ok_or("missing --query")?,
+        if args.fks.is_empty() {
+            f_fks.unwrap_or_default()
+        } else {
+            args.fks.clone()
+        },
+        f_db,
     ))
 }
 
@@ -321,7 +387,12 @@ fn run_request(args: &Args) -> Result<Outcome, String> {
             let op = args.op.clone().unwrap_or_else(|| "solve".to_string());
             let mut fields = std::collections::BTreeMap::new();
             fields.insert("op".to_string(), Value::String(op.clone()));
-            if op == "solve" {
+            if op == "emit" {
+                if let Some(format) = args.format {
+                    fields.insert("format".to_string(), Value::String(format.to_string()));
+                }
+            }
+            if op == "solve" || op == "emit" {
                 let db_text = match (&args.db_text, &args.db) {
                     (Some(text), _) => text.clone(),
                     (None, Some(path)) => {
@@ -386,16 +457,18 @@ fn run() -> Result<Outcome, String> {
     if args.command == "request" {
         return run_request(&args);
     }
-    let schema_text = args.schema.ok_or("missing --schema")?;
-    let query_text = args.query.ok_or("missing --query")?;
+    let (schema_text, query_text, fks_text, inline_db) = problem_inputs(&args)?;
     let schema = Arc::new(parse_schema(&schema_text).map_err(|e| e.to_string())?);
     let query = parse_query(&schema, &query_text).map_err(|e| e.to_string())?;
-    let fks = parse_fks(&schema, &args.fks).map_err(|e| e.to_string())?;
+    let fks = parse_fks(&schema, &fks_text).map_err(|e| e.to_string())?;
     let problem = Problem::new(query, fks).map_err(|e| e.to_string())?;
 
     let load_db = || -> Result<Instance, String> {
-        let path = args.db.clone().ok_or("missing --db")?;
-        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let text = match (&args.db, &inline_db) {
+            (Some(path), _) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+            (None, Some(inline)) => inline.clone(),
+            (None, None) => return Err("missing --db (or a `db:` line in --problem)".to_string()),
+        };
         parse_instance(&schema, &text).map_err(|e| e.to_string())
     };
 
@@ -468,6 +541,66 @@ fn run() -> Result<Outcome, String> {
                 Certainty::NotCertain => Ok(Outcome::No),
                 Certainty::Inconclusive => Ok(Outcome::Inconclusive),
             }
+        }
+        "emit" => {
+            let format = args.format.unwrap_or(Format::Datalog);
+            if args.execute && format != Format::Datalog {
+                return Err("--execute runs the vendored Datalog evaluator; \
+                            it requires --format datalog"
+                    .to_string());
+            }
+            let mut options = ExecOptions::default();
+            if let Some(budget) = args.fallback_budget {
+                options = options.with_fallback(SearchLimits::budgeted(budget));
+            }
+            // Hard-class problems have no polynomial-size artifact whether
+            // or not a fallback budget was supplied: exit 4 either way.
+            let no_artifact = |reason: &dyn std::fmt::Display| {
+                eprintln!(
+                    "cannot emit: {reason} — the only route is the budgeted oracle, \
+                     and there is no polynomial-size artifact for it"
+                );
+            };
+            let solver = match Solver::builder(problem).options(options).build() {
+                Ok(solver) => solver,
+                Err(SolverError::HardWithoutFallback(reason)) => {
+                    no_artifact(&reason);
+                    return Ok(Outcome::NotFo);
+                }
+            };
+            let db = load_db()?;
+            let artifact = match solver.emit(&db, format) {
+                Ok(artifact) => artifact,
+                Err(EmitError::Spec(reason @ EmitSpecError::FallbackOnly)) => {
+                    no_artifact(&reason);
+                    return Ok(Outcome::NotFo);
+                }
+                Err(e) => return Err(e.to_string()),
+            };
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, &artifact.text).map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!(
+                        "wrote {} artifact (route: {}, goal: {}) to {path}",
+                        artifact.format, artifact.route, artifact.goal
+                    );
+                }
+                None => print!("{}", artifact.text),
+            }
+            if args.execute {
+                let program = cqa::emit::datalog::Program::parse(&artifact.text)
+                    .map_err(|e| format!("emitted artifact failed to re-parse: {e}"))?;
+                let ev = evaluate(&program).map_err(|e| e.to_string())?;
+                let holds = ev.holds(&artifact.goal);
+                println!(
+                    "executed: {} ({} facts derived, {} rounds)",
+                    if holds { "certain" } else { "not certain" },
+                    ev.derived(),
+                    ev.rounds()
+                );
+                return Ok(yn(holds));
+            }
+            Ok(Outcome::Yes)
         }
         "answer" => {
             // The FO-only legacy path, now a thin alias of the solver's

@@ -42,6 +42,7 @@
 pub use cqa_analyze as analyze;
 pub use cqa_attack as attack;
 pub use cqa_core as core;
+pub use cqa_emit as emit;
 pub use cqa_fo as fo;
 pub use cqa_gen as gen;
 pub use cqa_model as model;
@@ -61,11 +62,12 @@ pub mod prelude {
         pipeline::RewritePlan,
         problem::Problem,
         solver::{
-            ExecOptions, Evaluator, FallbackBudget, IncrementalSolver, Route, RouteKind, Solver,
-            SolverBuilder, SolverError,
+            EmitSpec, EmitSpecError, ExecOptions, Evaluator, FallbackBudget, IncrementalSolver,
+            Route, RouteKind, Solver, SolverBuilder, SolverError,
         },
         verdict::{BackendKind, Certainty, DeltaOutcome, Provenance, Verdict},
     };
+    pub use cqa_emit::{evaluate, Artifact, EmitError, Format, SolverEmitExt};
     pub use cqa_repair::SearchLimits;
     pub use cqa_solvers::backend::Backend;
     pub use cqa_fo::{ast::Formula, eval::eval_closed};
